@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace praft::bench {
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void print_latency_row(const char* system, const char* cls,
+                              const harness::LatencySummary& s) {
+  std::printf("%-14s %-10s  p50 %9.1f ms   p90 %9.1f ms   p99 %9.1f ms   (n=%lld)\n",
+              system, cls, to_ms(s.p50), to_ms(s.p90), to_ms(s.p99),
+              static_cast<long long>(s.count));
+}
+
+/// The Fig. 9 default workload: YCSB-like, 90% reads, 5% conflicts (§5.1).
+inline kv::WorkloadConfig fig9_workload() {
+  kv::WorkloadConfig wl;
+  wl.read_fraction = 0.9;
+  wl.conflict_rate = 0.05;
+  wl.num_records = 100'000;
+  wl.value_size = 8;
+  return wl;
+}
+
+/// The Fig. 10 workload: 100% puts (§5.2).
+inline kv::WorkloadConfig fig10_workload(uint32_t value_size,
+                                         double conflict_rate) {
+  kv::WorkloadConfig wl;
+  wl.read_fraction = 0.0;
+  wl.conflict_rate = conflict_rate;
+  wl.num_records = 100'000;
+  wl.value_size = value_size;
+  return wl;
+}
+
+}  // namespace praft::bench

@@ -1,0 +1,42 @@
+// Figure 10(c): latency with 50 clients/region, 8-byte requests. Expected
+// shape: Raft-Oregon's leader-site clients see the lowest latency (nearest
+// quorum ~69 ms RTT); Raft*-M-100% pays for total ordering (a server must
+// learn every earlier slot's decision before executing); Raft*-M-0% only
+// waits for other owners' append/skip messages but is still bounded by the
+// farthest replica (Seoul).
+#include "bench_util.h"
+
+using namespace praft;
+using harness::ExperimentConfig;
+using harness::SystemKind;
+
+namespace {
+void run_one(const char* name, SystemKind sys, double conflict, int leader,
+             uint32_t vsize, bool bandwidth, uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.system = sys;
+  cfg.workload = bench::fig10_workload(vsize, conflict);
+  cfg.clients_per_region = 50;
+  cfg.leader_replica = leader;
+  cfg.model_bandwidth = bandwidth;
+  cfg.run = sec(8);
+  cfg.warmup = sec(3);
+  cfg.seed = seed;
+  const auto res = harness::run_experiment(cfg);
+  bench::print_latency_row(name, "Leader", res.leader_writes);
+  bench::print_latency_row(name, "Followers", res.follower_writes);
+}
+}  // namespace
+
+int main() {
+  bench::print_header("Fig 10c — Latency, 8 B requests (50 clients/region)",
+                      "Wang et al., PODC'19, Figure 10(c)");
+  run_one("Raft-Oregon", SystemKind::kRaft, 0.0, 0, 8, false, 100301);
+  run_one("Raft*-Oregon", SystemKind::kRaftStar, 0.0, 0, 8, false, 100302);
+  run_one("Raft-Seoul", SystemKind::kRaft, 0.0, 4, 8, false, 100303);
+  run_one("Raft*-M-0%", SystemKind::kRaftStarMencius, 0.0, 0, 8, false, 100304);
+  run_one("Raft*-M-100%", SystemKind::kRaftStarMencius, 1.0, 0, 8, false,
+          100305);
+  std::printf("('Leader' = the Oregon site for the Mencius rows.)\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 10(d): latency with 50 clients/region, 4-KiB requests, bandwidth
+// modeled. Same shape as 10(c) shifted up by serialization delays.
+#include "bench_util.h"
+
+using namespace praft;
+using harness::ExperimentConfig;
+using harness::SystemKind;
+
+namespace {
+void run_one(const char* name, SystemKind sys, double conflict, int leader,
+             uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.system = sys;
+  cfg.workload = bench::fig10_workload(4096, conflict);
+  cfg.clients_per_region = 50;
+  cfg.leader_replica = leader;
+  cfg.model_bandwidth = true;
+  cfg.run = sec(8);
+  cfg.warmup = sec(3);
+  cfg.seed = seed;
+  const auto res = harness::run_experiment(cfg);
+  bench::print_latency_row(name, "Leader", res.leader_writes);
+  bench::print_latency_row(name, "Followers", res.follower_writes);
+}
+}  // namespace
+
+int main() {
+  bench::print_header("Fig 10d — Latency, 4 KiB requests (50 clients/region)",
+                      "Wang et al., PODC'19, Figure 10(d)");
+  run_one("Raft-Oregon", SystemKind::kRaft, 0.0, 0, 100401);
+  run_one("Raft*-Oregon", SystemKind::kRaftStar, 0.0, 0, 100402);
+  run_one("Raft-Seoul", SystemKind::kRaft, 0.0, 4, 100403);
+  run_one("Raft*-M-0%", SystemKind::kRaftStarMencius, 0.0, 0, 100404);
+  run_one("Raft*-M-100%", SystemKind::kRaftStarMencius, 1.0, 0, 100405);
+  std::printf("('Leader' = the Oregon site for the Mencius rows.)\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 9(b): write latency. Expected shape: Raft*-PQL writes are a bit
+// SLOWER than everyone else's — commit must wait for every lease holder to
+// acknowledge, not just the fastest majority (§5.1).
+#include "bench_util.h"
+
+using namespace praft;
+using harness::ExperimentConfig;
+using harness::SystemKind;
+
+int main() {
+  bench::print_header("Fig 9b — Write latency (leader vs followers)",
+                      "Wang et al., PODC'19, Figure 9(b)");
+  const SystemKind systems[] = {SystemKind::kRaftStarPql, SystemKind::kRaftStarLL,
+                                SystemKind::kRaft, SystemKind::kRaftStar};
+  for (SystemKind sys : systems) {
+    ExperimentConfig cfg;
+    cfg.system = sys;
+    cfg.workload = bench::fig9_workload();
+    cfg.clients_per_region = 50;
+    cfg.leader_replica = 0;
+    cfg.run = sec(8);
+    cfg.warmup = sec(3);
+    cfg.seed = 90002;
+    const auto res = harness::run_experiment(cfg);
+    bench::print_latency_row(harness::system_name(sys), "Leader",
+                             res.leader_writes);
+    bench::print_latency_row(harness::system_name(sys), "Followers",
+                             res.follower_writes);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Micro-benchmarks (google-benchmark) for the hot paths underneath the
+// experiment harness: the event queue, the histogram, protocol log appends
+// and spec successor enumeration.
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "raftstar/node.h"
+#include "sim/event_queue.h"
+#include "specs/kvlog.h"
+
+// NOTE: this TU intentionally avoids gtest; the ScriptedEnv equivalent below
+// is minimal and local.
+namespace {
+
+using namespace praft;
+
+class NullEnv final : public consensus::Env {
+ public:
+  [[nodiscard]] Time now() const override { return now_; }
+  void send(NodeId, std::any, size_t) override { ++sent_; }
+  void schedule(Duration, std::function<void()>) override {}
+  uint64_t random() override { return rng_.next(); }
+  Time now_ = 0;
+  uint64_t sent_ = 0;
+  Rng rng_{1};
+};
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule_at(i, [&fired] { ++fired; });
+    }
+    q.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(7);
+  for (auto _ : state) {
+    h.record(static_cast<int64_t>(rng.below(1'000'000)));
+  }
+  benchmark::DoNotOptimize(h.percentile(99));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_RaftStarLeaderSubmit(benchmark::State& state) {
+  NullEnv env;
+  consensus::Group g;
+  g.self = 0;
+  g.members = {0};
+  raftstar::Options opt;
+  opt.batch_delay = 0;
+  raftstar::RaftStarNode node(g, env, opt);
+  node.start();
+  node.force_election();
+  kv::Command cmd{kv::Op::kPut, 1, 2, 8, 3, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.submit(cmd));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RaftStarLeaderSubmit);
+
+void BM_SpecSuccessors(benchmark::State& state) {
+  auto bundle = specs::make_kvlog(3, 3);
+  const spec::State s0 = bundle->a.init()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bundle->a.successors(s0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpecSuccessors);
+
+void BM_ValueHashCanonical(benchmark::State& state) {
+  spec::Value::Set s;
+  for (int i = 0; i < 64; ++i) {
+    s.push_back(spec::VT(spec::V(i), spec::V(i * 3)));
+  }
+  const spec::Value v = spec::Value::set(std::move(s));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.hash());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ValueHashCanonical);
+
+}  // namespace
+
+BENCHMARK_MAIN();

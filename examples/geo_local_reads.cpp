@@ -1,0 +1,43 @@
+// Raft*-PQL in action: a geo-replicated KV store where every region serves
+// strongly-consistent reads locally under quorum leases (case study 1).
+//
+//   build/examples/geo_local_reads
+#include <cstdio>
+
+#include "harness/cluster.h"
+#include "pql/raftstar_pql.h"
+
+using namespace praft;
+
+int main() {
+  harness::ClusterConfig cfg;
+  cfg.seed = 7;
+  harness::Cluster cluster(cfg);
+  cluster.build_replicas([&](harness::NodeHost& host,
+                             const consensus::Group& group)
+                             -> std::unique_ptr<harness::ReplicaServer> {
+    return std::make_unique<pql::RaftStarPqlServer>(host, group, cfg.costs);
+  });
+  cluster.establish_leader(0);
+  cluster.run_for(sec(2));  // leases propagate
+
+  kv::WorkloadConfig wl;
+  wl.read_fraction = 0.9;
+  wl.conflict_rate = 0.05;
+  cluster.metrics().set_window(sec(4), sec(14));
+  cluster.add_clients(20, wl, cluster.sim().now());
+  cluster.run_until(sec(14));
+
+  std::printf("Raft*-PQL geo KV store — read latency by region:\n");
+  for (SiteId s = 0; s < 5; ++s) {
+    const Histogram& reads = cluster.metrics().reads(s);
+    std::printf("  %-8s p50 %7.1f ms   p90 %7.1f ms   p99 %7.1f ms (n=%lld)\n",
+                cluster.net().latency().site_name(s).c_str(),
+                to_ms(reads.percentile(50)), to_ms(reads.percentile(90)),
+                to_ms(reads.percentile(99)),
+                static_cast<long long>(reads.count()));
+  }
+  std::printf("\nEvery region reads at local latency; the p99 tail is reads\n"
+              "of contended keys waiting for in-flight writes to commit.\n");
+  return 0;
+}

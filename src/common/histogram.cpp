@@ -1,0 +1,82 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace praft {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::bucket_index(int64_t v) {
+  if (v < 0) v = 0;
+  const auto u = static_cast<uint64_t>(v);
+  if (u < kSub) return static_cast<int>(u);
+  const int msb = 63 - std::countl_zero(u);
+  const int octave = msb - kSubBits + 1;
+  const int sub = static_cast<int>((u >> (msb - kSubBits)) & (kSub - 1));
+  return octave * kSub + sub;
+}
+
+int64_t Histogram::bucket_midpoint(int index) {
+  const int octave = index / kSub;
+  const int sub = index % kSub;
+  if (octave == 0) return sub;
+  const int shift = octave - 1;
+  const int64_t base = (static_cast<int64_t>(kSub) + sub) << shift;
+  const int64_t width = int64_t{1} << shift;
+  return base + width / 2;
+}
+
+void Histogram::record(int64_t value) {
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[static_cast<size_t>(bucket_index(value))];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+int64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target =
+      static_cast<int64_t>(p / 100.0 * static_cast<double>(count_) + 0.5);
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target && buckets_[static_cast<size_t>(i)] > 0) {
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+double Histogram::mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+}  // namespace praft

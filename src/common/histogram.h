@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace praft {
+
+/// Log-linear latency histogram (HdrHistogram-style): 64 octaves with 32
+/// linear sub-buckets each. Records non-negative int64 values (microseconds
+/// in practice) with bounded relative error (~3%).
+class Histogram {
+ public:
+  Histogram();
+
+  void record(int64_t value);
+  void merge(const Histogram& other);
+  void clear();
+
+  /// Number of recorded samples.
+  [[nodiscard]] int64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Value at percentile p in [0, 100]. Returns 0 on an empty histogram.
+  [[nodiscard]] int64_t percentile(double p) const;
+
+  [[nodiscard]] int64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] int64_t max() const { return count_ == 0 ? 0 : max_; }
+  [[nodiscard]] double mean() const;
+
+ private:
+  static constexpr int kSubBits = 5;                  // 32 sub-buckets
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kBuckets = 64 * kSub;
+
+  static int bucket_index(int64_t v);
+  static int64_t bucket_midpoint(int index);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace praft

@@ -1,0 +1,29 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace praft {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* name(LogLevel lv) {
+  switch (lv) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    default: return "?";
+  }
+}
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+void Logger::set_level(LogLevel lv) { g_level = lv; }
+
+void Logger::write(LogLevel lv, const std::string& msg) {
+  if (lv > g_level) return;
+  std::cerr << "[" << name(lv) << "] " << msg << "\n";
+}
+
+}  // namespace praft

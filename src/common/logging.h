@@ -1,0 +1,42 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace praft {
+
+/// Minimal leveled logger. Disabled by default so simulations stay fast;
+/// tests and examples can enable it to trace protocol decisions.
+enum class LogLevel { kOff = 0, kError, kInfo, kDebug, kTrace };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lv);
+  static void write(LogLevel lv, const std::string& msg);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lv) : lv_(lv) {}
+  ~LogLine() { Logger::write(lv_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lv_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace praft
+
+#define PRAFT_LOG(lv)                                  \
+  if (::praft::Logger::level() < ::praft::LogLevel::lv) \
+    ;                                                  \
+  else                                                 \
+    ::praft::detail::LogLine(::praft::LogLevel::lv)

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+// Basic vocabulary types shared by every module.
+namespace praft {
+
+/// Identifies a process (replica or client endpoint) in a cluster.
+using NodeId = int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// Identifies a geographic site (datacenter/region).
+using SiteId = int32_t;
+
+/// Simulated time in microseconds since simulation start.
+using Time = int64_t;
+/// A span of simulated time in microseconds.
+using Duration = int64_t;
+
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+constexpr Duration usec(int64_t n) { return n; }
+constexpr Duration msec(int64_t n) { return n * 1000; }
+constexpr Duration sec(int64_t n) { return n * 1000 * 1000; }
+
+/// Converts a microsecond duration to fractional milliseconds (for reports).
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1000.0; }
+
+}  // namespace praft

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <functional>
+
+#include "common/types.h"
+
+namespace praft::consensus {
+
+/// The only door between a protocol node and the outside world. Protocol
+/// implementations are sans-io: they never touch the simulator (or a real
+/// socket) directly, which makes them unit-testable with scripted Envs and
+/// reusable across the simulated and any future real transport.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  [[nodiscard]] virtual Time now() const = 0;
+
+  /// Sends a protocol message of modeled wire size `bytes`.
+  virtual void send(NodeId to, std::any payload, size_t bytes) = 0;
+
+  /// One-shot timer. Protocols guard stale timers with epoch counters.
+  virtual void schedule(Duration delay, std::function<void()> fn) = 0;
+
+  /// Deterministic randomness (election jitter etc.).
+  virtual uint64_t random() = 0;
+
+  /// Uniform duration in [lo, hi].
+  Duration random_range(Duration lo, Duration hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<Duration>(random() %
+                                      static_cast<uint64_t>(hi - lo + 1));
+  }
+};
+
+}  // namespace praft::consensus

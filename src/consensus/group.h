@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace praft::consensus {
+
+/// Static membership of a consensus group (the paper never reconfigures).
+struct Group {
+  NodeId self = kNoNode;
+  std::vector<NodeId> members;  // includes self
+
+  [[nodiscard]] int n() const { return static_cast<int>(members.size()); }
+  /// f in the paper's "f + 1" quorums: tolerated failures.
+  [[nodiscard]] int f() const { return (n() - 1) / 2; }
+  [[nodiscard]] int majority() const { return f() + 1; }
+
+  [[nodiscard]] bool contains(NodeId id) const {
+    for (NodeId m : members) {
+      if (m == id) return true;
+    }
+    return false;
+  }
+
+  /// Index of `id` within members (used for Mencius round-robin ownership).
+  [[nodiscard]] int rank_of(NodeId id) const {
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (members[i] == id) return static_cast<int>(i);
+    }
+    PRAFT_CHECK_MSG(false, "node not in group");
+    return -1;
+  }
+
+  void validate() const {
+    PRAFT_CHECK(!members.empty());
+    PRAFT_CHECK(contains(self));
+  }
+};
+
+/// Tracks distinct acknowledgements toward a quorum.
+class QuorumTracker {
+ public:
+  explicit QuorumTracker(int needed = 0) : needed_(needed) {}
+
+  /// Returns true when this ack is new.
+  bool add(NodeId id) {
+    for (NodeId v : acks_) {
+      if (v == id) return false;
+    }
+    acks_.push_back(id);
+    return true;
+  }
+
+  [[nodiscard]] bool reached() const {
+    return static_cast<int>(acks_.size()) >= needed_;
+  }
+  [[nodiscard]] int count() const { return static_cast<int>(acks_.size()); }
+  [[nodiscard]] const std::vector<NodeId>& acks() const { return acks_; }
+
+ private:
+  int needed_;
+  std::vector<NodeId> acks_;
+};
+
+}  // namespace praft::consensus

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "kv/command.h"
+
+namespace praft::consensus {
+
+/// Raft term / Paxos ballot round. Terms start at 0 (no leader yet).
+using Term = int64_t;
+
+/// Position in the replicated log. Valid entries start at index 1; index 0 is
+/// the sentinel (term 0) so AppendEntries prev-checks need no special cases.
+using LogIndex = int64_t;
+
+/// Globally unique Paxos ballot: (round, proposer id), ordered
+/// lexicographically — the classic construction for distinct proposals.
+struct Ballot {
+  Term round = -1;
+  NodeId node = kNoNode;
+
+  friend auto operator<=>(const Ballot&, const Ballot&) = default;
+  [[nodiscard]] bool valid() const { return round >= 0; }
+};
+
+/// Delivered exactly once per log position, in log order, once the position
+/// is committed/chosen and all earlier positions have been delivered.
+using ApplyFn = std::function<void(LogIndex, const kv::Command&)>;
+
+/// Modeled wire sizes (bytes) for bandwidth accounting.
+namespace wire {
+inline constexpr size_t kMsgHeader = 48;   // term/ballot/indexes/ids
+inline constexpr size_t kSmallMsg = 40;    // votes, acks, heartbeats
+inline size_t entry_bytes(const kv::Command& c) { return c.wire_bytes(); }
+}  // namespace wire
+
+}  // namespace praft::consensus

@@ -1,0 +1,5 @@
+// The porting engine lives in port.cpp; this TU anchors additional mapping
+// helpers if they grow beyond header scope.
+#include "core/port.h"
+
+namespace praft::core {}

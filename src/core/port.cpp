@@ -1,0 +1,234 @@
+#include "core/port.h"
+
+#include "common/check.h"
+
+namespace praft::core {
+
+using spec::Action;
+using spec::RefinementMapping;
+using spec::Spec;
+using spec::State;
+using spec::Value;
+
+bool OptimizationDelta::is_delta_var(const std::string& name) const {
+  for (const auto& [n, init] : new_vars) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::vector<const Correspondence::Entry*> Correspondence::a_actions_of(
+    const std::string& b_action) const {
+  std::vector<const Entry*> out;
+  for (const auto& e : entries) {
+    if (e.b_action == b_action) out.push_back(&e);
+  }
+  return out;
+}
+
+namespace {
+
+void apply_updates(const Spec& spec, State& s, const DeltaUpdates& updates,
+                   const OptimizationDelta& delta) {
+  for (const auto& [name, v] : updates) {
+    PRAFT_CHECK_MSG(delta.is_delta_var(name),
+                    "non-mutating optimization wrote protocol variable " +
+                        name + " (violates the paper's §4.2 restriction)");
+    spec.set(s, name, v);
+  }
+}
+
+}  // namespace
+
+Spec apply_delta(const Spec& a, const OptimizationDelta& delta) {
+  Spec ad(a.name() + "+" + delta.name);
+  for (const auto& v : a.vars()) ad.declare_var(v);
+  for (const auto& [n, init] : delta.new_vars) ad.declare_var(n);
+
+  for (const State& i : a.init()) {
+    State s = i;
+    for (const auto& [n, init] : delta.new_vars) s.push_back(init);
+    ad.add_init(std::move(s));
+  }
+
+  // Unchanged + modified subactions. Base actions read/write variables by
+  // name; A's variables keep their positions in AΔ, so the original step
+  // functions run verbatim on the extended states.
+  for (const Action& act : a.actions()) {
+    std::vector<const ModifiedAction*> clauses;
+    for (const auto& m : delta.modified) {
+      if (m.base == act.name) clauses.push_back(&m);
+    }
+    Action wrapped;
+    wrapped.name = act.name;
+    wrapped.domains = act.domains;
+    auto base_step = act.step;
+    wrapped.step = [base_step, clauses, &delta](
+                       const Spec& sp, const State& s,
+                       const std::vector<Value>& params)
+        -> std::optional<State> {
+      std::optional<State> next = base_step(sp, s, params);
+      if (!next.has_value()) return std::nullopt;
+      for (const ModifiedAction* m : clauses) {
+        VarFn a_pre = [&sp, &s](const std::string& n) { return sp.get(s, n); };
+        VarFn a_post = [&sp, &next](const std::string& n) {
+          return sp.get(*next, n);
+        };
+        VarFn d_pre = a_pre;  // Δ-vars live in the same state vector
+        auto updates = m->clause.apply(a_pre, a_post, d_pre, params);
+        if (!updates.has_value()) return std::nullopt;  // extra guard failed
+        apply_updates(sp, *next, *updates, delta);
+      }
+      return next;
+    };
+    ad.add_action(std::move(wrapped));
+  }
+
+  // Added subactions: may read everything, may write only Δ-vars.
+  for (const AddedAction& aa : delta.added) {
+    Action act;
+    act.name = aa.name;
+    act.domains = aa.domains;
+    auto step = aa.step;
+    act.step = [step, &delta](const Spec& sp, const State& s,
+                              const std::vector<Value>& params)
+        -> std::optional<State> {
+      VarFn vars = [&sp, &s](const std::string& n) { return sp.get(s, n); };
+      auto updates = step(vars, vars, params);
+      if (!updates.has_value()) return std::nullopt;
+      State next = s;
+      apply_updates(sp, next, *updates, delta);
+      return next;
+    };
+    ad.add_action(std::move(act));
+  }
+
+  for (const auto& inv : a.invariants()) ad.add_invariant(inv);
+  for (const auto& inv : delta.new_invariants) ad.add_invariant(inv);
+  return ad;
+}
+
+Spec port(const Spec& b, const RefinementMapping& f, const Correspondence& corr,
+          const OptimizationDelta& delta) {
+  PRAFT_CHECK(f.to != nullptr && f.from != nullptr);
+  const Spec& a = *f.to;
+  Spec bd(b.name() + "+" + delta.name);
+  for (const auto& v : b.vars()) bd.declare_var(v);
+  for (const auto& [n, init] : delta.new_vars) {
+    PRAFT_CHECK_MSG(!b.has_var(n), "Δ-variable name collides with B: " + n);
+    bd.declare_var(n);
+  }
+  for (const State& i : b.init()) {
+    State s = i;
+    for (const auto& [n, init] : delta.new_vars) s.push_back(init);
+    bd.add_init(std::move(s));
+  }
+
+  // Cases 2 and 3: every B subaction is kept; those that imply a modified A
+  // subaction additionally evaluate the translated clause with
+  // Var_A = f(Var_B) and P_A = f_args(P_B).
+  for (const Action& bact : b.actions()) {
+    std::vector<std::pair<const ModifiedAction*, const Correspondence::Entry*>>
+        clauses;
+    for (const Correspondence::Entry* e : corr.a_actions_of(bact.name)) {
+      for (const auto& m : delta.modified) {
+        if (m.base == e->a_action) clauses.emplace_back(&m, e);
+      }
+    }
+    Action wrapped;
+    wrapped.name = bact.name;
+    wrapped.domains = bact.domains;
+    auto base_step = bact.step;
+    wrapped.step = [base_step, clauses, &delta, &f, &a, &b](
+                       const Spec& sp, const State& s,
+                       const std::vector<Value>& params)
+        -> std::optional<State> {
+      std::optional<State> next = base_step(sp, s, params);
+      if (!next.has_value()) return std::nullopt;
+      if (!clauses.empty()) {
+        // Map B states (pre/post) into A's variable space once.
+        const State a_pre_state = f.map_state(b, s);
+        const State a_post_state = f.map_state(b, *next);
+        for (const auto& [m, e] : clauses) {
+          VarFn a_pre = [&a, &a_pre_state](const std::string& n) {
+            return a.get(a_pre_state, n);
+          };
+          VarFn a_post = [&a, &a_post_state](const std::string& n) {
+            return a.get(a_post_state, n);
+          };
+          VarFn d_pre = [&sp, &s](const std::string& n) {
+            return sp.get(s, n);
+          };
+          const std::vector<Value> a_params =
+              e->map_params ? e->map_params(b, s, params) : params;
+          auto updates = m->clause.apply(a_pre, a_post, d_pre, a_params);
+          if (!updates.has_value()) return std::nullopt;
+          apply_updates(sp, *next, *updates, delta);
+        }
+      }
+      return next;
+    };
+    bd.add_action(std::move(wrapped));
+  }
+
+  // Case 1: added subactions with Var_A reads substituted by f(Var_B).
+  for (const AddedAction& aa : delta.added) {
+    Action act;
+    act.name = aa.name;
+    act.domains = aa.domains;
+    auto step = aa.step;
+    act.step = [step, &delta, &f, &a, &b](const Spec& sp, const State& s,
+                                          const std::vector<Value>& params)
+        -> std::optional<State> {
+      const State a_state = f.map_state(b, s);
+      VarFn avars = [&a, &a_state](const std::string& n) {
+        return a.get(a_state, n);
+      };
+      VarFn dvars = [&sp, &s](const std::string& n) { return sp.get(s, n); };
+      auto updates = step(avars, dvars, params);
+      if (!updates.has_value()) return std::nullopt;
+      State next = s;
+      apply_updates(sp, next, *updates, delta);
+      return next;
+    };
+    bd.add_action(std::move(act));
+  }
+
+  for (const auto& inv : b.invariants()) bd.add_invariant(inv);
+  return bd;
+}
+
+RefinementMapping projection_mapping(const Spec& bd, const Spec& b) {
+  RefinementMapping m;
+  m.from = &bd;
+  m.to = &b;
+  const Spec* bp = &b;
+  m.map_state = [bp](const Spec& bd_spec, const State& s) {
+    State out;
+    out.reserve(bp->vars().size());
+    for (const auto& v : bp->vars()) out.push_back(bd_spec.get(s, v));
+    return out;
+  };
+  return m;
+}
+
+RefinementMapping lifted_mapping(const RefinementMapping& f, const Spec& bd,
+                                 const Spec& ad,
+                                 const OptimizationDelta& delta) {
+  RefinementMapping m;
+  m.from = &bd;
+  m.to = &ad;
+  const RefinementMapping* base = &f;
+  const OptimizationDelta* d = &delta;
+  m.map_state = [base, d](const Spec& bd_spec, const State& s) {
+    // f on the B variables, identity on the Δ variables.
+    State a_part = base->map_state(*base->from, s);
+    for (const auto& [n, init] : d->new_vars) {
+      a_part.push_back(bd_spec.get(s, n));
+    }
+    return a_part;
+  };
+  return m;
+}
+
+}  // namespace praft::core

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spec/refinement.h"
+#include "spec/spec.h"
+
+namespace praft::core {
+
+/// Reads protocol variables BY NAME. Optimization deltas are written against
+/// A's variable names only; the port re-binds those names through the
+/// refinement mapping, which is the whole §4.3 trick.
+using VarFn = std::function<spec::Value(const std::string&)>;
+
+/// Variable updates an optimization step produces. The engine enforces the
+/// §4.2 non-mutating restriction: only Δ-variables may appear here.
+using DeltaUpdates = std::map<std::string, spec::Value>;
+
+/// An added subaction (§4.2): reads A-vars and Δ-vars, never writes A-vars.
+struct AddedAction {
+  std::string name;
+  std::vector<spec::Domain> domains;
+  std::function<std::optional<DeltaUpdates>(const VarFn& avars,
+                                            const VarFn& dvars,
+                                            const std::vector<spec::Value>&)>
+      step;
+};
+
+/// Extra conjunctive clauses attached to an existing A subaction (§4.2):
+/// evaluated with the A-variables before and after the base step plus the
+/// Δ-variables before; nullopt disables the whole (modified) subaction.
+struct DeltaClause {
+  std::function<std::optional<DeltaUpdates>(
+      const VarFn& a_pre, const VarFn& a_post, const VarFn& d_pre,
+      const std::vector<spec::Value>& params)>
+      apply;
+};
+
+struct ModifiedAction {
+  std::string base;  // the A subaction being modified
+  DeltaClause clause;
+};
+
+/// A non-mutating optimization Δ over protocol A (§4.2): new variables with
+/// initial values, added subactions, and modified subactions. Everything not
+/// listed is an unchanged subaction.
+struct OptimizationDelta {
+  std::string name;
+  std::vector<std::pair<std::string, spec::Value>> new_vars;
+  std::vector<AddedAction> added;
+  std::vector<ModifiedAction> modified;
+  std::vector<spec::Invariant> new_invariants;  // checked on AΔ / BΔ
+
+  [[nodiscard]] bool is_delta_var(const std::string& name) const;
+};
+
+/// AΔ = A + Δ. By construction AΔ refines A under the projection that drops
+/// the Δ-variables (the §4.2 guarantee).
+spec::Spec apply_delta(const spec::Spec& a, const OptimizationDelta& delta);
+
+/// Fig. 3's function table: which B subactions imply each A subaction, with
+/// the parameter mapping P_A = f_args(P_B) (§4.3).
+struct Correspondence {
+  struct Entry {
+    std::string b_action;
+    std::string a_action;
+    /// Maps B-level params (with the B pre-state for context) to A params.
+    /// Null = identity.
+    std::function<std::vector<spec::Value>(const spec::Spec& b,
+                                           const spec::State& pre,
+                                           const std::vector<spec::Value>&)>
+        map_params;
+  };
+  std::vector<Entry> entries;
+
+  [[nodiscard]] std::vector<const Entry*> a_actions_of(
+      const std::string& b_action) const;
+};
+
+/// BΔ = port(B, f, corr, Δ) — the automated §4.3 transformation:
+///   Case 1 (added):    substitute Var_A reads with f(Var_B);
+///   Case 2 (unchanged): keep every implying B subaction as-is;
+///   Case 3 (modified): attach the translated clause to EVERY B subaction
+///                      that implies the modified A subaction.
+/// No PQL- or Mencius-specific logic lives here; case studies are pure data.
+spec::Spec port(const spec::Spec& b, const spec::RefinementMapping& f,
+                const Correspondence& corr, const OptimizationDelta& delta);
+
+/// Fig. 5 helpers: BΔ ⇒ B by dropping Δ-vars; BΔ ⇒ AΔ by f on the B part
+/// and identity on the Δ part.
+spec::RefinementMapping projection_mapping(const spec::Spec& bd,
+                                           const spec::Spec& b);
+spec::RefinementMapping lifted_mapping(const spec::RefinementMapping& f,
+                                       const spec::Spec& bd,
+                                       const spec::Spec& ad,
+                                       const OptimizationDelta& delta);
+
+}  // namespace praft::core

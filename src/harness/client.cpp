@@ -1,0 +1,57 @@
+#include "harness/client.h"
+
+namespace praft::harness {
+
+ClosedLoopClient::ClosedLoopClient(NodeHost& host, NodeId server,
+                                   kv::WorkloadGenerator gen, Metrics& metrics,
+                                   Options opt)
+    : host_(host), server_(server), gen_(std::move(gen)), metrics_(metrics),
+      opt_(opt) {
+  host_.attach(this);
+}
+
+void ClosedLoopClient::start() {
+  const Duration delay = opt_.start_at > host_.now()
+                             ? opt_.start_at - host_.now()
+                             : 0;
+  // Small per-client jitter avoids a synchronized thundering herd at t=0.
+  host_.schedule(delay + static_cast<Duration>(host_.random() % 1000),
+                 [this] { issue_next(); });
+}
+
+void ClosedLoopClient::issue_next() {
+  if (stopped_) return;
+  current_ = gen_.next(host_.id(), next_seq_++);
+  in_flight_ = true;
+  transmit();
+}
+
+void ClosedLoopClient::transmit() {
+  sent_at_ = host_.now();
+  ClientRequest req{current_};
+  host_.send(server_, Message{req}, wire_size(req));
+  arm_retry(current_.seq);
+}
+
+void ClosedLoopClient::arm_retry(uint64_t seq) {
+  host_.schedule(opt_.retry_timeout, [this, seq] {
+    if (!stopped_ && in_flight_ && current_.seq == seq) {
+      ++retries_;
+      transmit();
+    }
+  });
+}
+
+void ClosedLoopClient::handle(const net::Packet& p) {
+  const auto* msg = net::payload_as<Message>(p);
+  if (msg == nullptr) return;
+  const auto* reply = std::get_if<ClientReply>(msg);
+  if (reply == nullptr || !in_flight_ || reply->seq != current_.seq) return;
+  in_flight_ = false;
+  ++completed_;
+  metrics_.record(host_.now(), host_.site(), current_.is_read(),
+                  host_.now() - sent_at_);
+  issue_next();
+}
+
+}  // namespace praft::harness

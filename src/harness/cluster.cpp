@@ -1,0 +1,92 @@
+#include "harness/cluster.h"
+
+#include "common/check.h"
+
+namespace praft::harness {
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(std::move(cfg)), sim_(cfg_.seed), net_(sim_, cfg_.latency) {
+  PRAFT_CHECK(cfg_.num_replicas > 0);
+  if (cfg_.replica_sites.empty()) {
+    for (int i = 0; i < cfg_.num_replicas; ++i) {
+      cfg_.replica_sites.push_back(
+          static_cast<SiteId>(i % net_.latency().num_sites()));
+    }
+  }
+  PRAFT_CHECK(static_cast<int>(cfg_.replica_sites.size()) == cfg_.num_replicas);
+}
+
+void Cluster::build_replicas(const ServerFactory& factory) {
+  PRAFT_CHECK_MSG(servers_.empty(), "build_replicas called twice");
+  // First pass: create hosts so every replica knows all member ids.
+  for (int i = 0; i < cfg_.num_replicas; ++i) {
+    const SiteId site = cfg_.replica_sites[static_cast<size_t>(i)];
+    double egress = 0.0;
+    if (static_cast<size_t>(site) < cfg_.replica_egress.size()) {
+      egress = cfg_.replica_egress[static_cast<size_t>(site)];
+    }
+    replica_hosts_.push_back(
+        std::make_unique<NodeHost>(sim_, net_, site, egress));
+    group_template_.members.push_back(replica_hosts_.back()->id());
+  }
+  group_template_.self = kNoNode;
+  for (int i = 0; i < cfg_.num_replicas; ++i) {
+    consensus::Group g = group_template_;
+    g.self = replica_hosts_[static_cast<size_t>(i)]->id();
+    servers_.push_back(factory(*replica_hosts_[static_cast<size_t>(i)], g));
+    servers_.back()->start();
+  }
+}
+
+void Cluster::add_clients(int per_region, const kv::WorkloadConfig& wl,
+                          Time start_at) {
+  PRAFT_CHECK_MSG(!servers_.empty(), "build replicas before clients");
+  kv::WorkloadConfig cfg = wl;
+  cfg.num_partitions = cfg_.num_replicas;
+  for (int r = 0; r < cfg_.num_replicas; ++r) {
+    const SiteId site = cfg_.replica_sites[static_cast<size_t>(r)];
+    const NodeId target = servers_[static_cast<size_t>(r)]->id();
+    for (int c = 0; c < per_region; ++c) {
+      client_hosts_.push_back(std::make_unique<NodeHost>(sim_, net_, site));
+      kv::WorkloadGenerator gen(cfg, r, sim_.rng().split());
+      ClosedLoopClient::Options copt;
+      copt.start_at = start_at;
+      clients_.push_back(std::make_unique<ClosedLoopClient>(
+          *client_hosts_.back(), target, std::move(gen), metrics_, copt));
+      clients_.back()->start();
+    }
+  }
+}
+
+int Cluster::establish_leader(int preferred, Duration deadline) {
+  PRAFT_CHECK(preferred >= 0 && preferred < num_replicas());
+  // Give the preferred replica a head start on everyone's election timers.
+  sim_.after(msec(1), [this, preferred] {
+    servers_[static_cast<size_t>(preferred)]->trigger_election();
+  });
+  const Time limit = sim_.now() + deadline;
+  while (sim_.now() < limit) {
+    sim_.run_for(msec(50));
+    const int leader = leader_replica();
+    if (leader >= 0) return leader;
+  }
+  return -1;
+}
+
+int Cluster::leader_replica() const {
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    const NodeId id = servers_[i]->id();
+    // A crashed replica may still believe it leads; it does not count.
+    if (!net_.node_up(id) || net_.faults().is_down(id, sim_.now())) continue;
+    if (servers_[i]->is_leader()) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+uint64_t Cluster::client_retries() const {
+  uint64_t total = 0;
+  for (const auto& c : clients_) total += c->retries();
+  return total;
+}
+
+}  // namespace praft::harness

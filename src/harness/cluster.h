@@ -1,0 +1,91 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "consensus/group.h"
+#include "harness/client.h"
+#include "harness/cost_model.h"
+#include "harness/host.h"
+#include "harness/metrics.h"
+#include "harness/server.h"
+#include "kv/workload.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace praft::harness {
+
+/// World configuration for one simulated deployment (the paper's §5 testbed:
+/// one replica per region, clients co-located with their regional replica).
+struct ClusterConfig {
+  int num_replicas = 5;
+  std::vector<SiteId> replica_sites;  // default: replica i at site i
+  sim::LatencyMatrix latency = sim::LatencyMatrix::aws5();
+  /// Per-site egress bandwidth for REPLICA nodes, bytes/us (0 = unlimited).
+  std::vector<double> replica_egress;
+  CostModel costs;
+  uint64_t seed = 1;
+};
+
+/// Builds and owns a full simulated deployment: simulator, network, replica
+/// hosts + servers, and closed-loop clients.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+
+  using ServerFactory = std::function<std::unique_ptr<ReplicaServer>(
+      NodeHost& host, const consensus::Group& group)>;
+
+  /// Creates the replica nodes (ids 0..n-1) and starts their servers.
+  void build_replicas(const ServerFactory& factory);
+
+  /// Adds `per_region` clients next to every replica, starting at `start_at`.
+  void add_clients(int per_region, const kv::WorkloadConfig& wl, Time start_at);
+
+  /// Creates an extra endpoint at `site` (tests drive hand-rolled clients).
+  NodeHost& make_host(SiteId site) {
+    client_hosts_.push_back(std::make_unique<NodeHost>(sim_, net_, site));
+    return *client_hosts_.back();
+  }
+
+  /// Forces `preferred` to run for leadership and waits until it (or anyone)
+  /// leads. Returns the leader replica index, or -1 on timeout.
+  int establish_leader(int preferred, Duration deadline = sec(30));
+
+  void run_until(Time t) { sim_.run_until(t); }
+  void run_for(Duration d) { sim_.run_for(d); }
+
+  /// Stops all clients (used by tests to let the cluster quiesce).
+  void stop_clients() {
+    for (auto& c : clients_) c->stop();
+  }
+
+  [[nodiscard]] int leader_replica() const;
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Network& net() { return net_; }
+  Metrics& metrics() { return metrics_; }
+  ReplicaServer& server(int i) { return *servers_[static_cast<size_t>(i)]; }
+  [[nodiscard]] int num_replicas() const {
+    return static_cast<int>(servers_.size());
+  }
+  [[nodiscard]] const consensus::Group& group_template() const {
+    return group_template_;
+  }
+  [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
+  [[nodiscard]] uint64_t client_retries() const;
+
+ private:
+  ClusterConfig cfg_;
+  sim::Simulator sim_;
+  sim::Network net_;
+  Metrics metrics_;
+  consensus::Group group_template_;  // self = kNoNode; members = replica ids
+  std::vector<std::unique_ptr<NodeHost>> replica_hosts_;
+  std::vector<std::unique_ptr<ReplicaServer>> servers_;
+  std::vector<std::unique_ptr<NodeHost>> client_hosts_;
+  std::vector<std::unique_ptr<ClosedLoopClient>> clients_;
+};
+
+}  // namespace praft::harness

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "common/types.h"
+
+namespace praft::harness {
+
+/// Per-node CPU service costs. These are the calibration constants behind the
+/// CPU-bound throughput figures (DESIGN.md §6): the Raft leader's per-op work
+/// is client_request (decode, propose, amortized fsync, reply) and it
+/// saturates first; Mencius spreads that cost over all replicas.
+struct CostModel {
+  bool enabled = true;
+  Duration message_base = usec(4);    // fixed cost to receive any message
+  Duration client_request = usec(22); // full client-op handling at the serving
+                                      // node (leader, or Mencius owner)
+  Duration forward_handle = usec(6);  // follower relaying a client op
+  Duration entry_follower = usec(14); // per log entry applied from an append
+                                      // (fsync amortization, dedup — etcd's
+                                      // follower path is not cheap)
+  Duration per_4kb = usec(6);         // additional cost per 4 KiB of payload
+
+  [[nodiscard]] Duration size_cost(size_t bytes) const {
+    return static_cast<Duration>(
+        static_cast<double>(per_4kb) * static_cast<double>(bytes) / 4096.0);
+  }
+};
+
+}  // namespace praft::harness

@@ -1,0 +1,134 @@
+#include "harness/experiment.h"
+
+#include "common/check.h"
+#include "harness/log_server.h"
+#include "mencius/server.h"
+#include "pql/leader_lease.h"
+#include "pql/raftstar_pql.h"
+#include "sim/resources.h"
+
+namespace praft::harness {
+
+const char* system_name(SystemKind k) {
+  switch (k) {
+    case SystemKind::kRaft: return "Raft";
+    case SystemKind::kRaftStar: return "Raft*";
+    case SystemKind::kPaxos: return "MultiPaxos";
+    case SystemKind::kRaftStarPql: return "Raft*-PQL";
+    case SystemKind::kRaftStarLL: return "Raft*-LL";
+    case SystemKind::kRaftStarMencius: return "Raft*-Mencius";
+  }
+  return "?";
+}
+
+LatencySummary summarize(const Histogram& h) {
+  LatencySummary s;
+  s.count = h.count();
+  s.p50 = h.percentile(50);
+  s.p90 = h.percentile(90);
+  s.p99 = h.percentile(99);
+  return s;
+}
+
+namespace {
+
+template <typename Opt>
+Opt wan_options() {
+  Opt o;
+  o.election_timeout_min = msec(1200);
+  o.election_timeout_max = msec(2400);
+  o.heartbeat_interval = msec(150);
+  o.batch_delay = msec(1);
+  return o;
+}
+
+Cluster::ServerFactory make_server_factory(const ExperimentConfig& cfg,
+                                           const CostModel& costs) {
+  switch (cfg.system) {
+    case SystemKind::kRaft:
+      return [costs](NodeHost& h, const consensus::Group& g) {
+        return std::make_unique<RaftServer>(h, g, costs,
+                                            wan_options<raft::Options>());
+      };
+    case SystemKind::kRaftStar:
+      return [costs](NodeHost& h, const consensus::Group& g) {
+        return std::make_unique<RaftStarServer>(
+            h, g, costs, wan_options<raftstar::Options>());
+      };
+    case SystemKind::kPaxos:
+      return [costs](NodeHost& h, const consensus::Group& g) {
+        return std::make_unique<PaxosServer>(h, g, costs,
+                                             wan_options<paxos::Options>());
+      };
+    case SystemKind::kRaftStarPql:
+      return [costs, cfg](NodeHost& h, const consensus::Group& g) {
+        pql::PqlOptions popt;  // PQL paper leases: 2 s / 0.5 s renew (§5.1)
+        popt.include_leader_grants = cfg.pql_include_leader_grants;
+        return std::make_unique<pql::RaftStarPqlServer>(
+            h, g, costs, wan_options<raftstar::Options>(), popt);
+      };
+    case SystemKind::kRaftStarLL:
+      return [costs](NodeHost& h, const consensus::Group& g) {
+        return std::make_unique<pql::LeaderLeaseServer>(
+            h, g, costs, wan_options<raftstar::Options>());
+      };
+    case SystemKind::kRaftStarMencius:
+      return [costs, cfg](NodeHost& h, const consensus::Group& g) {
+        mencius::Options mopt;
+        mopt.decide_own_skips = cfg.mencius_full_port;
+        return std::make_unique<mencius::MenciusServer>(h, g, costs, mopt);
+      };
+  }
+  PRAFT_CHECK_MSG(false, "unknown system");
+  return {};
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  ClusterConfig cc;
+  cc.seed = cfg.seed;
+  cc.costs.enabled = cfg.model_cpu;
+  if (cfg.model_bandwidth) {
+    // Per-site NIC egress (DESIGN.md §6): Oregon has the paper's 750 Mbps;
+    // Seoul the weakest uplink (drives Raft-Oregon ≈ +30% over Raft-Seoul).
+    const double mbps[5] = {750, 700, 650, 700, 560};
+    for (double m : mbps) {
+      cc.replica_egress.push_back(sim::EgressLink::mbps_to_bytes_per_us(m));
+    }
+  }
+  Cluster cluster(cc);
+  cluster.build_replicas(make_server_factory(cfg, cc.costs));
+
+  if (cfg.system != SystemKind::kRaftStarMencius) {
+    const int leader = cluster.establish_leader(cfg.leader_replica);
+    PRAFT_CHECK_MSG(leader == cfg.leader_replica,
+                    "could not establish the requested leader");
+  } else {
+    cluster.run_for(msec(500));  // let status beats flow
+  }
+
+  const Time t0 = cluster.sim().now();
+  cluster.metrics().set_window(t0 + cfg.warmup, t0 + cfg.warmup + cfg.run);
+  cluster.add_clients(cfg.clients_per_region, cfg.workload, t0);
+  cluster.run_until(t0 + cfg.warmup + cfg.run + cfg.cooldown);
+
+  ExperimentResult res;
+  res.leader_replica = cfg.leader_replica;
+  res.throughput_ops = cluster.metrics().throughput_ops();
+  res.client_retries = cluster.client_retries();
+  const SiteId leader_site =
+      cluster.config().replica_sites[static_cast<size_t>(cfg.leader_replica)];
+  std::vector<SiteId> follower_sites;
+  for (SiteId s = 0; s < cluster.config().latency.num_sites(); ++s) {
+    if (s != leader_site) follower_sites.push_back(s);
+  }
+  res.leader_reads = summarize(cluster.metrics().reads(leader_site));
+  res.leader_writes = summarize(cluster.metrics().writes(leader_site));
+  res.follower_reads = summarize(cluster.metrics().merged_reads(follower_sites));
+  res.follower_writes =
+      summarize(cluster.metrics().merged_writes(follower_sites));
+  return res;
+}
+
+}  // namespace praft::harness

@@ -1,0 +1,29 @@
+#include "harness/host.h"
+
+#include <memory>
+
+namespace praft::harness {
+
+NodeHost::NodeHost(sim::Simulator& sim, sim::Network& net, SiteId site,
+                   double egress_bytes_per_us)
+    : sim_(sim), net_(net), site_(site), rng_(sim.rng().split()) {
+  id_ = net_.add_node(site, [this](net::Packet&& p) { deliver(std::move(p)); },
+                      egress_bytes_per_us);
+}
+
+void NodeHost::deliver(net::Packet&& p) {
+  if (handler_ == nullptr) return;
+  const Duration cost = handler_->cost_of(p);
+  if (cost <= 0) {
+    handler_->handle(p);
+    return;
+  }
+  const Time done = cpu_.enqueue(sim_.now(), cost);
+  // The packet waits in the CPU queue; processing completes at `done`.
+  auto shared = std::make_shared<net::Packet>(std::move(p));
+  sim_.at(done, [this, shared] {
+    if (handler_ != nullptr) handler_->handle(*shared);
+  });
+}
+
+}  // namespace praft::harness

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <functional>
+
+#include "common/rng.h"
+#include "consensus/env.h"
+#include "net/packet.h"
+#include "sim/network.h"
+#include "sim/resources.h"
+#include "sim/simulator.h"
+
+namespace praft::harness {
+
+/// Receives packets (after CPU-cost accounting) from a NodeHost.
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void handle(const net::Packet& p) = 0;
+  /// CPU service time to process this packet (0 = free).
+  [[nodiscard]] virtual Duration cost_of(const net::Packet& p) const {
+    (void)p;
+    return 0;
+  }
+};
+
+/// Binds one simulated machine: a network endpoint, a serial CPU and the
+/// sans-io Env a protocol node talks to. Delivery order: network -> CPU
+/// queue (service time from the handler's cost model) -> handle().
+class NodeHost final : public consensus::Env {
+ public:
+  NodeHost(sim::Simulator& sim, sim::Network& net, SiteId site,
+           double egress_bytes_per_us = 0.0);
+
+  void attach(PacketHandler* handler) { handler_ = handler; }
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] SiteId site() const { return site_; }
+  [[nodiscard]] Duration cpu_busy() const { return cpu_.busy_time(); }
+
+  // consensus::Env
+  [[nodiscard]] Time now() const override { return sim_.now(); }
+  void send(NodeId to, std::any payload, size_t bytes) override {
+    net_.send(id_, to, std::move(payload), bytes);
+  }
+  void schedule(Duration delay, std::function<void()> fn) override {
+    sim_.after(delay, std::move(fn));
+  }
+  uint64_t random() override { return rng_.next(); }
+
+ private:
+  void deliver(net::Packet&& p);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  SiteId site_;
+  NodeId id_;
+  Rng rng_;
+  sim::SerialResource cpu_;
+  PacketHandler* handler_ = nullptr;
+};
+
+}  // namespace praft::harness

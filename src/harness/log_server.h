@@ -1,0 +1,157 @@
+#pragma once
+
+#include "common/check.h"
+#include "harness/protocols.h"
+#include "harness/server.h"
+
+namespace praft::harness {
+
+/// Replica adapter for log-replicating protocols (Raft, Raft*, MultiPaxos):
+/// client requests (reads AND writes — the paper's baselines persist reads in
+/// the log, §4.4 "Paxos Quorum Lease") are submitted at the leader; follower
+/// replicas forward to the leader etcd-style and relay the reply.
+template <typename P>
+class LogServer : public ReplicaServer {
+ public:
+  LogServer(NodeHost& host, consensus::Group group, CostModel costs,
+            typename P::Options opt = {})
+      : ReplicaServer(host, costs), node_(std::move(group), host, opt) {
+    node_.set_apply([this](consensus::LogIndex i, const kv::Command& c) {
+      on_apply(i, c);
+    });
+  }
+
+  void start() override { node_.start(); }
+  [[nodiscard]] bool is_leader() const override { return node_.is_leader(); }
+  [[nodiscard]] NodeId leader_hint() const override {
+    return node_.leader_hint();
+  }
+  void trigger_election() override { node_.force_election(); }
+
+  typename P::Node& node() { return node_; }
+  [[nodiscard]] const typename P::Node& node() const { return node_; }
+
+  /// Test probe: observes every (index, command) this replica applies.
+  using ApplyProbe =
+      std::function<void(NodeId, consensus::LogIndex, const kv::Command&)>;
+  void set_apply_probe(ApplyProbe probe) { apply_probe_ = std::move(probe); }
+
+  void handle(const net::Packet& p) override {
+    if (net::payload_as<typename P::Message>(p) != nullptr) {
+      node_.on_packet(p);
+      return;
+    }
+    if (const auto* hm = net::payload_as<Message>(p)) {
+      on_harness_message(*hm);
+      return;
+    }
+    handle_other(p);
+  }
+
+  [[nodiscard]] Duration cost_of(const net::Packet& p) const override {
+    if (!costs_.enabled) return 0;
+    if (const auto* hm = net::payload_as<Message>(p)) {
+      if (std::holds_alternative<ClientRequest>(*hm)) {
+        return is_leader() ? costs_.client_request : costs_.forward_handle;
+      }
+      if (std::holds_alternative<Forward>(*hm)) return costs_.client_request;
+      return costs_.message_base;
+    }
+    if (const auto* pm = net::payload_as<typename P::Message>(p)) {
+      const auto entries = static_cast<Duration>(P::entry_count(*pm));
+      return costs_.message_base + entries * costs_.entry_follower +
+             costs_.size_cost(p.bytes);
+    }
+    return costs_.message_base;
+  }
+
+ protected:
+  /// Subclasses (PQL, LL) intercept extra message families here.
+  virtual void handle_other(const net::Packet& p) { (void)p; }
+
+  /// Subclasses may divert reads (lease-based local reads). Return true when
+  /// the request was fully handled.
+  virtual bool try_serve_read(const kv::Command& cmd, NodeId reply_to,
+                              bool via_forward, NodeId origin) {
+    (void)cmd;
+    (void)reply_to;
+    (void)via_forward;
+    (void)origin;
+    return false;
+  }
+
+  void on_harness_message(const Message& hm) {
+    if (const auto* req = std::get_if<ClientRequest>(&hm)) {
+      submit_or_forward(req->cmd, /*origin=*/kNoNode);
+    } else if (const auto* fwd = std::get_if<Forward>(&hm)) {
+      submit_or_forward(fwd->cmd, fwd->origin);
+    } else if (const auto* fr = std::get_if<ForwardReply>(&hm)) {
+      reply_to_client(fr->cmd.client, fr->cmd.seq, fr->value, fr->ok);
+    }
+    // ClientReply is never addressed to a server.
+  }
+
+  void submit_or_forward(const kv::Command& cmd, NodeId origin) {
+    if (cmd.is_read() &&
+        try_serve_read(cmd, cmd.client, origin != kNoNode, origin)) {
+      return;
+    }
+    if (node_.is_leader()) {
+      const consensus::LogIndex idx = node_.submit(cmd);
+      if (idx >= 0) {
+        pending_[idx] = PendingOp{cmd.client, origin, cmd.seq, cmd};
+        return;
+      }
+    }
+    const NodeId leader = node_.leader_hint();
+    if (origin == kNoNode) {
+      if (leader != kNoNode && leader != id()) {
+        Forward f{cmd, id()};
+        host_.send(leader, Message{f}, wire_size(f));
+      } else {
+        // No known leader yet (startup or failover window): re-attempt
+        // shortly instead of forcing the client into its long retry.
+        host_.schedule(msec(100),
+                       [this, cmd] { submit_or_forward(cmd, kNoNode); });
+      }
+    }
+    // Forwarded requests that miss the leader are dropped; the origin
+    // server's client retries end-to-end.
+  }
+
+  void on_apply(consensus::LogIndex idx, const kv::Command& cmd) {
+    const kv::ApplyResult res = store_.apply(cmd);
+    if (apply_probe_) apply_probe_(id(), idx, cmd);
+    on_applied_hook(idx, cmd);
+    auto it = pending_.find(idx);
+    if (it == pending_.end()) return;
+    const PendingOp op = it->second;
+    pending_.erase(it);
+    // A leader change may have replaced the entry at this index: reply only
+    // when the committed command is the one we proposed.
+    if (!(op.cmd == cmd)) return;
+    if (op.origin != kNoNode && op.origin != id()) {
+      ForwardReply fr{cmd, res.value, true};
+      host_.send(op.origin, Message{fr}, wire_size(fr));
+    } else {
+      reply_to_client(op.client, op.seq, res.value, true);
+    }
+  }
+
+  /// Subclass hook invoked after each apply (PQL wakes pending local reads).
+  virtual void on_applied_hook(consensus::LogIndex idx,
+                               const kv::Command& cmd) {
+    (void)idx;
+    (void)cmd;
+  }
+
+  typename P::Node node_;
+  PendingMap pending_;
+  ApplyProbe apply_probe_;
+};
+
+using RaftServer = LogServer<RaftProtocol>;
+using RaftStarServer = LogServer<RaftStarProtocol>;
+using PaxosServer = LogServer<PaxosProtocol>;
+
+}  // namespace praft::harness

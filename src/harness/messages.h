@@ -1,0 +1,50 @@
+#pragma once
+
+#include <variant>
+
+#include "consensus/types.h"
+#include "kv/command.h"
+
+namespace praft::harness {
+
+/// Client -> replica: execute one command.
+struct ClientRequest {
+  kv::Command cmd;
+};
+
+/// Replica -> client: result of a committed (or locally served) command.
+struct ClientReply {
+  uint64_t seq = 0;
+  uint64_t value = 0;
+  bool ok = true;
+  NodeId server = kNoNode;
+};
+
+/// Follower -> leader: etcd-style forwarding of client commands.
+struct Forward {
+  kv::Command cmd;
+  NodeId origin = kNoNode;  // the forwarding server
+};
+
+/// Leader -> forwarding server: result to relay to the client.
+struct ForwardReply {
+  kv::Command cmd;  // echoed for reply routing (client/seq) and read values
+  uint64_t value = 0;
+  bool ok = true;
+};
+
+using Message = std::variant<ClientRequest, ClientReply, Forward, ForwardReply>;
+
+inline size_t wire_size(const ClientRequest& m) {
+  return consensus::wire::kSmallMsg + m.cmd.wire_bytes();
+}
+inline size_t wire_size(const ClientReply&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const Forward& m) {
+  return consensus::wire::kSmallMsg + m.cmd.wire_bytes();
+}
+inline size_t wire_size(const ForwardReply&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const Message& m) {
+  return std::visit([](const auto& x) { return wire_size(x); }, m);
+}
+
+}  // namespace praft::harness

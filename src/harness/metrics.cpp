@@ -1,0 +1,40 @@
+#include "harness/metrics.h"
+
+namespace praft::harness {
+
+void Metrics::record(Time now, SiteId site, bool is_read, Duration latency) {
+  if (!in_window(now)) return;
+  ++completed_;
+  auto& h = by_site_[site];
+  (is_read ? h.reads : h.writes).record(latency);
+}
+
+double Metrics::throughput_ops() const {
+  const Time span = window_end_ - window_start_;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(completed_) * 1e6 / static_cast<double>(span);
+}
+
+const Histogram& Metrics::reads(SiteId site) const {
+  auto it = by_site_.find(site);
+  return it == by_site_.end() ? empty_ : it->second.reads;
+}
+
+const Histogram& Metrics::writes(SiteId site) const {
+  auto it = by_site_.find(site);
+  return it == by_site_.end() ? empty_ : it->second.writes;
+}
+
+Histogram Metrics::merged_reads(const std::vector<SiteId>& sites) const {
+  Histogram out;
+  for (SiteId s : sites) out.merge(reads(s));
+  return out;
+}
+
+Histogram Metrics::merged_writes(const std::vector<SiteId>& sites) const {
+  Histogram out;
+  for (SiteId s : sites) out.merge(writes(s));
+  return out;
+}
+
+}  // namespace praft::harness

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace praft::harness {
+
+/// Collects per-site read/write latency histograms and a committed-op count
+/// within a measurement window (the paper trims warm-up and cool-down; §5).
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(Time window_start, Time window_end)
+      : window_start_(window_start), window_end_(window_end) {}
+
+  void set_window(Time start, Time end) {
+    window_start_ = start;
+    window_end_ = end;
+  }
+
+  /// Records one completed operation observed at `now` (reply time).
+  void record(Time now, SiteId site, bool is_read, Duration latency);
+
+  [[nodiscard]] int64_t completed() const { return completed_; }
+  [[nodiscard]] double throughput_ops() const;
+
+  [[nodiscard]] const Histogram& reads(SiteId site) const;
+  [[nodiscard]] const Histogram& writes(SiteId site) const;
+  /// Merged across the given sites.
+  [[nodiscard]] Histogram merged_reads(const std::vector<SiteId>& sites) const;
+  [[nodiscard]] Histogram merged_writes(const std::vector<SiteId>& sites) const;
+
+ private:
+  struct SiteHists {
+    Histogram reads;
+    Histogram writes;
+  };
+  [[nodiscard]] bool in_window(Time t) const {
+    return t >= window_start_ && t < window_end_;
+  }
+
+  Time window_start_ = 0;
+  Time window_end_ = kTimeMax;
+  int64_t completed_ = 0;
+  std::map<SiteId, SiteHists> by_site_;
+  Histogram empty_;
+};
+
+}  // namespace praft::harness

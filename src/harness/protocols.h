@@ -1,0 +1,59 @@
+#pragma once
+
+#include <variant>
+
+#include "paxos/messages.h"
+#include "paxos/node.h"
+#include "raft/messages.h"
+#include "raft/node.h"
+#include "raftstar/messages.h"
+#include "raftstar/node.h"
+
+namespace praft::harness {
+
+/// Protocol traits consumed by LogServer<P>: the node type, its message
+/// variant, options, and how many log entries a message carries (for CPU
+/// cost accounting).
+struct RaftProtocol {
+  using Node = raft::RaftNode;
+  using Message = raft::Message;
+  using Options = raft::Options;
+  static constexpr const char* kName = "Raft";
+  static size_t entry_count(const Message& m) {
+    if (const auto* ae = std::get_if<raft::AppendEntries>(&m)) {
+      return ae->entries.size();
+    }
+    return 0;
+  }
+};
+
+struct RaftStarProtocol {
+  using Node = raftstar::RaftStarNode;
+  using Message = raftstar::Message;
+  using Options = raftstar::Options;
+  static constexpr const char* kName = "Raft*";
+  static size_t entry_count(const Message& m) {
+    if (const auto* ae = std::get_if<raftstar::AppendEntries>(&m)) {
+      return ae->entries.size();
+    }
+    return 0;
+  }
+};
+
+struct PaxosProtocol {
+  using Node = paxos::PaxosNode;
+  using Message = paxos::Message;
+  using Options = paxos::Options;
+  static constexpr const char* kName = "MultiPaxos";
+  static size_t entry_count(const Message& m) {
+    if (const auto* ab = std::get_if<paxos::AcceptBatch>(&m)) {
+      return ab->cmds.size();
+    }
+    if (const auto* po = std::get_if<paxos::PrepareOk>(&m)) {
+      return po->accepted.size();
+    }
+    return 0;
+  }
+};
+
+}  // namespace praft::harness

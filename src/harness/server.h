@@ -1,0 +1,54 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "harness/cost_model.h"
+#include "harness/host.h"
+#include "harness/messages.h"
+#include "kv/store.h"
+
+namespace praft::harness {
+
+/// Base class for replica adapters: owns the KV state machine and the
+/// client-facing request plumbing; concrete adapters wire a protocol node in.
+class ReplicaServer : public PacketHandler {
+ public:
+  ReplicaServer(NodeHost& host, CostModel costs)
+      : host_(host), costs_(costs) {
+    host_.attach(this);
+  }
+
+  virtual void start() = 0;
+  [[nodiscard]] virtual bool is_leader() const = 0;
+  [[nodiscard]] virtual NodeId leader_hint() const = 0;
+  /// Kicks off an immediate election attempt (used to pin the leader site).
+  virtual void trigger_election() {}
+
+  [[nodiscard]] NodeId id() const { return host_.id(); }
+  [[nodiscard]] SiteId site() const { return host_.site(); }
+  [[nodiscard]] const kv::KvStore& store() const { return store_; }
+  [[nodiscard]] NodeHost& host() { return host_; }
+
+ protected:
+  void reply_to_client(NodeId client, uint64_t seq, uint64_t value, bool ok) {
+    ClientReply r{seq, value, ok, id()};
+    host_.send(client, Message{r}, wire_size(r));
+  }
+
+  NodeHost& host_;
+  CostModel costs_;
+  kv::KvStore store_;
+};
+
+/// Pending client-op bookkeeping shared by log-replicating adapters: maps a
+/// log index to where the reply must go once the entry executes.
+struct PendingOp {
+  NodeId client = kNoNode;   // reply directly to this client...
+  NodeId origin = kNoNode;   // ...or relay via this forwarding server
+  uint64_t seq = 0;
+  kv::Command cmd;           // for identity verification after leader changes
+};
+
+using PendingMap = std::unordered_map<int64_t, PendingOp>;
+
+}  // namespace praft::harness

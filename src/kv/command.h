@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace praft::kv {
+
+enum class Op : uint8_t {
+  kNoop = 0,  // consensus-internal filler (leader no-ops, Mencius skips)
+  kGet = 1,
+  kPut = 2,
+};
+
+/// A state-machine command. Values are modeled as (token, size): the token is
+/// a 64-bit stand-in for the payload contents (sufficient for linearizability
+/// checking) and `value_size` is the modeled wire size used for bandwidth
+/// accounting — the paper's 8 B vs 4 KB workloads differ only here.
+struct Command {
+  Op op = Op::kNoop;
+  uint64_t key = 0;
+  uint64_t value = 0;
+  uint32_t value_size = 8;
+  NodeId client = kNoNode;
+  uint64_t seq = 0;
+
+  [[nodiscard]] bool is_noop() const { return op == Op::kNoop; }
+  [[nodiscard]] bool is_read() const { return op == Op::kGet; }
+  [[nodiscard]] bool is_write() const { return op == Op::kPut; }
+
+  /// Modeled wire size of this command inside a log entry / message.
+  [[nodiscard]] size_t wire_bytes() const {
+    constexpr size_t kHeader = 24;  // op+key+ids
+    return kHeader + (op == Op::kPut ? value_size : 0);
+  }
+
+  friend bool operator==(const Command& a, const Command& b) {
+    return a.op == b.op && a.key == b.key && a.value == b.value &&
+           a.client == b.client && a.seq == b.seq;
+  }
+};
+
+/// Builds a no-op command (used by leaders at term start and Mencius skips).
+inline Command noop_command() { return Command{}; }
+
+}  // namespace praft::kv

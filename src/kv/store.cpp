@@ -1,0 +1,43 @@
+#include "kv/store.h"
+
+namespace praft::kv {
+
+ApplyResult KvStore::apply(const Command& cmd) {
+  ++applied_;
+  switch (cmd.op) {
+    case Op::kNoop:
+      return {};
+    case Op::kGet: {
+      auto it = map_.find(cmd.key);
+      if (it == map_.end()) return {};
+      return {it->second.value, it->second.version};
+    }
+    case Op::kPut: {
+      auto& cell = map_[cmd.key];
+      cell.value = cmd.value;
+      ++cell.version;
+      return {cell.value, cell.version};
+    }
+  }
+  return {};
+}
+
+uint64_t KvStore::read_local(uint64_t key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? 0 : it->second.value;
+}
+
+uint64_t KvStore::fingerprint() const {
+  // XOR of per-entry mixes: order-insensitive, collision-unlikely for tests.
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const auto& [k, cell] : map_) {
+    uint64_t x = k * 0xbf58476d1ce4e5b9ull;
+    x ^= cell.value + 0x94d049bb133111ebull + (x << 6) + (x >> 2);
+    x ^= cell.version * 0x2545f4914f6cdd1dull;
+    x = (x ^ (x >> 33)) * 0xff51afd7ed558ccdull;
+    h ^= x ^ (x >> 29);
+  }
+  return h;
+}
+
+}  // namespace praft::kv

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "kv/command.h"
+
+namespace praft::kv {
+
+/// Result of applying one command to the store.
+struct ApplyResult {
+  uint64_t value = 0;   // for kGet: current value token (0 if absent)
+  uint64_t version = 0; // store version of the key after the operation
+};
+
+/// The replicated state machine: a key -> (value token, version) map.
+/// Deterministic and side-effect free; every replica applies the same command
+/// sequence and must reach the same state (checked in tests by fingerprint).
+class KvStore {
+ public:
+  ApplyResult apply(const Command& cmd);
+
+  /// Point read without going through the log (used by lease-based local
+  /// reads; the *protocol* is responsible for deciding when this is legal).
+  [[nodiscard]] uint64_t read_local(uint64_t key) const;
+
+  [[nodiscard]] size_t size() const { return map_.size(); }
+  [[nodiscard]] uint64_t applied_count() const { return applied_; }
+
+  /// Order-insensitive fingerprint of the full state; equal states hash equal.
+  [[nodiscard]] uint64_t fingerprint() const;
+
+ private:
+  struct Cell {
+    uint64_t value = 0;
+    uint64_t version = 0;
+  };
+  std::unordered_map<uint64_t, Cell> map_;
+  uint64_t applied_ = 0;
+};
+
+}  // namespace praft::kv

@@ -1,0 +1,36 @@
+#include "kv/workload.h"
+
+#include "common/check.h"
+
+namespace praft::kv {
+
+namespace {
+// The popular record every conflicting access touches. Kept outside all
+// region shards (key space starts at 1) so conflict_rate is exact.
+constexpr uint64_t kHotKey = 0;
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& cfg, int partition,
+                                     Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  PRAFT_CHECK(cfg.num_partitions > 0);
+  PRAFT_CHECK(partition >= 0 && partition < cfg.num_partitions);
+  const uint64_t per = cfg.num_records / static_cast<uint64_t>(cfg.num_partitions);
+  PRAFT_CHECK_MSG(per > 0, "too many partitions for key space");
+  shard_lo_ = 1 + static_cast<uint64_t>(partition) * per;
+  shard_size_ = per;
+}
+
+Command WorkloadGenerator::next(NodeId client, uint64_t seq) {
+  Command c;
+  c.client = client;
+  c.seq = seq;
+  c.value_size = cfg_.value_size;
+  c.op = rng_.chance(cfg_.read_fraction) ? Op::kGet : Op::kPut;
+  c.key = rng_.chance(cfg_.conflict_rate) ? kHotKey
+                                          : shard_lo_ + rng_.below(shard_size_);
+  if (c.op == Op::kPut) c.value = value_counter_++;
+  return c;
+}
+
+}  // namespace praft::kv

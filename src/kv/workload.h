@@ -1,0 +1,35 @@
+#pragma once
+
+#include "common/rng.h"
+#include "kv/command.h"
+
+namespace praft::kv {
+
+/// The paper's YCSB-like closed-loop workload (§5 "Workload"): each client
+/// issues get/put back-to-back; with probability `conflict_rate` it touches
+/// one globally popular record; otherwise it draws uniformly from its own
+/// region's partition of the key space.
+struct WorkloadConfig {
+  double read_fraction = 0.9;    // Fig. 9 default: 90% reads
+  double conflict_rate = 0.05;   // Fig. 9 default: 5%
+  uint64_t num_records = 100'000;
+  uint32_t value_size = 8;       // bytes; Fig. 10 uses 8 B and 4 KB
+  int num_partitions = 1;        // one per region (key space pre-partitioned)
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadConfig& cfg, int partition, Rng rng);
+
+  /// Next operation for `client` with client-local sequence number `seq`.
+  Command next(NodeId client, uint64_t seq);
+
+ private:
+  WorkloadConfig cfg_;
+  uint64_t shard_lo_;
+  uint64_t shard_size_;
+  Rng rng_;
+  uint64_t value_counter_ = 1;
+};
+
+}  // namespace praft::kv

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "consensus/types.h"
+#include "kv/command.h"
+
+namespace praft::mencius {
+
+using consensus::Ballot;
+using consensus::LogIndex;
+
+/// One (slot, value) pair proposed by a default leader.
+struct OwnItem {
+  LogIndex index = 0;
+  kv::Command cmd;
+};
+
+/// Ballot-0 fast path (coordinated Paxos): the default leader of these slots
+/// proposes values without a phase 1. `decided_floor` is the owner's
+/// watermark: all its own slots below it are decided at ballot 0 (or were
+/// self-skipped); `rev_floor` is the highest own slot it knows was revoked —
+/// receivers never auto-decide at or below it (see node.h).
+struct AcceptOwn {
+  NodeId owner = kNoNode;
+  std::vector<OwnItem> items;
+  LogIndex decided_floor = 0;
+  LogIndex rev_floor = -1;
+};
+
+struct AcceptOwnOk {
+  NodeId acceptor = kNoNode;
+  std::vector<LogIndex> indexes;
+};
+
+/// Rejection of ballot-0 proposals into revoked slots; `jump_past` tells the
+/// revived owner where its usable slot space resumes.
+struct AcceptOwnRej {
+  NodeId acceptor = kNoNode;
+  std::vector<LogIndex> indexes;
+  LogIndex jump_past = 0;
+};
+
+/// The owner skips its own slots in [lo, hi) — they are decided no-ops
+/// immediately (a coordinated-Paxos leader proposing no-op needs no phase 2
+/// quorum to be learnable; paper §A.3).
+struct SkipRange {
+  NodeId owner = kNoNode;
+  LogIndex lo = 0;
+  LogIndex hi = 0;
+};
+
+/// Periodic liveness + watermark beacon (failure detector for revocation).
+struct StatusBeat {
+  NodeId from = kNoNode;
+  LogIndex next_own = 0;
+  LogIndex decided_floor = 0;
+  LogIndex rev_floor = -1;
+};
+
+/// Repair: ask `to`'s owner about the authoritative state of its slots.
+struct LearnReq {
+  NodeId from = kNoNode;
+  LogIndex lo = 0;
+  LogIndex hi = 0;  // exclusive
+};
+
+struct SlotInfo {
+  LogIndex index = 0;
+  bool skipped = false;
+  kv::Command cmd;
+};
+
+/// Authoritative decided slots (from the owner, or from a revoker's decide
+/// broadcast).
+struct LearnVals {
+  NodeId from = kNoNode;
+  std::vector<SlotInfo> slots;
+};
+
+// --- Revocation: classic Paxos phase 1/2 over a crashed owner's slots. ---
+
+struct RevPrepare {
+  NodeId from = kNoNode;
+  Ballot bal;
+  NodeId owner = kNoNode;  // whose slots are being revoked
+  LogIndex lo = 0;
+  LogIndex hi = 0;  // exclusive
+};
+
+struct RevAccepted {
+  LogIndex index = 0;
+  Ballot bal;
+  bool has = false;
+  bool skipped = false;
+  kv::Command cmd;
+};
+
+struct RevPrepareOk {
+  NodeId from = kNoNode;
+  Ballot bal;
+  std::vector<RevAccepted> accepted;
+};
+
+struct RevAccept {
+  NodeId from = kNoNode;
+  Ballot bal;
+  std::vector<OwnItem> items;  // no-op cmd == skip
+};
+
+struct RevAcceptOk {
+  NodeId from = kNoNode;
+  Ballot bal;
+  std::vector<LogIndex> indexes;
+};
+
+using Message =
+    std::variant<AcceptOwn, AcceptOwnOk, AcceptOwnRej, SkipRange, StatusBeat,
+                 LearnReq, LearnVals, RevPrepare, RevPrepareOk, RevAccept,
+                 RevAcceptOk>;
+
+inline size_t wire_size(const AcceptOwn& m) {
+  size_t b = consensus::wire::kMsgHeader;
+  for (const auto& it : m.items) b += 8 + consensus::wire::entry_bytes(it.cmd);
+  return b;
+}
+inline size_t wire_size(const AcceptOwnOk& m) {
+  return consensus::wire::kSmallMsg + 8 * m.indexes.size();
+}
+inline size_t wire_size(const AcceptOwnRej& m) {
+  return consensus::wire::kSmallMsg + 8 * m.indexes.size();
+}
+inline size_t wire_size(const SkipRange&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const StatusBeat&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const LearnReq&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const LearnVals& m) {
+  size_t b = consensus::wire::kMsgHeader;
+  for (const auto& s : m.slots) b += 9 + consensus::wire::entry_bytes(s.cmd);
+  return b;
+}
+inline size_t wire_size(const RevPrepare&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const RevPrepareOk& m) {
+  size_t b = consensus::wire::kMsgHeader;
+  for (const auto& a : m.accepted) b += 24 + consensus::wire::entry_bytes(a.cmd);
+  return b;
+}
+inline size_t wire_size(const RevAccept& m) {
+  size_t b = consensus::wire::kMsgHeader;
+  for (const auto& it : m.items) b += 8 + consensus::wire::entry_bytes(it.cmd);
+  return b;
+}
+inline size_t wire_size(const RevAcceptOk& m) {
+  return consensus::wire::kSmallMsg + 8 * m.indexes.size();
+}
+inline size_t wire_size(const Message& m) {
+  return std::visit([](const auto& x) { return wire_size(x); }, m);
+}
+
+/// Log entries a message carries (for CPU cost accounting).
+inline size_t entry_count(const Message& m) {
+  if (const auto* a = std::get_if<AcceptOwn>(&m)) return a->items.size();
+  if (const auto* l = std::get_if<LearnVals>(&m)) return l->slots.size();
+  if (const auto* r = std::get_if<RevAccept>(&m)) return r->items.size();
+  if (const auto* p = std::get_if<RevPrepareOk>(&m)) return p->accepted.size();
+  return 0;
+}
+
+}  // namespace praft::mencius

@@ -1,0 +1,698 @@
+#include "mencius/node.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace praft::mencius {
+
+namespace {
+constexpr consensus::Term kDecidedBal = std::numeric_limits<consensus::Term>::max();
+}
+
+MenciusNode::MenciusNode(consensus::Group group, consensus::Env& env,
+                         Options opt)
+    : group_(std::move(group)), env_(env), opt_(opt) {
+  group_.validate();
+  rank_ = group_.rank_of(group_.self);
+  n_ = group_.n();
+  next_own_ = rank_;
+  for (NodeId m : group_.members) {
+    owner_floor_[m] = 0;
+    owner_rev_floor_[m] = -1;
+    last_heard_[m] = 0;
+  }
+}
+
+void MenciusNode::start() {
+  last_progress_ = env_.now();
+  arm_status_timer();
+}
+
+MenciusNode::Slot& MenciusNode::slot(LogIndex i) {
+  PRAFT_CHECK(i >= 0);
+  return slots_[i];
+}
+
+const MenciusNode::Slot* MenciusNode::slot_if(LogIndex i) const {
+  auto it = slots_.find(i);
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+LogIndex MenciusNode::own_decided_floor() const {
+  // Smallest own slot not known decided. Own slots below applied_ are
+  // decided by construction; walk the residue class from there.
+  LogIndex f = applied_ + ((rank_ - applied_) % n_ + n_) % n_;
+  while (true) {
+    if (f >= next_own_) break;  // unused slots are undecided by definition
+    const Slot* s = slot_if(f);
+    if (s == nullptr || s->st != St::kDecided) break;
+    f += n_;
+  }
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Proposing on own slots.
+// ---------------------------------------------------------------------------
+
+LogIndex MenciusNode::submit(const kv::Command& cmd) {
+  const LogIndex i = next_own_;
+  next_own_ += n_;
+  max_seen_ = std::max(max_seen_, i);
+  Slot& s = slot(i);
+  s.st = St::kValued;
+  s.cmd = cmd;
+  s.bal = Ballot{0, group_.self};
+  s.acks = {group_.self};
+  s.proposed_at = env_.now();
+  s.own_pending_ack = true;
+  own_unacked_.push_back(i);
+  slot_got_value(i, s);
+  pending_.push_back(OwnItem{i, cmd});
+  schedule_flush();
+  advance_floors();
+  return i;
+}
+
+void MenciusNode::schedule_flush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  env_.schedule(opt_.batch_delay, [this] {
+    flush_scheduled_ = false;
+    flush();
+  });
+}
+
+void MenciusNode::flush() {
+  if (!pending_.empty()) {
+    AcceptOwn ao;
+    ao.owner = group_.self;
+    ao.items = std::move(pending_);
+    pending_.clear();
+    ao.decided_floor = own_decided_floor();
+    ao.rev_floor = own_rev_floor_;
+    broadcast(Message{ao});
+  }
+  for (const auto& [lo, hi] : pending_skips_) {
+    broadcast(Message{SkipRange{group_.self, lo, hi}});
+  }
+  pending_skips_.clear();
+}
+
+void MenciusNode::broadcast(Message m) {
+  const size_t bytes = wire_size(m);
+  for (NodeId peer : group_.members) {
+    if (peer == group_.self) continue;
+    env_.send(peer, m, bytes);
+  }
+}
+
+void MenciusNode::skip_own_upto(LogIndex boundary) {
+  if (next_own_ >= boundary) return;
+  const LogIndex first = next_own_;
+  LogIndex last = first;
+  while (next_own_ < boundary) {
+    const LogIndex i = next_own_;
+    next_own_ += n_;
+    max_seen_ = std::max(max_seen_, i);
+    if (opt_.decide_own_skips) {
+      decide(i, kv::noop_command());
+    } else {
+      // Ablation A2: the broken hand-port forgets the implicit Phase2b at
+      // the proposer; the slot holds the no-op but is never decided here.
+      // (A skip is not a proposal, so the retransmission path must not
+      // resurrect it either — that is exactly what the hand-port lacks.)
+      Slot& s = slot(i);
+      if (s.st == St::kEmpty) {
+        s.st = St::kValued;
+        s.cmd = kv::noop_command();
+        s.bal = Ballot{0, group_.self};
+        s.proposed_at = kTimeMax / 2;
+      }
+    }
+    ++slots_skipped_;
+    last = i;
+  }
+  pending_skips_.emplace_back(first, last + 1);
+  schedule_flush();
+}
+
+// ---------------------------------------------------------------------------
+// Slot state transitions.
+// ---------------------------------------------------------------------------
+
+void MenciusNode::slot_got_value(LogIndex /*i*/, Slot& s) {
+  if (s.cmd.is_noop()) return;
+  ++unapplied_ops_[s.cmd.key];
+  if (s.cmd.is_write()) ++unapplied_writes_[s.cmd.key];
+}
+
+void MenciusNode::decide(LogIndex i, const kv::Command& cmd) {
+  if (i < applied_) return;
+  Slot& s = slot(i);
+  if (s.st == St::kDecided) return;
+  if (s.st == St::kValued) {
+    // A revocation may decide a different value than the one we hold.
+    if (!(s.cmd == cmd)) {
+      if (!s.cmd.is_noop()) {
+        --unapplied_ops_[s.cmd.key];
+        if (s.cmd.is_write()) --unapplied_writes_[s.cmd.key];
+      }
+      if (s.own_pending_ack) {
+        // Our proposal lost its slot to a revoker's no-op: re-propose it on
+        // a fresh own slot (the client sees one completion; the server
+        // adapter keys replies on (client, seq)).
+        const kv::Command lost = s.cmd;
+        s.own_pending_ack = false;
+        submit(lost);
+      }
+      s.cmd = cmd;
+      if (!cmd.is_noop()) {
+        ++unapplied_ops_[cmd.key];
+        if (cmd.is_write()) ++unapplied_writes_[cmd.key];
+      }
+    }
+  } else {
+    s.cmd = cmd;
+    slot_got_value(i, s);
+  }
+  s.st = St::kDecided;
+  s.bal = Ballot{kDecidedBal, kNoNode};
+  max_seen_ = std::max(max_seen_, i);
+}
+
+void MenciusNode::advance_floors() {
+  if (advancing_) return;  // decide()->submit() can re-enter; outer finishes
+  advancing_ = true;
+  advance_floors_inner();
+  advancing_ = false;
+}
+
+void MenciusNode::advance_floors_inner() {
+  if (info_floor_ < applied_) info_floor_ = applied_;
+  while (true) {
+    const Slot* s = slot_if(info_floor_);
+    if (s == nullptr || s->st == St::kEmpty) break;
+    ++info_floor_;
+  }
+  bool progressed = false;
+  while (true) {
+    auto it = slots_.find(applied_);
+    if (it == slots_.end() || it->second.st != St::kDecided) break;
+    Slot& s = it->second;
+    if (!s.cmd.is_noop()) {
+      --unapplied_ops_[s.cmd.key];
+      if (s.cmd.is_write()) --unapplied_writes_[s.cmd.key];
+    }
+    if (s.own_pending_ack && acked_) acked_(s.cmd);
+    if (apply_) apply_(applied_, s.cmd);
+    // Retain the decided value for revocation prepares (see on_rev_prepare).
+    decided_history_.emplace_back(applied_, s.cmd);
+    if (decided_history_.size() > kHistoryCap) decided_history_.pop_front();
+    slots_.erase(it);
+    ++applied_;
+    progressed = true;
+  }
+  if (progressed) last_progress_ = env_.now();
+  if (info_floor_ < applied_) info_floor_ = applied_;
+  try_ack_own();
+}
+
+bool MenciusNode::commutes_below(LogIndex i, const kv::Command& cmd) const {
+  // Conservative: counts cover ALL unexecuted valued slots (including slots
+  // above i, which execute after i anyway) — false conflicts only.
+  if (cmd.is_noop()) return true;
+  if (cmd.is_read()) {
+    auto it = unapplied_writes_.find(cmd.key);
+    return it == unapplied_writes_.end() || it->second == 0;
+  }
+  auto it = unapplied_ops_.find(cmd.key);
+  const int others = (it == unapplied_ops_.end() ? 0 : it->second) - 1;
+  return others <= 0;
+}
+
+void MenciusNode::try_ack_own() {
+  if (!acked_) {
+    own_unacked_.clear();
+    return;
+  }
+  for (auto it = own_unacked_.begin(); it != own_unacked_.end();) {
+    const LogIndex i = *it;
+    if (i < applied_) {
+      // Acked at apply time (or already re-proposed); drop the tracker.
+      it = own_unacked_.erase(it);
+      continue;
+    }
+    auto sit = slots_.find(i);
+    if (sit == slots_.end()) {
+      it = own_unacked_.erase(it);
+      continue;
+    }
+    Slot& s = sit->second;
+    if (!s.own_pending_ack) {
+      it = own_unacked_.erase(it);
+      continue;
+    }
+    // Early ack (the Mencius commutativity optimization, §5.2): our value is
+    // committed on a majority AND every earlier unexecuted slot is known and
+    // commutes with it.
+    if (s.st == St::kDecided && info_floor_ >= i &&
+        commutes_below(i, s.cmd)) {
+      s.own_pending_ack = false;
+      acked_(s.cmd);
+      it = own_unacked_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path message handlers.
+// ---------------------------------------------------------------------------
+
+void MenciusNode::note_owner_watermark(NodeId owner, LogIndex decided_floor,
+                                       LogIndex rev_floor) {
+  owner_floor_[owner] = std::max(owner_floor_[owner], decided_floor);
+  owner_rev_floor_[owner] = std::max(owner_rev_floor_[owner], rev_floor);
+  if (owner == group_.self) return;
+  // Auto-decide: a ballot-0 value from `owner` below its decided watermark
+  // (and above its revocation floor) IS the decided value — the owner is the
+  // only ballot-0 proposer of its slots.
+  const int orank = group_.rank_of(owner);
+  LogIndex i = applied_ + ((orank - applied_) % n_ + n_) % n_;
+  const LogIndex floor = owner_floor_[owner];
+  const LogIndex rf = owner_rev_floor_[owner];
+  for (; i < floor; i += n_) {
+    if (i <= rf) continue;  // revoked zone: explicit decides only
+    auto it = slots_.find(i);
+    if (it == slots_.end()) continue;
+    Slot& s = it->second;
+    if (s.st == St::kValued && s.bal == Ballot{0, owner}) {
+      decide(i, s.cmd);
+    }
+  }
+}
+
+void MenciusNode::on_accept_own(const AcceptOwn& m) {
+  last_heard_[m.owner] = env_.now();
+  AcceptOwnOk ok;
+  ok.acceptor = group_.self;
+  AcceptOwnRej rej;
+  rej.acceptor = group_.self;
+  LogIndex max_item = -1;
+  for (const OwnItem& item : m.items) {
+    max_seen_ = std::max(max_seen_, item.index);
+    max_item = std::max(max_item, item.index);
+    if (item.index < applied_) {
+      ok.indexes.push_back(item.index);  // long since decided; re-ack
+      continue;
+    }
+    Slot& s = slot(item.index);
+    if (s.promised > Ballot{0, m.owner}) {
+      rej.indexes.push_back(item.index);
+      rej.jump_past = std::max(rej.jump_past, owner_rev_floor_[m.owner]);
+      continue;
+    }
+    if (s.st == St::kEmpty) {
+      s.st = St::kValued;
+      s.cmd = item.cmd;
+      s.bal = Ballot{0, m.owner};
+      slot_got_value(item.index, s);
+    }
+    ok.indexes.push_back(item.index);
+  }
+  // Seeing someone else's slot i means our unused turns below i are dead
+  // weight for everyone: cede them (skip tags, paper §A.3).
+  if (max_item >= 0) skip_own_upto(max_item);
+  note_owner_watermark(m.owner, m.decided_floor, m.rev_floor);
+  if (!ok.indexes.empty()) {
+    env_.send(m.owner, Message{ok}, wire_size(ok));
+  }
+  if (!rej.indexes.empty()) {
+    env_.send(m.owner, Message{rej}, wire_size(rej));
+  }
+  advance_floors();
+}
+
+void MenciusNode::on_accept_own_ok(const AcceptOwnOk& m) {
+  for (LogIndex i : m.indexes) {
+    auto it = slots_.find(i);
+    if (it == slots_.end()) continue;
+    Slot& s = it->second;
+    if (s.st != St::kValued || !(s.bal == Ballot{0, group_.self})) continue;
+    bool dup = false;
+    for (NodeId a : s.acks) dup |= (a == m.acceptor);
+    if (dup) continue;
+    s.acks.push_back(m.acceptor);
+    if (static_cast<int>(s.acks.size()) >= group_.majority()) {
+      decide(i, s.cmd);  // committed on a majority at ballot 0
+    }
+  }
+  advance_floors();
+}
+
+void MenciusNode::on_accept_own_rej(const AcceptOwnRej& m) {
+  for (LogIndex i : m.indexes) {
+    own_rev_floor_ = std::max(own_rev_floor_, i);
+    auto it = slots_.find(i);
+    if (it == slots_.end()) continue;
+    Slot& s = it->second;
+    if (s.st == St::kValued && s.own_pending_ack) {
+      const kv::Command lost = s.cmd;
+      s.own_pending_ack = false;
+      submit(lost);  // re-propose on a fresh slot
+    }
+  }
+  while (next_own_ <= m.jump_past) next_own_ += n_;
+  advance_floors();
+}
+
+void MenciusNode::on_skip_range(const SkipRange& m) {
+  last_heard_[m.owner] = env_.now();
+  const int orank = group_.rank_of(m.owner);
+  LogIndex i = m.lo + (((orank - m.lo) % n_) + n_) % n_;
+  for (; i < m.hi; i += n_) {
+    if (i < applied_) continue;
+    decide(i, kv::noop_command());
+  }
+  max_seen_ = std::max(max_seen_, m.hi - 1);
+  advance_floors();
+}
+
+void MenciusNode::on_status(const StatusBeat& m) {
+  last_heard_[m.from] = env_.now();
+  // A peer's slot consumption drags our unused turns forward even when we
+  // never see its accepts directly (e.g. they raced past us).
+  note_owner_watermark(m.from, m.decided_floor, m.rev_floor);
+  advance_floors();
+}
+
+void MenciusNode::on_learn_req(const LearnReq& m) {
+  LearnVals lv;
+  lv.from = group_.self;
+  for (LogIndex i = m.lo; i < m.hi; ++i) {
+    if (owner_of(i) != group_.self) continue;
+    if (i < applied_) {
+      for (const auto& [idx, cmd] : decided_history_) {
+        if (idx == i) {
+          lv.slots.push_back(SlotInfo{i, cmd.is_noop(), cmd});
+          break;
+        }
+      }
+      continue;
+    }
+    const Slot* s = slot_if(i);
+    if (s != nullptr && s->st == St::kDecided) {
+      lv.slots.push_back(SlotInfo{i, s->cmd.is_noop(), s->cmd});
+    }
+  }
+  if (!lv.slots.empty()) env_.send(m.from, Message{lv}, wire_size(lv));
+}
+
+void MenciusNode::on_learn_vals(const LearnVals& m) {
+  for (const SlotInfo& si : m.slots) {
+    decide(si.index, si.skipped ? kv::noop_command() : si.cmd);
+  }
+  advance_floors();
+}
+
+// ---------------------------------------------------------------------------
+// Revocation (coordinated-Paxos phase 1/2 at ballots > 0, paper §A.3).
+// ---------------------------------------------------------------------------
+
+void MenciusNode::start_revocation(NodeId owner, LogIndex lo, LogIndex hi) {
+  if (rev_.active || hi <= lo) return;
+  ++revocations_;
+  rev_ = Revocation{};
+  rev_.active = true;
+  rev_.bal = Ballot{++rev_round_, group_.self};
+  rev_.owner = owner;
+  rev_.lo = lo;
+  rev_.hi = hi;
+  rev_.promises = {group_.self};
+  PRAFT_LOG(kInfo) << "mencius " << group_.self << " revokes slots of "
+                   << owner << " in [" << lo << "," << hi << ")";
+  // Self-promise, seeding with our own accepted values.
+  const int orank = group_.rank_of(owner);
+  LogIndex i = lo + (((orank - lo) % n_) + n_) % n_;
+  for (; i < hi; i += n_) {
+    if (i < applied_) continue;
+    Slot& s = slot(i);
+    if (rev_.bal > s.promised) s.promised = rev_.bal;
+    if (s.st != St::kEmpty) {
+      rev_.best[i] = RevAccepted{i, s.bal, true, s.cmd.is_noop(), s.cmd};
+    }
+  }
+  broadcast(Message{RevPrepare{group_.self, rev_.bal, owner, lo, hi}});
+}
+
+void MenciusNode::on_rev_prepare(const RevPrepare& m) {
+  RevPrepareOk ok;
+  ok.from = group_.self;
+  ok.bal = m.bal;
+  const int orank = group_.rank_of(m.owner);
+  LogIndex i = m.lo + (((orank - m.lo) % n_) + n_) % n_;
+  for (; i < m.hi; i += n_) {
+    if (i < applied_) {
+      // Already executed: report the decided value at the top ballot so the
+      // revoker cannot choose anything else.
+      for (const auto& [idx, cmd] : decided_history_) {
+        if (idx == i) {
+          ok.accepted.push_back(RevAccepted{i, Ballot{kDecidedBal, kNoNode},
+                                            true, cmd.is_noop(), cmd});
+          break;
+        }
+      }
+      continue;
+    }
+    Slot& s = slot(i);
+    if (m.bal <= s.promised) return;  // stale revoker: ignore whole prepare
+    s.promised = m.bal;
+    if (s.st != St::kEmpty) {
+      ok.accepted.push_back(RevAccepted{i, s.bal, true, s.cmd.is_noop(), s.cmd});
+    }
+  }
+  env_.send(m.from, Message{ok}, wire_size(ok));
+}
+
+void MenciusNode::on_rev_prepare_ok(const RevPrepareOk& m) {
+  if (!rev_.active || rev_.phase2 || !(m.bal == rev_.bal)) return;
+  bool dup = false;
+  for (NodeId a : rev_.promises) dup |= (a == m.from);
+  if (dup) return;
+  rev_.promises.push_back(m.from);
+  for (const RevAccepted& a : m.accepted) {
+    auto it = rev_.best.find(a.index);
+    if (it == rev_.best.end() || a.bal > it->second.bal) rev_.best[a.index] = a;
+  }
+  if (static_cast<int>(rev_.promises.size()) < group_.majority()) return;
+  // Phase 2: re-propose safe values, no-op (skip) everywhere else.
+  rev_.phase2 = true;
+  RevAccept ra;
+  ra.from = group_.self;
+  ra.bal = rev_.bal;
+  const int orank = group_.rank_of(rev_.owner);
+  LogIndex i = rev_.lo + (((orank - rev_.lo) % n_) + n_) % n_;
+  for (; i < rev_.hi; i += n_) {
+    auto it = rev_.best.find(i);
+    const kv::Command cmd =
+        (it != rev_.best.end() && it->second.has && !it->second.skipped)
+            ? it->second.cmd
+            : kv::noop_command();
+    ra.items.push_back(OwnItem{i, cmd});
+    Slot& s = slot(i);
+    if (i >= applied_) {
+      // Self-accept.
+      if (s.st != St::kDecided) {
+        if (s.st == St::kValued && !(s.cmd == cmd)) {
+          if (!s.cmd.is_noop()) {
+            --unapplied_ops_[s.cmd.key];
+            if (s.cmd.is_write()) --unapplied_writes_[s.cmd.key];
+          }
+          s.cmd = cmd;
+          if (!cmd.is_noop()) {
+            ++unapplied_ops_[cmd.key];
+            if (cmd.is_write()) ++unapplied_writes_[cmd.key];
+          }
+        } else if (s.st == St::kEmpty) {
+          s.cmd = cmd;
+          slot_got_value(i, s);
+        }
+        s.st = St::kValued;
+        s.bal = rev_.bal;
+      }
+      rev_.acks[i] = {group_.self};
+    }
+  }
+  broadcast(Message{ra});
+  advance_floors();
+}
+
+void MenciusNode::on_rev_accept(const RevAccept& m) {
+  RevAcceptOk ok;
+  ok.from = group_.self;
+  ok.bal = m.bal;
+  for (const OwnItem& item : m.items) {
+    if (item.index < applied_) {
+      ok.indexes.push_back(item.index);
+      continue;
+    }
+    Slot& s = slot(item.index);
+    if (m.bal < s.promised) continue;
+    s.promised = m.bal;
+    if (s.st != St::kDecided) {
+      if (s.st == St::kValued && !(s.cmd == item.cmd)) {
+        if (!s.cmd.is_noop()) {
+          --unapplied_ops_[s.cmd.key];
+          if (s.cmd.is_write()) --unapplied_writes_[s.cmd.key];
+        }
+        if (s.own_pending_ack) {
+          const kv::Command lost = s.cmd;
+          s.own_pending_ack = false;
+          submit(lost);
+        }
+        s.cmd = item.cmd;
+        if (!item.cmd.is_noop()) {
+          ++unapplied_ops_[item.cmd.key];
+          if (item.cmd.is_write()) ++unapplied_writes_[item.cmd.key];
+        }
+      } else if (s.st == St::kEmpty) {
+        s.cmd = item.cmd;
+        slot_got_value(item.index, s);
+      }
+      s.st = St::kValued;
+      s.bal = m.bal;
+    }
+    ok.indexes.push_back(item.index);
+    max_seen_ = std::max(max_seen_, item.index);
+  }
+  if (!ok.indexes.empty()) env_.send(m.from, Message{ok}, wire_size(ok));
+  advance_floors();
+}
+
+void MenciusNode::on_rev_accept_ok(const RevAcceptOk& m) {
+  if (!rev_.active || !(m.bal == rev_.bal)) return;
+  LearnVals lv;
+  lv.from = group_.self;
+  for (LogIndex i : m.indexes) {
+    auto ait = rev_.acks.find(i);
+    if (ait == rev_.acks.end()) continue;
+    bool dup = false;
+    for (NodeId a : ait->second) dup |= (a == m.from);
+    if (dup) continue;
+    ait->second.push_back(m.from);
+    if (static_cast<int>(ait->second.size()) == group_.majority()) {
+      const Slot* s = slot_if(i);
+      if (s != nullptr && i >= applied_) {
+        decide(i, s->cmd);
+        lv.slots.push_back(SlotInfo{i, s->cmd.is_noop(),
+                                    slot_if(i) != nullptr ? slot_if(i)->cmd
+                                                          : kv::noop_command()});
+      }
+    }
+  }
+  if (!lv.slots.empty()) broadcast(Message{lv});  // decide notice
+  // Finished when every slot in range is decided locally.
+  bool done = true;
+  const int orank = group_.rank_of(rev_.owner);
+  LogIndex i = rev_.lo + (((orank - rev_.lo) % n_) + n_) % n_;
+  for (; i < rev_.hi; i += n_) {
+    if (i < applied_) continue;
+    const Slot* s = slot_if(i);
+    if (s == nullptr || s->st != St::kDecided) {
+      done = false;
+      break;
+    }
+  }
+  if (done) rev_.active = false;
+  advance_floors();
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance loop.
+// ---------------------------------------------------------------------------
+
+void MenciusNode::arm_status_timer() {
+  env_.schedule(opt_.status_interval, [this] {
+    maintenance();
+    arm_status_timer();
+  });
+}
+
+void MenciusNode::maintenance() {
+  const Time now = env_.now();
+  broadcast(Message{StatusBeat{group_.self, next_own_, own_decided_floor(),
+                               own_rev_floor_}});
+
+  // Retransmit stale undecided own proposals.
+  AcceptOwn retrans;
+  retrans.owner = group_.self;
+  for (LogIndex i = applied_ + ((rank_ - applied_) % n_ + n_) % n_;
+       i < next_own_ && retrans.items.size() < 512; i += n_) {
+    const Slot* s = slot_if(i);
+    if (s != nullptr && s->st == St::kValued &&
+        s->bal == Ballot{0, group_.self} &&
+        now - s->proposed_at >= opt_.retransmit_age) {
+      retrans.items.push_back(OwnItem{i, s->cmd});
+    }
+  }
+  if (!retrans.items.empty()) {
+    retrans.decided_floor = own_decided_floor();
+    retrans.rev_floor = own_rev_floor_;
+    broadcast(Message{retrans});
+  }
+
+  // Execution stalled on someone's slot?
+  if (now - last_progress_ > opt_.learn_after && max_seen_ >= applied_) {
+    const NodeId blocker = owner_of(applied_);
+    if (blocker != group_.self) {
+      const LogIndex hi = std::min(max_seen_ + 1, applied_ + 256);
+      env_.send(blocker, Message{LearnReq{group_.self, applied_, hi}},
+                consensus::wire::kSmallMsg);
+      if (now - last_heard_[blocker] > opt_.revoke_timeout) {
+        start_revocation(blocker, applied_, max_seen_ + 1);
+      }
+    }
+  }
+  advance_floors();
+}
+
+// ---------------------------------------------------------------------------
+
+void MenciusNode::on_packet(const net::Packet& p) {
+  const auto* msg = net::payload_as<Message>(p);
+  PRAFT_CHECK_MSG(msg != nullptr, "mencius node got foreign payload");
+  std::visit(
+      [this](const auto& m) {
+        using M = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<M, AcceptOwn>) {
+          on_accept_own(m);
+        } else if constexpr (std::is_same_v<M, AcceptOwnOk>) {
+          on_accept_own_ok(m);
+        } else if constexpr (std::is_same_v<M, AcceptOwnRej>) {
+          on_accept_own_rej(m);
+        } else if constexpr (std::is_same_v<M, SkipRange>) {
+          on_skip_range(m);
+        } else if constexpr (std::is_same_v<M, StatusBeat>) {
+          on_status(m);
+        } else if constexpr (std::is_same_v<M, LearnReq>) {
+          on_learn_req(m);
+        } else if constexpr (std::is_same_v<M, LearnVals>) {
+          on_learn_vals(m);
+        } else if constexpr (std::is_same_v<M, RevPrepare>) {
+          on_rev_prepare(m);
+        } else if constexpr (std::is_same_v<M, RevPrepareOk>) {
+          on_rev_prepare_ok(m);
+        } else if constexpr (std::is_same_v<M, RevAccept>) {
+          on_rev_accept(m);
+        } else {
+          on_rev_accept_ok(m);
+        }
+      },
+      *msg);
+}
+
+}  // namespace praft::mencius

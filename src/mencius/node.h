@@ -1,0 +1,185 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "consensus/env.h"
+#include "consensus/group.h"
+#include "consensus/types.h"
+#include "mencius/messages.h"
+#include "net/packet.h"
+
+namespace praft::mencius {
+
+struct Options {
+  Duration batch_delay = msec(1);
+  Duration status_interval = msec(150);
+  /// Stale undecided slots of an unresponsive owner are revoked after this.
+  Duration revoke_timeout = msec(2500);
+  /// Retransmit own unacked proposals after this.
+  Duration retransmit_age = msec(400);
+  /// Ask an owner for authoritative slot state when a gap stalls execution
+  /// longer than this.
+  Duration learn_after = msec(500);
+  /// Ablation A2 (paper §A.4): the correct port applies the Mencius Phase2b
+  /// delta to EVERY Raft* action that implies Phase2b — including the
+  /// owner's own propose path, which must mark its own skips executable
+  /// immediately. A hand-port that only patched ReceiveAppend (false) leaves
+  /// the owner's own skip slots undecided locally and stalls its execution.
+  bool decide_own_skips = true;
+};
+
+/// Raft*-Mencius / Coordinated Raft* (paper §A.4, Appendix B.6): the slot
+/// space is partitioned round-robin, every replica is the *default leader*
+/// of its residue class and commits its own slots in one round trip from a
+/// majority. Skip tags let idle replicas cede their turns instantly, and a
+/// revocation path (classic phase 1/2 at ballots > 0) recovers the slots of
+/// a crashed owner. Execution is in slot order; the commutativity
+/// optimization acknowledges an op early when every earlier unexecuted slot
+/// holds a command it commutes with (paper §5.2).
+///
+/// Safety of the decided-watermark fast path: an owner proposes at most one
+/// value per own slot at ballot 0, so a replica holding a ballot-0 value for
+/// slot i may treat it as decided once the owner's watermark passes i —
+/// UNLESS the slot was revoked (decided at a ballot > 0, possibly with a
+/// different value). Owners therefore publish `rev_floor`, and slots at or
+/// below it decide only through explicit authoritative messages
+/// (LearnVals / the revoker's decide broadcast).
+class MenciusNode {
+ public:
+  MenciusNode(consensus::Group group, consensus::Env& env, Options opt = {});
+
+  void start();
+  void on_packet(const net::Packet& p);
+
+  /// Callbacks:
+  ///  apply(index, cmd)  — in slot order, exactly once per slot;
+  ///  acked(cmd)         — the moment this node's OWN proposal may be
+  ///                       acknowledged to the client (commit + commute
+  ///                       check), possibly before it executes.
+  void set_apply(consensus::ApplyFn fn) { apply_ = std::move(fn); }
+  using AckFn = std::function<void(const kv::Command&)>;
+  void set_acked(AckFn fn) { acked_ = std::move(fn); }
+
+  /// Proposes a command on this node's next own slot. Always succeeds
+  /// (every replica is a leader for its residue class). Returns the slot.
+  LogIndex submit(const kv::Command& cmd);
+
+  [[nodiscard]] NodeId id() const { return group_.self; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] LogIndex applied_floor() const { return applied_; }
+  [[nodiscard]] LogIndex next_own() const { return next_own_; }
+  [[nodiscard]] NodeId owner_of(LogIndex i) const {
+    return group_.members[static_cast<size_t>(i) % group_.members.size()];
+  }
+  [[nodiscard]] int64_t slots_skipped() const { return slots_skipped_; }
+  [[nodiscard]] int64_t revocations_started() const { return revocations_; }
+
+ private:
+  enum class St : uint8_t {
+    kEmpty = 0,
+    kValued,    // holds a value accepted at `bal`, not known decided
+    kDecided,   // final (skip => no-op command)
+  };
+  struct Slot {
+    St st = St::kEmpty;
+    kv::Command cmd;
+    Ballot bal;        // ballot of the held value ({0, owner} = fast path)
+    Ballot promised;   // revocation promise
+    std::vector<NodeId> acks;   // proposer side (owner or revoker)
+    Time proposed_at = 0;
+    bool own_pending_ack = false;  // our proposal, client not yet acked
+  };
+
+  void on_accept_own(const AcceptOwn& m);
+  void on_accept_own_ok(const AcceptOwnOk& m);
+  void on_accept_own_rej(const AcceptOwnRej& m);
+  void on_skip_range(const SkipRange& m);
+  void on_status(const StatusBeat& m);
+  void on_learn_req(const LearnReq& m);
+  void on_learn_vals(const LearnVals& m);
+  void on_rev_prepare(const RevPrepare& m);
+  void on_rev_prepare_ok(const RevPrepareOk& m);
+  void on_rev_accept(const RevAccept& m);
+  void on_rev_accept_ok(const RevAcceptOk& m);
+
+  void schedule_flush();
+  void flush();
+  void broadcast(Message m);
+  void arm_status_timer();
+  void maintenance();  // retransmit, learn-requests, revocation triggers
+  void note_owner_watermark(NodeId owner, LogIndex decided_floor,
+                            LogIndex rev_floor);
+  void skip_own_upto(LogIndex boundary);  // skip unused own slots < boundary
+  void decide(LogIndex i, const kv::Command& cmd);
+  void slot_got_value(LogIndex i, Slot& s);
+  void advance_floors();
+  void advance_floors_inner();
+  void try_ack_own();
+  void start_revocation(NodeId owner, LogIndex lo, LogIndex hi);
+  [[nodiscard]] bool commutes_below(LogIndex i, const kv::Command& cmd) const;
+  Slot& slot(LogIndex i);
+  [[nodiscard]] const Slot* slot_if(LogIndex i) const;
+  [[nodiscard]] LogIndex own_decided_floor() const;
+
+  consensus::Group group_;
+  consensus::Env& env_;
+  Options opt_;
+  int rank_;
+  int n_;
+
+  std::map<LogIndex, Slot> slots_;   // sparse; pruned below applied_
+  LogIndex applied_ = 0;             // slots < applied_ are executed
+  LogIndex info_floor_ = 0;          // slots < info_floor_ have st != kEmpty
+  LogIndex next_own_ = 0;            // smallest unused own slot
+  LogIndex max_seen_ = -1;           // largest slot index observed anywhere
+  LogIndex own_rev_floor_ = -1;      // highest own slot known revoked
+
+  // Per-owner published watermarks.
+  std::unordered_map<NodeId, LogIndex> owner_floor_;
+  std::unordered_map<NodeId, LogIndex> owner_rev_floor_;
+  std::unordered_map<NodeId, Time> last_heard_;
+
+  // Commutativity bookkeeping over unexecuted-but-valued slots.
+  std::unordered_map<uint64_t, int> unapplied_ops_;
+  std::unordered_map<uint64_t, int> unapplied_writes_;
+
+  // Pending own proposals not yet flushed.
+  std::vector<OwnItem> pending_;
+  bool flush_scheduled_ = false;
+  std::vector<std::pair<LogIndex, LogIndex>> pending_skips_;
+
+  // Own proposals whose clients have not been acknowledged yet.
+  std::vector<LogIndex> own_unacked_;
+
+  // Decided values retained after execution so revocation prepares can still
+  // report them (bounded ring; see on_rev_prepare).
+  static constexpr size_t kHistoryCap = 65536;
+  std::deque<std::pair<LogIndex, kv::Command>> decided_history_;
+
+  // Active revocation this node is running (one at a time).
+  struct Revocation {
+    bool active = false;
+    Ballot bal;
+    NodeId owner = kNoNode;
+    LogIndex lo = 0, hi = 0;
+    std::vector<NodeId> promises;
+    std::map<LogIndex, RevAccepted> best;  // highest-ballot accepted per slot
+    std::map<LogIndex, std::vector<NodeId>> acks;  // phase-2 acks per slot
+    bool phase2 = false;
+  } rev_;
+  consensus::Term rev_round_ = 0;  // ballot rounds used for revocations
+  Time last_progress_ = 0;
+
+  int64_t slots_skipped_ = 0;
+  int64_t revocations_ = 0;
+  bool advancing_ = false;
+
+  consensus::ApplyFn apply_;
+  AckFn acked_;
+};
+
+}  // namespace praft::mencius

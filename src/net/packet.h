@@ -1,0 +1,32 @@
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "common/types.h"
+
+namespace praft::net {
+
+/// A message in flight. The payload is type-erased so one network stack can
+/// carry every protocol's message set; `bytes` is the modeled wire size used
+/// for bandwidth accounting (the in-memory payload is never serialized).
+struct Packet {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  size_t bytes = 0;
+  std::any payload;
+};
+
+/// Delivery callback a node registers with the network.
+using DeliverFn = std::function<void(Packet&&)>;
+
+/// Convenience: extract a concrete message type from a packet payload.
+/// Returns nullptr when the payload holds a different type.
+template <typename M>
+const M* payload_as(const Packet& p) {
+  return std::any_cast<M>(&p.payload);
+}
+
+}  // namespace praft::net

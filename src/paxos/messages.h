@@ -1,0 +1,107 @@
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "consensus/types.h"
+#include "kv/command.h"
+
+namespace praft::paxos {
+
+using consensus::Ballot;
+using consensus::LogIndex;
+
+/// One accepted (ballot, value) pair for an instance, shipped in PrepareOk.
+struct AcceptedVal {
+  LogIndex index = 0;
+  Ballot bal;
+  kv::Command cmd;
+};
+
+/// Phase1a (Fig. 1): sent by a would-be leader with a fresh ballot.
+struct Prepare {
+  Ballot bal;
+  NodeId sender = kNoNode;
+  LogIndex from_index = 1;  // smallest unchosen instance id
+};
+
+/// Phase1b reply: accepted values for all instances >= from_index.
+struct PrepareOk {
+  Ballot bal;
+  NodeId sender = kNoNode;
+  std::vector<AcceptedVal> accepted;
+};
+
+/// Phase2a, batched: values for consecutive instances [start, start+n).
+/// `commit_floor` piggybacks the leader's contiguous-chosen watermark.
+struct AcceptBatch {
+  Ballot bal;
+  NodeId sender = kNoNode;
+  LogIndex start = 0;
+  std::vector<kv::Command> cmds;
+  LogIndex commit_floor = 0;
+};
+
+/// Phase2b reply for a whole batch.
+struct AcceptOkBatch {
+  Ballot bal;
+  NodeId sender = kNoNode;
+  LogIndex start = 0;
+  LogIndex count = 0;
+};
+
+/// Rejection of a Prepare or Accept because a higher ballot was promised.
+struct Reject {
+  Ballot bal;  // the higher ballot the receiver has seen
+  NodeId sender = kNoNode;
+};
+
+/// Leader liveness + commit watermark when there is no traffic.
+struct Heartbeat {
+  Ballot bal;
+  NodeId sender = kNoNode;
+  LogIndex commit_floor = 0;
+};
+
+/// A learner asking the leader for values it missed (holes below the floor).
+struct LearnRequest {
+  NodeId sender = kNoNode;
+  LogIndex from = 0;
+  LogIndex to = 0;
+};
+
+/// Explicit Learn: chosen values for instances [start, start+cmds.size()).
+struct LearnValues {
+  NodeId sender = kNoNode;
+  LogIndex start = 0;
+  std::vector<kv::Command> cmds;
+};
+
+using Message = std::variant<Prepare, PrepareOk, AcceptBatch, AcceptOkBatch,
+                             Reject, Heartbeat, LearnRequest, LearnValues>;
+
+inline size_t wire_size(const Prepare&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const Reject&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const Heartbeat&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const LearnRequest&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const AcceptOkBatch&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const PrepareOk& m) {
+  size_t b = consensus::wire::kMsgHeader;
+  for (const auto& a : m.accepted) b += consensus::wire::entry_bytes(a.cmd) + 16;
+  return b;
+}
+inline size_t wire_size(const AcceptBatch& m) {
+  size_t b = consensus::wire::kMsgHeader;
+  for (const auto& c : m.cmds) b += consensus::wire::entry_bytes(c);
+  return b;
+}
+inline size_t wire_size(const LearnValues& m) {
+  size_t b = consensus::wire::kMsgHeader;
+  for (const auto& c : m.cmds) b += consensus::wire::entry_bytes(c);
+  return b;
+}
+inline size_t wire_size(const Message& m) {
+  return std::visit([](const auto& x) { return wire_size(x); }, m);
+}
+
+}  // namespace praft::paxos

@@ -1,0 +1,405 @@
+#include "paxos/node.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace praft::paxos {
+
+PaxosNode::PaxosNode(consensus::Group group, consensus::Env& env, Options opt)
+    : group_(std::move(group)), env_(env), opt_(opt),
+      prepare_acks_(group_.majority()) {
+  group_.validate();
+  ballot_ = Ballot{0, kNoNode};
+}
+
+void PaxosNode::start() { arm_election_timer(); }
+
+PaxosNode::Instance& PaxosNode::inst(LogIndex i) {
+  PRAFT_CHECK(i >= 1);
+  return instances_[i];
+}
+
+const PaxosNode::Instance* PaxosNode::inst_if(LogIndex i) const {
+  auto it = instances_.find(i);
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+bool PaxosNode::chosen_at(LogIndex i) const {
+  if (i <= commit_floor_) return true;
+  const Instance* in = inst_if(i);
+  return in != nullptr && in->chosen;
+}
+
+const kv::Command* PaxosNode::value_at(LogIndex i) const {
+  const Instance* in = inst_if(i);
+  return (in != nullptr && in->has) ? &in->cmd : nullptr;
+}
+
+void PaxosNode::arm_election_timer() {
+  const uint64_t epoch = ++election_epoch_;
+  const Duration timeout = env_.random_range(opt_.election_timeout_min,
+                                             opt_.election_timeout_max);
+  env_.schedule(timeout, [this, epoch, timeout] {
+    if (epoch != election_epoch_) return;
+    if (!is_leader() && env_.now() - last_leader_seen_ >= timeout) {
+      start_prepare();
+    } else if (!is_leader() && applied_ < commit_floor_) {
+      request_missing(commit_floor_);  // re-ask for lost LearnValues
+    }
+    arm_election_timer();
+  });
+}
+
+void PaxosNode::start_prepare() {
+  // Phase1a: pick a ballot higher than anything seen, tagged with our id.
+  ballot_ = Ballot{ballot_.round + 1, group_.self};
+  phase1_succeeded_ = false;
+  preparing_ = true;
+  leader_ = kNoNode;
+  prepare_acks_ = consensus::QuorumTracker(group_.majority());
+  prepare_acks_.add(group_.self);
+  safe_vals_.clear();
+  // Self-promise: include our own accepted values.
+  for (LogIndex i = commit_floor_ + 1; i <= log_tail_; ++i) {
+    if (const Instance* in = inst_if(i); in != nullptr && in->has) {
+      safe_vals_[i] = AcceptedVal{i, in->bal, in->cmd};
+    }
+  }
+  last_leader_seen_ = env_.now();
+  PRAFT_LOG(kDebug) << "paxos " << group_.self << " prepare ballot ("
+                    << ballot_.round << "," << ballot_.node << ")";
+  Prepare p{ballot_, group_.self, commit_floor_ + 1};
+  for (NodeId peer : group_.members) {
+    if (peer == group_.self) continue;
+    env_.send(peer, Message{p}, wire_size(p));
+  }
+  if (prepare_acks_.reached()) finish_prepare();
+}
+
+void PaxosNode::on_prepare(const Prepare& m) {
+  if (m.bal > ballot_) {
+    ballot_ = m.bal;
+    phase1_succeeded_ = false;
+    preparing_ = false;
+    leader_ = m.sender;
+    last_leader_seen_ = env_.now();
+    PrepareOk ok;
+    ok.bal = ballot_;
+    ok.sender = group_.self;
+    for (LogIndex i = m.from_index; i <= log_tail_; ++i) {
+      if (const Instance* in = inst_if(i); in != nullptr && in->has) {
+        ok.accepted.push_back(AcceptedVal{i, in->bal, in->cmd});
+      }
+    }
+    env_.send(m.sender, Message{ok}, wire_size(ok));
+  } else {
+    Reject r{ballot_, group_.self};
+    env_.send(m.sender, Message{r}, wire_size(r));
+  }
+}
+
+void PaxosNode::on_prepare_ok(const PrepareOk& m) {
+  if (!preparing_ || m.bal != ballot_) return;
+  if (!prepare_acks_.add(m.sender)) return;
+  for (const AcceptedVal& a : m.accepted) {
+    auto it = safe_vals_.find(a.index);
+    if (it == safe_vals_.end() || a.bal > it->second.bal) {
+      safe_vals_[a.index] = a;
+    }
+  }
+  if (prepare_acks_.reached()) finish_prepare();
+}
+
+void PaxosNode::finish_prepare() {
+  preparing_ = false;
+  phase1_succeeded_ = true;
+  leader_ = group_.self;
+  PRAFT_LOG(kInfo) << "paxos " << group_.self << " leader at ballot ("
+                   << ballot_.round << "," << ballot_.node << ")";
+  // Re-propose every safe value in the unchosen range; fill holes with
+  // no-ops so execution can make progress (classic MultiPaxos recovery).
+  LogIndex max_seen = commit_floor_;
+  if (!safe_vals_.empty()) max_seen = std::max(max_seen, safe_vals_.rbegin()->first);
+  std::vector<kv::Command> cmds;
+  for (LogIndex i = commit_floor_ + 1; i <= max_seen; ++i) {
+    auto it = safe_vals_.find(i);
+    cmds.push_back(it != safe_vals_.end() ? it->second.cmd : kv::noop_command());
+  }
+  next_propose_ = max_seen + 1;
+  if (!cmds.empty()) propose_range(commit_floor_ + 1, cmds);
+  safe_vals_.clear();
+  arm_heartbeat(++heartbeat_epoch_);
+}
+
+void PaxosNode::arm_heartbeat(uint64_t epoch) {
+  env_.schedule(opt_.heartbeat_interval, [this, epoch] {
+    if (epoch != heartbeat_epoch_ || !is_leader()) return;
+    retransmit_unchosen();
+    Heartbeat hb{ballot_, group_.self, commit_floor_};
+    for (NodeId peer : group_.members) {
+      if (peer == group_.self) continue;
+      env_.send(peer, Message{hb}, wire_size(hb));
+    }
+    arm_heartbeat(epoch);
+  });
+}
+
+void PaxosNode::retransmit_unchosen() {
+  // Re-propose stale unchosen instances (lost accepts / lost acks).
+  constexpr LogIndex kMaxBatch = 512;
+  const Time cutoff = env_.now() - opt_.retransmit_age;
+  LogIndex first = 0;
+  for (LogIndex i = commit_floor_ + 1; i <= log_tail_; ++i) {
+    const Instance* in = inst_if(i);
+    if (in != nullptr && in->has && !in->chosen && in->proposed_at <= cutoff) {
+      first = i;
+      break;
+    }
+  }
+  if (first == 0) return;
+  const LogIndex last = std::min(log_tail_, first + kMaxBatch - 1);
+  std::vector<kv::Command> cmds;
+  for (LogIndex i = first; i <= last; ++i) {
+    const Instance* in = inst_if(i);
+    if (in == nullptr || !in->has) break;
+    cmds.push_back(in->cmd);
+  }
+  if (!cmds.empty()) propose_range(first, cmds);
+}
+
+LogIndex PaxosNode::submit(const kv::Command& cmd) {
+  if (!is_leader()) return -1;
+  pending_.push_back(cmd);
+  const LogIndex idx = next_propose_ + static_cast<LogIndex>(pending_.size()) - 1;
+  schedule_flush();
+  return idx;
+}
+
+void PaxosNode::schedule_flush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  env_.schedule(opt_.batch_delay, [this] {
+    flush_scheduled_ = false;
+    flush_batch();
+  });
+}
+
+void PaxosNode::flush_batch() {
+  if (!is_leader() || pending_.empty()) return;
+  const LogIndex start = next_propose_;
+  next_propose_ += static_cast<LogIndex>(pending_.size());
+  std::vector<kv::Command> cmds;
+  cmds.swap(pending_);
+  propose_range(start, cmds);
+}
+
+void PaxosNode::add_ack(Instance& in, const Ballot& b, NodeId who) {
+  if (in.acks_bal != b) {
+    in.acks.clear();
+    in.acks_bal = b;
+  }
+  for (NodeId n : in.acks) {
+    if (n == who) return;
+  }
+  in.acks.push_back(who);
+}
+
+void PaxosNode::propose_range(LogIndex start,
+                              const std::vector<kv::Command>& cmds) {
+  // Phase2a plus the proposer's implicit self-accept.
+  for (size_t k = 0; k < cmds.size(); ++k) {
+    const LogIndex i = start + static_cast<LogIndex>(k);
+    Instance& in = inst(i);
+    if (in.chosen) continue;  // retransmits may cover already-chosen slots
+    in.bal = ballot_;
+    in.cmd = cmds[k];
+    in.has = true;
+    in.proposed_at = env_.now();
+    add_ack(in, ballot_, group_.self);
+    log_tail_ = std::max(log_tail_, i);
+  }
+  AcceptBatch ab{ballot_, group_.self, start, cmds, commit_floor_};
+  for (NodeId peer : group_.members) {
+    if (peer == group_.self) continue;
+    env_.send(peer, Message{ab}, wire_size(ab));
+  }
+  if (group_.n() == 1) {
+    for (size_t k = 0; k < cmds.size(); ++k) {
+      mark_chosen(start + static_cast<LogIndex>(k));
+    }
+  }
+}
+
+void PaxosNode::on_accept(const AcceptBatch& m) {
+  if (m.bal < ballot_) {
+    Reject r{ballot_, group_.self};
+    env_.send(m.sender, Message{r}, wire_size(r));
+    return;
+  }
+  if (m.bal > ballot_) {
+    ballot_ = m.bal;
+    phase1_succeeded_ = false;
+    preparing_ = false;
+  }
+  leader_ = m.sender;
+  last_leader_seen_ = env_.now();
+  for (size_t k = 0; k < m.cmds.size(); ++k) {
+    const LogIndex i = m.start + static_cast<LogIndex>(k);
+    Instance& in = inst(i);
+    if (in.chosen) continue;  // never regress a locally-known chosen value
+    in.bal = m.bal;
+    in.cmd = m.cmds[k];
+    in.has = true;
+    log_tail_ = std::max(log_tail_, i);
+  }
+  if (m.commit_floor > commit_floor_) sync_to_floor(m.bal, m.commit_floor);
+  if (!m.cmds.empty()) {
+    AcceptOkBatch ok{m.bal, group_.self, m.start,
+                     static_cast<LogIndex>(m.cmds.size())};
+    env_.send(m.sender, Message{ok}, wire_size(ok));
+  }
+}
+
+void PaxosNode::on_accept_ok(const AcceptOkBatch& m) {
+  if (!is_leader() || m.bal != ballot_) return;
+  for (LogIndex k = 0; k < m.count; ++k) {
+    const LogIndex i = m.start + k;
+    Instance& in = inst(i);
+    if (in.chosen || !in.has || in.bal != m.bal) continue;
+    add_ack(in, m.bal, m.sender);
+    if (static_cast<int>(in.acks.size()) >= group_.majority()) mark_chosen(i);
+  }
+}
+
+void PaxosNode::mark_chosen(LogIndex i) {
+  Instance& in = inst(i);
+  if (in.chosen) return;
+  PRAFT_CHECK_MSG(in.has, "chosen instance without a value");
+  in.chosen = true;
+  advance_floor();
+}
+
+void PaxosNode::advance_floor() {
+  while (true) {
+    const Instance* in = inst_if(commit_floor_ + 1);
+    if (in == nullptr || !in->chosen) break;
+    ++commit_floor_;
+  }
+  // Execute the contiguous LOCALLY-CHOSEN prefix in order. Instances below
+  // the floor whose local value is stale (accepted at an older ballot than
+  // the one that chose) are repaired via LearnValues before execution.
+  while (applied_ < commit_floor_) {
+    const Instance* in = inst_if(applied_ + 1);
+    if (in == nullptr || !in->chosen) break;
+    ++applied_;
+    if (apply_) apply_(applied_, in->cmd);
+  }
+}
+
+void PaxosNode::sync_to_floor(const Ballot& sender_bal, LogIndex floor) {
+  for (LogIndex i = commit_floor_ + 1; i <= floor; ++i) {
+    Instance& in = inst(i);
+    // The sender (ballot owner) proposes exactly one value per instance per
+    // ballot, so a local value accepted at sender_bal IS the chosen value.
+    if (!in.chosen && in.has && in.bal == sender_bal) in.chosen = true;
+  }
+  commit_floor_ = std::max(commit_floor_, floor);
+  advance_floor();
+  request_missing(floor);
+}
+
+void PaxosNode::request_missing(LogIndex upto) {
+  if (leader_ == kNoNode || leader_ == group_.self) return;
+  LogIndex from = 0;
+  for (LogIndex i = applied_ + 1; i <= upto; ++i) {
+    const Instance* in = inst_if(i);
+    if (in == nullptr || !in->chosen) {
+      from = i;
+      break;
+    }
+  }
+  if (from != 0) {
+    LearnRequest lr{group_.self, from, upto};
+    env_.send(leader_, Message{lr}, wire_size(lr));
+  }
+}
+
+void PaxosNode::on_reject(const Reject& m) {
+  if (m.bal > ballot_) {
+    ballot_ = Ballot{m.bal.round, kNoNode};  // adopt the round; not a promise
+    phase1_succeeded_ = false;
+    preparing_ = false;
+    // Back off; the election timer retries Prepare with a higher round.
+  }
+}
+
+void PaxosNode::on_heartbeat(const Heartbeat& m) {
+  if (m.bal < ballot_) return;
+  if (m.bal > ballot_) {
+    ballot_ = m.bal;
+    phase1_succeeded_ = false;
+    preparing_ = false;
+  }
+  leader_ = m.sender;
+  last_leader_seen_ = env_.now();
+  if (m.commit_floor > commit_floor_) sync_to_floor(m.bal, m.commit_floor);
+}
+
+void PaxosNode::on_learn_request(const LearnRequest& m) {
+  LearnValues lv;
+  lv.sender = group_.self;
+  lv.start = m.from;
+  for (LogIndex i = m.from; i <= std::min(m.to, commit_floor_); ++i) {
+    const Instance* in = inst_if(i);
+    if (in == nullptr || !in->chosen) break;
+    lv.cmds.push_back(in->cmd);
+  }
+  if (!lv.cmds.empty()) env_.send(m.sender, Message{lv}, wire_size(lv));
+}
+
+void PaxosNode::on_learn_values(const LearnValues& m) {
+  // Values in a LearnValues are authoritative chosen values (served only
+  // from below the sender's floor): they overwrite stale local accepts.
+  for (size_t k = 0; k < m.cmds.size(); ++k) {
+    const LogIndex i = m.start + static_cast<LogIndex>(k);
+    if (i > commit_floor_) break;
+    Instance& in = inst(i);
+    if (in.chosen) continue;
+    in.cmd = m.cmds[k];
+    in.has = true;
+    in.chosen = true;
+    log_tail_ = std::max(log_tail_, i);
+  }
+  advance_floor();
+}
+
+void PaxosNode::on_packet(const net::Packet& p) {
+  const auto* msg = net::payload_as<Message>(p);
+  PRAFT_CHECK_MSG(msg != nullptr, "paxos node got foreign payload");
+  std::visit(
+      [this](const auto& m) {
+        using M = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<M, Prepare>) {
+          on_prepare(m);
+        } else if constexpr (std::is_same_v<M, PrepareOk>) {
+          on_prepare_ok(m);
+        } else if constexpr (std::is_same_v<M, AcceptBatch>) {
+          on_accept(m);
+        } else if constexpr (std::is_same_v<M, AcceptOkBatch>) {
+          on_accept_ok(m);
+        } else if constexpr (std::is_same_v<M, Reject>) {
+          on_reject(m);
+        } else if constexpr (std::is_same_v<M, Heartbeat>) {
+          on_heartbeat(m);
+        } else if constexpr (std::is_same_v<M, LearnRequest>) {
+          on_learn_request(m);
+        } else {
+          on_learn_values(m);
+        }
+      },
+      *msg);
+}
+
+}  // namespace praft::paxos

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "consensus/env.h"
+#include "consensus/group.h"
+#include "consensus/types.h"
+#include "net/packet.h"
+#include "paxos/messages.h"
+
+namespace praft::paxos {
+
+struct Options {
+  Duration election_timeout_min = msec(1200);
+  Duration election_timeout_max = msec(2400);
+  Duration heartbeat_interval = msec(150);
+  Duration batch_delay = msec(1);
+  /// Unchosen instances older than this are re-proposed on the heartbeat
+  /// tick (loss recovery; Raft gets the same effect from nextIndex probes).
+  Duration retransmit_age = msec(300);
+};
+
+/// MultiPaxos per the paper's Fig. 1 / Appendix B.1: a two-phase protocol
+/// where the phase-1 of many instances is batched ("a server becomes leader")
+/// and phase-2 runs one (batched) round trip per chosen value. Unlike Raft,
+/// instances commit out of order; execution still applies the contiguous
+/// chosen prefix in order. A proposer overwrites accepted (ballot, value)
+/// pairs and never erases them — the behaviour Raft* restores (paper §3).
+class PaxosNode {
+ public:
+  PaxosNode(consensus::Group group, consensus::Env& env, Options opt = {});
+
+  void start();
+  void on_packet(const net::Packet& p);
+
+  /// Leader-only: assigns the command the next free instance. Returns the
+  /// instance id, or -1 when not leader.
+  LogIndex submit(const kv::Command& cmd);
+
+  void set_apply(consensus::ApplyFn fn) { apply_ = std::move(fn); }
+
+  [[nodiscard]] bool is_leader() const {
+    return phase1_succeeded_ && ballot_.node == group_.self;
+  }
+  [[nodiscard]] NodeId leader_hint() const { return leader_; }
+  [[nodiscard]] Ballot ballot() const { return ballot_; }
+  /// All instances < this are chosen (contiguous watermark).
+  [[nodiscard]] LogIndex commit_floor() const { return commit_floor_; }
+  [[nodiscard]] LogIndex applied_index() const { return applied_; }
+  [[nodiscard]] NodeId id() const { return group_.self; }
+  [[nodiscard]] bool chosen_at(LogIndex i) const;
+  [[nodiscard]] const kv::Command* value_at(LogIndex i) const;
+
+  void force_election() { start_prepare(); }
+
+ private:
+  struct Instance {
+    Ballot bal;
+    kv::Command cmd;
+    bool has = false;
+    bool chosen = false;
+    Ballot acks_bal;
+    std::vector<NodeId> acks;  // deduped acceptors (incl. self) at acks_bal
+    Time proposed_at = 0;
+  };
+
+  void on_prepare(const Prepare& m);
+  void on_prepare_ok(const PrepareOk& m);
+  void on_accept(const AcceptBatch& m);
+  void on_accept_ok(const AcceptOkBatch& m);
+  void on_reject(const Reject& m);
+  void on_heartbeat(const Heartbeat& m);
+  void on_learn_request(const LearnRequest& m);
+  void on_learn_values(const LearnValues& m);
+
+  void arm_election_timer();
+  void arm_heartbeat(uint64_t epoch);
+  void start_prepare();
+  void finish_prepare();
+  void schedule_flush();
+  void flush_batch();
+  void propose_range(LogIndex start, const std::vector<kv::Command>& cmds);
+  void retransmit_unchosen();
+  void mark_chosen(LogIndex i);
+  void advance_floor();
+  /// Adopts a (possibly newer) contiguous-chosen watermark from a sender at
+  /// `sender_bal`: local values accepted at that same ballot are provably the
+  /// chosen ones; anything else below the floor is fetched via LearnRequest.
+  void sync_to_floor(const Ballot& sender_bal, LogIndex floor);
+  void request_missing(LogIndex upto);
+  static void add_ack(Instance& in, const Ballot& b, NodeId who);
+  Instance& inst(LogIndex i);
+  [[nodiscard]] const Instance* inst_if(LogIndex i) const;
+
+  consensus::Group group_;
+  consensus::Env& env_;
+  Options opt_;
+
+  Ballot ballot_;               // highest ballot seen (promise)
+  bool phase1_succeeded_ = false;
+  NodeId leader_ = kNoNode;
+  std::map<LogIndex, Instance> instances_;  // sparse: holes are real in Paxos
+  LogIndex commit_floor_ = 0;   // all instances <= floor are chosen
+  LogIndex applied_ = 0;
+  LogIndex next_propose_ = 1;   // leader's next unused instance id
+  LogIndex log_tail_ = 0;       // largest instance id with an accepted value
+
+  // Phase 1 (candidate) state.
+  bool preparing_ = false;
+  consensus::QuorumTracker prepare_acks_;
+  std::map<LogIndex, AcceptedVal> safe_vals_;  // highest-ballot per index
+
+  // Pending client batch (leader).
+  std::vector<kv::Command> pending_;
+  bool flush_scheduled_ = false;
+
+  Time last_leader_seen_ = 0;
+  uint64_t election_epoch_ = 0;
+  uint64_t heartbeat_epoch_ = 0;
+
+  consensus::ApplyFn apply_;
+};
+
+}  // namespace praft::paxos

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <list>
+#include <set>
+#include <unordered_map>
+
+#include "harness/log_server.h"
+#include "lease/manager.h"
+
+namespace praft::pql {
+
+struct PqlOptions {
+  lease::Options lease;
+  /// Ablation A1 — the paper's "handworked bug" (§A.2): a hand-port that
+  /// collects holder sets only from the f follower appendOKs and forgets the
+  /// holders granted by the leader itself. The automated port includes them
+  /// because f+1 Paxos acceptOKs map to f appendOKs plus the leader's
+  /// implicit one. Set false to reproduce the bug.
+  bool include_leader_grants = true;
+  /// How often the leader re-evaluates the commit gate (leases expire
+  /// asynchronously to append traffic).
+  Duration gate_retry = msec(50);
+};
+
+/// Raft*-PQL (paper Fig. 13): Raft* plus the ported Paxos Quorum Lease
+/// optimization, built exclusively from non-mutating hooks on RaftStarNode —
+/// the runtime embodiment of §4.2's non-mutating optimization class:
+///  * LocalRead:    lease-holding replicas serve reads locally once every
+///                  log entry that writes the key is committed.
+///  * Phase2b/appendOK: repliers piggyback the holders of leases THEY granted.
+///  * LeaderLearn:  commit waits for appendOKs from every holder in
+///                  (piggybacked holder sets ∪ leader's own grants).
+class RaftStarPqlServer : public harness::RaftStarServer {
+ public:
+  RaftStarPqlServer(harness::NodeHost& host, consensus::Group group,
+                    harness::CostModel costs, raftstar::Options opt = {},
+                    PqlOptions popt = {});
+
+  void start() override;
+
+  [[nodiscard]] const lease::LeaseManager& leases() const { return leases_; }
+  lease::LeaseManager& leases() { return leases_; }
+  [[nodiscard]] int64_t local_reads_served() const { return local_reads_; }
+
+  /// PQL replicas serve reads locally, so a client request costs the full
+  /// request-handling time at EVERY replica (not the cheap forward relay).
+  [[nodiscard]] Duration cost_of(const net::Packet& p) const override {
+    if (!costs_.enabled) return 0;
+    if (const auto* hm = net::payload_as<harness::Message>(p)) {
+      if (std::holds_alternative<harness::ClientRequest>(*hm)) {
+        return costs_.client_request;
+      }
+    }
+    return harness::RaftStarServer::cost_of(p);
+  }
+
+ protected:
+  void handle_other(const net::Packet& p) override;
+  bool try_serve_read(const kv::Command& cmd, NodeId reply_to,
+                      bool via_forward, NodeId origin) override;
+  void on_applied_hook(consensus::LogIndex idx,
+                       const kv::Command& cmd) override;
+
+ private:
+  struct FollowerAck {
+    consensus::LogIndex match = 0;
+    std::vector<NodeId> holders;  // leases granted BY that follower
+  };
+  struct PendingRead {
+    kv::Command cmd;
+    NodeId origin;
+    consensus::LogIndex need;
+  };
+
+  [[nodiscard]] consensus::LogIndex last_write_index(uint64_t key) const {
+    auto it = last_write_.find(key);
+    return it == last_write_.end() ? 0 : it->second;
+  }
+  bool commit_allowed(consensus::LogIndex i) const;
+  void serve_read_now(const kv::Command& cmd, NodeId origin);
+  void drain_pending_reads();
+  void arm_gate_retry();
+
+  PqlOptions popt_;
+  lease::LeaseManager leases_;
+  std::unordered_map<uint64_t, consensus::LogIndex> last_write_;
+  std::unordered_map<NodeId, FollowerAck> follower_acks_;
+  std::list<PendingRead> pending_reads_;
+  int64_t local_reads_ = 0;
+  uint64_t gate_epoch_ = 0;
+};
+
+}  // namespace praft::pql

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "consensus/types.h"
+#include "kv/command.h"
+
+namespace praft::raft {
+
+using consensus::LogIndex;
+using consensus::Term;
+
+struct Entry {
+  Term term = 0;
+  kv::Command cmd;
+};
+
+struct RequestVote {
+  Term term = 0;
+  NodeId candidate = kNoNode;
+  LogIndex last_index = 0;
+  Term last_term = 0;
+};
+
+struct VoteReply {
+  Term term = 0;
+  NodeId voter = kNoNode;
+  bool granted = false;
+};
+
+struct AppendEntries {
+  Term term = 0;
+  NodeId leader = kNoNode;
+  LogIndex prev_index = 0;
+  Term prev_term = 0;
+  std::vector<Entry> entries;
+  LogIndex commit = 0;
+};
+
+struct AppendReply {
+  Term term = 0;
+  NodeId follower = kNoNode;
+  bool ok = false;
+  LogIndex match_index = 0;    // on success: prev + |entries|
+  LogIndex conflict_hint = 0;  // on failure: where the leader should back off
+};
+
+using Message = std::variant<RequestVote, VoteReply, AppendEntries, AppendReply>;
+
+inline size_t wire_size(const RequestVote&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const VoteReply&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const AppendReply&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const AppendEntries& m) {
+  size_t b = consensus::wire::kMsgHeader;
+  for (const auto& e : m.entries) b += consensus::wire::entry_bytes(e.cmd);
+  return b;
+}
+
+inline size_t wire_size(const Message& m) {
+  return std::visit([](const auto& x) { return wire_size(x); }, m);
+}
+
+}  // namespace praft::raft

@@ -1,0 +1,276 @@
+#include "raft/node.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace praft::raft {
+
+RaftNode::RaftNode(consensus::Group group, consensus::Env& env, Options opt)
+    : group_(std::move(group)), env_(env), opt_(opt), votes_(group_.majority()) {
+  group_.validate();
+  log_.push_back(Entry{});  // index 0 sentinel, term 0
+}
+
+void RaftNode::start() { arm_election_timer(); }
+
+Term RaftNode::term_at(LogIndex i) const {
+  PRAFT_CHECK(i >= 0 && i <= last_index());
+  return log_[static_cast<size_t>(i)].term;
+}
+
+void RaftNode::arm_election_timer() {
+  const uint64_t epoch = ++election_epoch_;
+  const Duration timeout = env_.random_range(opt_.election_timeout_min,
+                                             opt_.election_timeout_max);
+  env_.schedule(timeout, [this, epoch, timeout] {
+    if (epoch != election_epoch_) return;  // superseded
+    if (role_ != Role::kLeader &&
+        env_.now() - last_heartbeat_ >= timeout) {
+      start_election();
+    }
+    arm_election_timer();
+  });
+}
+
+void RaftNode::start_election() {
+  ++term_;
+  role_ = Role::kCandidate;
+  leader_ = kNoNode;
+  voted_for_ = group_.self;
+  votes_ = consensus::QuorumTracker(group_.majority());
+  votes_.add(group_.self);
+  last_heartbeat_ = env_.now();  // restart the clock for this attempt
+  PRAFT_LOG(kDebug) << "raft " << group_.self << " starts election term "
+                    << term_;
+  RequestVote rv{term_, group_.self, last_index(), term_at(last_index())};
+  for (NodeId peer : group_.members) {
+    if (peer == group_.self) continue;
+    env_.send(peer, Message{rv}, wire_size(rv));
+  }
+  if (votes_.reached()) become_leader();  // single-node group
+}
+
+void RaftNode::step_down(Term t) {
+  if (t > term_) {
+    term_ = t;
+    voted_for_ = kNoNode;
+  }
+  if (role_ == Role::kLeader) {
+    next_index_.clear();
+    match_index_.clear();
+    ++heartbeat_epoch_;  // stop the heartbeat chain
+  }
+  role_ = Role::kFollower;
+}
+
+void RaftNode::on_packet(const net::Packet& p) {
+  const auto* msg = net::payload_as<Message>(p);
+  PRAFT_CHECK_MSG(msg != nullptr, "raft node got foreign payload");
+  std::visit(
+      [this](const auto& m) {
+        using M = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<M, RequestVote>) {
+          on_request_vote(m);
+        } else if constexpr (std::is_same_v<M, VoteReply>) {
+          on_vote_reply(m);
+        } else if constexpr (std::is_same_v<M, AppendEntries>) {
+          on_append_entries(m);
+        } else {
+          on_append_reply(m);
+        }
+      },
+      *msg);
+}
+
+void RaftNode::on_request_vote(const RequestVote& m) {
+  if (m.term > term_) step_down(m.term);
+  bool granted = false;
+  if (m.term == term_ &&
+      (voted_for_ == kNoNode || voted_for_ == m.candidate)) {
+    // §5.4.1 election restriction: candidate's log at least as up-to-date.
+    const Term my_last_term = term_at(last_index());
+    const bool up_to_date =
+        m.last_term > my_last_term ||
+        (m.last_term == my_last_term && m.last_index >= last_index());
+    if (up_to_date) {
+      granted = true;
+      voted_for_ = m.candidate;
+      last_heartbeat_ = env_.now();  // granting a vote defers our own election
+    }
+  }
+  VoteReply reply{term_, group_.self, granted};
+  env_.send(m.candidate, Message{reply}, wire_size(reply));
+}
+
+void RaftNode::on_vote_reply(const VoteReply& m) {
+  if (m.term > term_) {
+    step_down(m.term);
+    return;
+  }
+  if (role_ != Role::kCandidate || m.term != term_ || !m.granted) return;
+  votes_.add(m.voter);
+  if (votes_.reached()) become_leader();
+}
+
+void RaftNode::become_leader() {
+  role_ = Role::kLeader;
+  leader_ = group_.self;
+  next_index_.clear();
+  match_index_.clear();
+  for (NodeId peer : group_.members) {
+    if (peer == group_.self) continue;
+    next_index_[peer] = last_index() + 1;
+    match_index_[peer] = 0;
+  }
+  PRAFT_LOG(kInfo) << "raft " << group_.self << " leader at term " << term_;
+  // Commit a no-op to pull prior-term entries to commit (§5.4.2 workaround —
+  // Raft cannot count replicas of old-term entries directly).
+  log_.push_back(Entry{term_, kv::noop_command()});
+  broadcast_append();
+  arm_heartbeat(++heartbeat_epoch_);
+}
+
+void RaftNode::arm_heartbeat(uint64_t epoch) {
+  env_.schedule(opt_.heartbeat_interval, [this, epoch] {
+    if (epoch != heartbeat_epoch_ || role_ != Role::kLeader) return;
+    broadcast_append();
+    arm_heartbeat(epoch);
+  });
+}
+
+LogIndex RaftNode::submit(const kv::Command& cmd) {
+  if (role_ != Role::kLeader) return -1;
+  log_.push_back(Entry{term_, cmd});
+  schedule_flush();
+  return last_index();
+}
+
+void RaftNode::schedule_flush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  env_.schedule(opt_.batch_delay, [this] {
+    flush_scheduled_ = false;
+    if (role_ == Role::kLeader) broadcast_append();
+  });
+}
+
+void RaftNode::broadcast_append() {
+  for (NodeId peer : group_.members) {
+    if (peer == group_.self) continue;
+    replicate_to(peer);
+  }
+  advance_commit();  // single-node groups commit immediately
+}
+
+void RaftNode::replicate_to(NodeId peer) {
+  const LogIndex next = next_index_[peer];
+  PRAFT_CHECK(next >= 1);
+  const LogIndex prev = next - 1;
+  AppendEntries ae;
+  ae.term = term_;
+  ae.leader = group_.self;
+  ae.prev_index = prev;
+  ae.prev_term = term_at(std::min(prev, last_index()));
+  ae.commit = commit_;
+  const LogIndex hi =
+      std::min(last_index(),
+               prev + static_cast<LogIndex>(opt_.max_entries_per_append));
+  for (LogIndex i = prev + 1; i <= hi; ++i) {
+    ae.entries.push_back(log_[static_cast<size_t>(i)]);
+  }
+  env_.send(peer, Message{ae}, wire_size(ae));
+  // Optimistic pipelining: assume delivery and advance nextIndex so the
+  // next flush sends only NEW entries. A reject (or the conflict hint after
+  // a loss) rolls the window back.
+  if (hi >= next) next_index_[peer] = hi + 1;
+}
+
+void RaftNode::on_append_entries(const AppendEntries& m) {
+  if (m.term < term_) {
+    AppendReply reply{term_, group_.self, false, 0, 0};
+    env_.send(m.leader, Message{reply}, wire_size(reply));
+    return;
+  }
+  step_down(m.term);
+  leader_ = m.leader;
+  last_heartbeat_ = env_.now();
+
+  if (m.prev_index > last_index() ||
+      term_at(m.prev_index) != m.prev_term) {
+    // Consistency check failed; hint the leader where to back off.
+    const LogIndex hint = std::min(last_index() + 1, m.prev_index);
+    AppendReply reply{term_, group_.self, false, 0, std::max<LogIndex>(1, hint)};
+    env_.send(m.leader, Message{reply}, wire_size(reply));
+    return;
+  }
+
+  // Append, erasing any conflicting suffix (the behaviour that prevents a
+  // direct refinement mapping to Paxos — see paper §3).
+  LogIndex idx = m.prev_index;
+  for (const Entry& e : m.entries) {
+    ++idx;
+    if (idx <= last_index()) {
+      if (log_[static_cast<size_t>(idx)].term != e.term) {
+        log_.resize(static_cast<size_t>(idx));  // erase extraneous entries
+        log_.push_back(e);
+      }
+    } else {
+      log_.push_back(e);
+    }
+  }
+  const LogIndex match = m.prev_index + static_cast<LogIndex>(m.entries.size());
+  if (m.commit > commit_) {
+    commit_ = std::min(m.commit, match);
+    deliver_applies();
+  }
+  AppendReply reply{term_, group_.self, true, match, 0};
+  env_.send(m.leader, Message{reply}, wire_size(reply));
+}
+
+void RaftNode::on_append_reply(const AppendReply& m) {
+  if (m.term > term_) {
+    step_down(m.term);
+    return;
+  }
+  if (role_ != Role::kLeader || m.term != term_) return;
+  if (m.ok) {
+    match_index_[m.follower] = std::max(match_index_[m.follower], m.match_index);
+    next_index_[m.follower] =
+        std::max(next_index_[m.follower], m.match_index + 1);
+    advance_commit();
+    if (next_index_[m.follower] <= last_index()) replicate_to(m.follower);
+  } else {
+    next_index_[m.follower] =
+        std::max<LogIndex>(1, std::min(next_index_[m.follower] - 1,
+                                       m.conflict_hint));
+    replicate_to(m.follower);
+  }
+}
+
+void RaftNode::advance_commit() {
+  // Highest N replicated on a majority with log[N].term == current term
+  // (§5.4.2: never commit old-term entries by counting).
+  for (LogIndex n = last_index(); n > commit_; --n) {
+    if (term_at(n) != term_) break;
+    int count = 1;  // self
+    for (const auto& [peer, match] : match_index_) {
+      if (match >= n) ++count;
+    }
+    if (count >= group_.majority()) {
+      commit_ = n;
+      deliver_applies();
+      break;
+    }
+  }
+}
+
+void RaftNode::deliver_applies() {
+  while (applied_ < commit_) {
+    ++applied_;
+    if (apply_) apply_(applied_, log_[static_cast<size_t>(applied_)].cmd);
+  }
+}
+
+}  // namespace praft::raft

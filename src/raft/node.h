@@ -1,0 +1,112 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "consensus/env.h"
+#include "consensus/group.h"
+#include "consensus/types.h"
+#include "net/packet.h"
+#include "raft/messages.h"
+
+namespace praft::raft {
+
+/// Tunables. Defaults are WAN-scale (the paper's testbed spans 25–292 ms
+/// RTTs); unit tests shrink them to keep simulated time small.
+struct Options {
+  Duration election_timeout_min = msec(1200);
+  Duration election_timeout_max = msec(2400);
+  Duration heartbeat_interval = msec(150);
+  /// Leader batching delay (etcd-style): submissions within this window ride
+  /// one AppendEntries. 0 means flush on the next event-loop turn.
+  Duration batch_delay = msec(1);
+  size_t max_entries_per_append = 4096;
+};
+
+enum class Role { kFollower, kCandidate, kLeader };
+
+/// Standard Raft (Ongaro & Ousterhout 2014) as the paper's baseline:
+/// randomized elections, AppendEntries with conflict-suffix erasure, in-order
+/// commit, and the §5.4.2 restriction (only current-term entries commit by
+/// counting). This is the protocol Raft* deviates from (see src/raftstar).
+class RaftNode {
+ public:
+  RaftNode(consensus::Group group, consensus::Env& env, Options opt = {});
+
+  /// Arms the election timer. Call once after construction.
+  void start();
+
+  /// Feeds a network packet whose payload holds a raft::Message.
+  void on_packet(const net::Packet& p);
+
+  /// Leader-only: appends `cmd` to the log and schedules replication.
+  /// Returns the assigned index, or -1 when this node is not the leader.
+  LogIndex submit(const kv::Command& cmd);
+
+  /// Registers the in-order apply callback (exactly once per index).
+  void set_apply(consensus::ApplyFn fn) { apply_ = std::move(fn); }
+
+  [[nodiscard]] Role role() const { return role_; }
+  [[nodiscard]] bool is_leader() const { return role_ == Role::kLeader; }
+  [[nodiscard]] Term current_term() const { return term_; }
+  [[nodiscard]] NodeId leader_hint() const { return leader_; }
+  [[nodiscard]] LogIndex commit_index() const { return commit_; }
+  [[nodiscard]] LogIndex last_index() const {
+    return static_cast<LogIndex>(log_.size()) - 1;
+  }
+  [[nodiscard]] const Entry& entry_at(LogIndex i) const {
+    return log_[static_cast<size_t>(i)];
+  }
+  [[nodiscard]] NodeId id() const { return group_.self; }
+
+  /// Test hook: forces an immediate election attempt.
+  void force_election() { start_election(); }
+
+ private:
+  void on_request_vote(const RequestVote& m);
+  void on_vote_reply(const VoteReply& m);
+  void on_append_entries(const AppendEntries& m);
+  void on_append_reply(const AppendReply& m);
+
+  void arm_election_timer();
+  void arm_heartbeat(uint64_t epoch);
+  void start_election();
+  void become_leader();
+  void step_down(Term t);
+  void schedule_flush();
+  void replicate_to(NodeId peer);
+  void broadcast_append();
+  void advance_commit();
+  void deliver_applies();
+  [[nodiscard]] Term term_at(LogIndex i) const;
+
+  consensus::Group group_;
+  consensus::Env& env_;
+  Options opt_;
+
+  // Persistent state (modeled in memory; the simulator never loses it).
+  Term term_ = 0;
+  NodeId voted_for_ = kNoNode;
+  std::vector<Entry> log_;  // log_[0] is the sentinel
+
+  // Volatile state.
+  Role role_ = Role::kFollower;
+  NodeId leader_ = kNoNode;
+  LogIndex commit_ = 0;
+  LogIndex applied_ = 0;
+  Time last_heartbeat_ = 0;
+  uint64_t election_epoch_ = 0;
+  uint64_t heartbeat_epoch_ = 0;
+  bool flush_scheduled_ = false;
+
+  // Candidate state.
+  consensus::QuorumTracker votes_;
+
+  // Leader state.
+  std::unordered_map<NodeId, LogIndex> next_index_;
+  std::unordered_map<NodeId, LogIndex> match_index_;
+
+  consensus::ApplyFn apply_;
+};
+
+}  // namespace praft::raft

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "consensus/types.h"
+#include "kv/command.h"
+
+namespace praft::raftstar {
+
+using consensus::LogIndex;
+using consensus::Term;
+
+/// A Raft* log entry. `term` is the creation term (used for the prev-check),
+/// while the *ballot* of every entry is the node-level `log_bal` watermark:
+/// Raft*'s AcceptEntries sets logBallot[i] = append.term for ALL i <= lIndex
+/// (Appendix B.2), so per-entry ballots are always uniform across one log —
+/// the LogBallotInv invariant. We exploit that to store it once per node.
+struct Entry {
+  Term term = 0;
+  kv::Command cmd;
+};
+
+struct RequestVote {
+  Term term = 0;
+  NodeId candidate = kNoNode;
+  LogIndex last_index = 0;
+  Term last_term = 0;
+};
+
+/// Raft* difference #1 (paper §3): an OK reply carries the voter's extra
+/// entries beyond the candidate's last_index, plus the voter's log ballot so
+/// the candidate can pick safe values (highest ballot per index).
+struct VoteReply {
+  Term term = 0;
+  NodeId voter = kNoNode;
+  bool granted = false;
+  Term log_bal = -1;
+  LogIndex extra_from = 0;     // first index in `extras`
+  std::vector<Entry> extras;   // voter's entries after candidate.last_index
+};
+
+struct AppendEntries {
+  Term term = 0;
+  NodeId leader = kNoNode;
+  LogIndex prev_index = 0;
+  Term prev_term = 0;
+  std::vector<Entry> entries;
+  LogIndex commit = 0;
+};
+
+struct AppendReply {
+  Term term = 0;
+  NodeId follower = kNoNode;
+  bool ok = false;
+  LogIndex match_index = 0;    // on success: prev + |entries|
+  LogIndex follower_last = 0;  // follower's last index (both cases)
+  LogIndex conflict_hint = 0;  // on prev-mismatch: back-off target
+  /// Optimization piggyback (paper Fig. 13 line 16): Raft*-PQL attaches the
+  /// lease holders granted by the replier. Empty for plain Raft*.
+  std::vector<NodeId> piggyback_ids;
+};
+
+using Message = std::variant<RequestVote, VoteReply, AppendEntries, AppendReply>;
+
+inline size_t wire_size(const RequestVote&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const AppendReply&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const VoteReply& m) {
+  size_t b = consensus::wire::kSmallMsg;
+  for (const auto& e : m.extras) b += consensus::wire::entry_bytes(e.cmd);
+  return b;
+}
+inline size_t wire_size(const AppendEntries& m) {
+  size_t b = consensus::wire::kMsgHeader;
+  for (const auto& e : m.entries) b += consensus::wire::entry_bytes(e.cmd);
+  return b;
+}
+inline size_t wire_size(const Message& m) {
+  return std::visit([](const auto& x) { return wire_size(x); }, m);
+}
+
+}  // namespace praft::raftstar

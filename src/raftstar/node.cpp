@@ -1,0 +1,353 @@
+#include "raftstar/node.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace praft::raftstar {
+
+RaftStarNode::RaftStarNode(consensus::Group group, consensus::Env& env,
+                           Options opt)
+    : group_(std::move(group)), env_(env), opt_(opt),
+      votes_(group_.majority()) {
+  group_.validate();
+  log_.push_back(Entry{});  // sentinel
+}
+
+void RaftStarNode::start() { arm_election_timer(); }
+
+void RaftStarNode::store_entry(Entry e) {
+  log_.push_back(std::move(e));
+  if (entry_observer_) entry_observer_(last_index(), log_.back());
+}
+
+Term RaftStarNode::term_at(LogIndex i) const {
+  PRAFT_CHECK(i >= 0 && i <= last_index());
+  return log_[static_cast<size_t>(i)].term;
+}
+
+void RaftStarNode::arm_election_timer() {
+  const uint64_t epoch = ++election_epoch_;
+  const Duration timeout = env_.random_range(opt_.election_timeout_min,
+                                             opt_.election_timeout_max);
+  env_.schedule(timeout, [this, epoch, timeout] {
+    if (epoch != election_epoch_) return;
+    if (role_ != Role::kLeader && env_.now() - last_heartbeat_ >= timeout) {
+      start_election();
+    }
+    arm_election_timer();
+  });
+}
+
+void RaftStarNode::start_election() {
+  ++term_;
+  role_ = Role::kCandidate;
+  leader_ = kNoNode;
+  voted_for_ = group_.self;
+  votes_ = consensus::QuorumTracker(group_.majority());
+  votes_.add(group_.self);
+  extras_.clear();
+  election_last_index_ = last_index();
+  last_heartbeat_ = env_.now();
+  PRAFT_LOG(kDebug) << "raft* " << group_.self << " starts election term "
+                    << term_;
+  RequestVote rv{term_, group_.self, last_index(), term_at(last_index())};
+  for (NodeId peer : group_.members) {
+    if (peer == group_.self) continue;
+    env_.send(peer, Message{rv}, wire_size(rv));
+  }
+  if (votes_.reached()) become_leader();
+}
+
+void RaftStarNode::step_down(Term t) {
+  if (t > term_) {
+    term_ = t;
+    voted_for_ = kNoNode;
+  }
+  if (role_ == Role::kLeader) {
+    next_index_.clear();
+    match_index_.clear();
+    ++heartbeat_epoch_;
+  }
+  role_ = Role::kFollower;
+}
+
+void RaftStarNode::on_packet(const net::Packet& p) {
+  const auto* msg = net::payload_as<Message>(p);
+  PRAFT_CHECK_MSG(msg != nullptr, "raft* node got foreign payload");
+  std::visit(
+      [this](const auto& m) {
+        using M = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<M, RequestVote>) {
+          on_request_vote(m);
+        } else if constexpr (std::is_same_v<M, VoteReply>) {
+          on_vote_reply(m);
+        } else if constexpr (std::is_same_v<M, AppendEntries>) {
+          on_append_entries(m);
+        } else {
+          on_append_reply(m);
+        }
+      },
+      *msg);
+}
+
+void RaftStarNode::on_request_vote(const RequestVote& m) {
+  if (m.term > term_) step_down(m.term);
+  VoteReply reply;
+  reply.term = term_;
+  reply.voter = group_.self;
+  if (m.term == term_ && (voted_for_ == kNoNode || voted_for_ == m.candidate)) {
+    // Appendix B.2 Phase1b: empty log, or lastTerm <, or == and not longer
+    // index-wise than the candidate... with one Raft* twist: a voter whose
+    // log is LONGER but on an older last term still votes and ships its
+    // extra entries (Fig. 2a lines 14-16) for safe-value selection.
+    const Term my_last_term = term_at(last_index());
+    const bool up_to_date =
+        m.last_term > my_last_term ||
+        (m.last_term == my_last_term && m.last_index >= last_index());
+    if (up_to_date) {
+      reply.granted = true;
+      voted_for_ = m.candidate;
+      last_heartbeat_ = env_.now();
+      reply.log_bal = log_bal_;
+      reply.extra_from = m.last_index + 1;
+      for (LogIndex i = m.last_index + 1; i <= last_index(); ++i) {
+        reply.extras.push_back(log_[static_cast<size_t>(i)]);
+      }
+    }
+  }
+  env_.send(m.candidate, Message{reply}, wire_size(reply));
+}
+
+void RaftStarNode::on_vote_reply(const VoteReply& m) {
+  if (m.term > term_) {
+    step_down(m.term);
+    return;
+  }
+  if (role_ != Role::kCandidate || m.term != term_ || !m.granted) return;
+  if (votes_.add(m.voter) && !m.extras.empty()) {
+    extras_.push_back(ExtraLog{m.log_bal, m.extra_from, m.extras});
+  }
+  if (votes_.reached()) become_leader();
+}
+
+void RaftStarNode::become_leader() {
+  // BecomeLeader (Fig. 2a lines 18-29): extend our log with the safe value
+  // for every index past our last_index — the value from the reply with the
+  // highest log ballot — re-stamped at the current term.
+  LogIndex max_extra = election_last_index_;
+  for (const auto& ex : extras_) {
+    max_extra = std::max(
+        max_extra, ex.from + static_cast<LogIndex>(ex.entries.size()) - 1);
+  }
+  for (LogIndex i = election_last_index_ + 1; i <= max_extra; ++i) {
+    Term best_bal = -1;
+    const Entry* best = nullptr;
+    for (const auto& ex : extras_) {
+      const LogIndex off = i - ex.from;
+      if (off < 0 || off >= static_cast<LogIndex>(ex.entries.size())) continue;
+      if (ex.log_bal > best_bal) {
+        best_bal = ex.log_bal;
+        best = &ex.entries[static_cast<size_t>(off)];
+      }
+    }
+    // Gaps cannot occur (extras are contiguous suffixes), but guard anyway.
+    Entry e;
+    e.term = term_;
+    e.cmd = best != nullptr ? best->cmd : kv::noop_command();
+    store_entry(e);
+  }
+  extras_.clear();
+
+  role_ = Role::kLeader;
+  leader_ = group_.self;
+  log_bal_ = term_;  // the leader's implicit accept covers its whole log
+  next_index_.clear();
+  match_index_.clear();
+  for (NodeId peer : group_.members) {
+    if (peer == group_.self) continue;
+    next_index_[peer] = 1;  // full-suffix replacement semantics: start from 1
+    match_index_[peer] = 0;
+  }
+  PRAFT_LOG(kInfo) << "raft* " << group_.self << " leader at term " << term_;
+  // No term-start no-op needed: Raft* re-ballots every covered entry, so
+  // prior-term entries commit by counting (the §5.4.2 rule is unnecessary).
+  broadcast_append();
+  arm_heartbeat(++heartbeat_epoch_);
+}
+
+void RaftStarNode::arm_heartbeat(uint64_t epoch) {
+  env_.schedule(opt_.heartbeat_interval, [this, epoch] {
+    if (epoch != heartbeat_epoch_ || role_ != Role::kLeader) return;
+    broadcast_append();
+    arm_heartbeat(epoch);
+  });
+}
+
+LogIndex RaftStarNode::submit(const kv::Command& cmd) {
+  if (role_ != Role::kLeader) return -1;
+  store_entry(Entry{term_, cmd});
+  schedule_flush();
+  return last_index();
+}
+
+void RaftStarNode::schedule_flush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  env_.schedule(opt_.batch_delay, [this] {
+    flush_scheduled_ = false;
+    if (role_ == Role::kLeader) broadcast_append();
+  });
+}
+
+void RaftStarNode::broadcast_append() {
+  for (NodeId peer : group_.members) {
+    if (peer == group_.self) continue;
+    replicate_to(peer);
+  }
+  advance_commit();
+}
+
+void RaftStarNode::replicate_to(NodeId peer, bool uncapped) {
+  const LogIndex next = next_index_[peer];
+  PRAFT_CHECK(next >= 1);
+  const LogIndex prev = next - 1;
+  AppendEntries ae;
+  ae.term = term_;
+  ae.leader = group_.self;
+  ae.prev_index = prev;
+  ae.prev_term = term_at(std::min(prev, last_index()));
+  ae.commit = commit_;
+  const LogIndex hi =
+      uncapped ? last_index()
+               : std::min(last_index(),
+                          prev + static_cast<LogIndex>(
+                                     opt_.max_entries_per_append));
+  for (LogIndex i = prev + 1; i <= hi; ++i) {
+    ae.entries.push_back(log_[static_cast<size_t>(i)]);
+  }
+  env_.send(peer, Message{ae}, wire_size(ae));
+  // Optimistic pipelining (see RaftNode::replicate_to).
+  if (hi >= next) next_index_[peer] = hi + 1;
+}
+
+void RaftStarNode::on_append_entries(const AppendEntries& m) {
+  if (m.term < term_) {
+    AppendReply reply{term_, group_.self, false, 0, last_index(), 0, {}};
+    env_.send(m.leader, Message{reply}, wire_size(reply));
+    return;
+  }
+  step_down(m.term);
+  leader_ = m.leader;
+  last_heartbeat_ = env_.now();
+
+  const LogIndex coverage =
+      m.prev_index + static_cast<LogIndex>(m.entries.size());
+  const bool prev_ok =
+      m.prev_index <= last_index() && term_at(m.prev_index) == m.prev_term;
+  // Raft* difference #2: reject appends whose coverage is shorter than our
+  // log instead of erasing our suffix (Appendix B.2 AcceptEntries requires
+  // lIndex >= lastIndex).
+  if (!prev_ok || coverage < last_index()) {
+    AppendReply reply;
+    reply.term = term_;
+    reply.follower = group_.self;
+    reply.ok = false;
+    reply.follower_last = last_index();
+    // conflict_hint == 0 means "prev matched but coverage was too short:
+    // resend from the same prev with the full suffix"; otherwise it is the
+    // index the leader should back off to.
+    reply.conflict_hint =
+        prev_ok ? 0
+                : std::max<LogIndex>(1, std::min(last_index() + 1, m.prev_index));
+    env_.send(m.leader, Message{reply}, wire_size(reply));
+    return;
+  }
+
+  // Replace the whole suffix after prev with the leader's entries, and stamp
+  // the covered log at the append's ballot (difference #3).
+  log_.resize(static_cast<size_t>(m.prev_index) + 1);
+  for (const Entry& e : m.entries) store_entry(e);
+  log_bal_ = m.term;
+
+  if (m.commit > commit_) {
+    commit_ = std::min(m.commit, last_index());
+    deliver_applies();
+  }
+  AppendReply reply;
+  reply.term = term_;
+  reply.follower = group_.self;
+  reply.ok = true;
+  reply.match_index = coverage;
+  reply.follower_last = last_index();
+  if (reply_decorator_) reply.piggyback_ids = reply_decorator_();
+  env_.send(m.leader, Message{reply}, wire_size(reply));
+}
+
+void RaftStarNode::on_append_reply(const AppendReply& m) {
+  if (m.term > term_) {
+    step_down(m.term);
+    return;
+  }
+  if (role_ != Role::kLeader || m.term != term_) return;
+  if (m.ok) {
+    match_index_[m.follower] = std::max(match_index_[m.follower], m.match_index);
+    next_index_[m.follower] =
+        std::max(next_index_[m.follower], m.match_index + 1);
+    if (append_reply_observer_) {
+      append_reply_observer_(m.follower, m.match_index, m.piggyback_ids);
+    }
+    advance_commit();
+    if (next_index_[m.follower] <= last_index()) replicate_to(m.follower);
+  } else {
+    if (m.follower_last > last_index()) {
+      // The follower's log is longer than ours. Extend our log with no-ops so
+      // our coverage can overwrite its (necessarily uncommitted) suffix; the
+      // safe-value selection at election time already recovered anything
+      // that could have been committed.
+      while (last_index() < m.follower_last) {
+        store_entry(Entry{term_, kv::noop_command()});
+      }
+    }
+    if (m.conflict_hint == 0) {
+      // Coverage was too short; resend the whole suffix (full-replacement
+      // semantics make prev=0 always valid).
+      next_index_[m.follower] = 1;
+    } else {
+      next_index_[m.follower] = std::max<LogIndex>(
+          1, std::min(next_index_[m.follower] - 1, m.conflict_hint));
+    }
+    replicate_to(m.follower, /*uncapped=*/true);
+  }
+}
+
+LogIndex RaftStarNode::quorum_match_index() const {
+  std::vector<LogIndex> matches;
+  matches.push_back(last_index());  // self
+  for (const auto& [peer, match] : match_index_) matches.push_back(match);
+  std::sort(matches.begin(), matches.end(), std::greater<>());
+  return matches[static_cast<size_t>(group_.majority() - 1)];
+}
+
+void RaftStarNode::advance_commit() {
+  if (role_ != Role::kLeader) return;
+  const LogIndex target = quorum_match_index();
+  // No current-term check: every successful reply re-accepted the covered
+  // prefix at this term's ballot (LeaderLearn in Fig. 2b).
+  while (commit_ < target) {
+    const LogIndex next = commit_ + 1;
+    if (commit_gate_ && !commit_gate_(next)) break;  // PQL holder gating
+    commit_ = next;
+  }
+  deliver_applies();
+}
+
+void RaftStarNode::deliver_applies() {
+  while (applied_ < commit_) {
+    ++applied_;
+    if (apply_) apply_(applied_, log_[static_cast<size_t>(applied_)].cmd);
+  }
+}
+
+}  // namespace praft::raftstar

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "consensus/env.h"
+#include "consensus/group.h"
+#include "consensus/types.h"
+#include "net/packet.h"
+#include "raftstar/messages.h"
+
+namespace praft::raftstar {
+
+struct Options {
+  Duration election_timeout_min = msec(1200);
+  Duration election_timeout_max = msec(2400);
+  Duration heartbeat_interval = msec(150);
+  Duration batch_delay = msec(1);
+  size_t max_entries_per_append = 4096;
+};
+
+enum class Role { kFollower, kCandidate, kLeader };
+
+/// Raft* — the paper's Raft variant that refines MultiPaxos (§3, Fig. 2):
+///  1. Vote replies return the voter's extra log entries; the new leader
+///     extends its log with safe values (highest log ballot per index)
+///     instead of followers erasing their longer logs.
+///  2. A follower REJECTS an append whose coverage (prev + |entries|) is
+///     shorter than its own log — Raft* never erases accepted entries, it
+///     only overwrites them with a full replacement suffix.
+///  3. Every accepted append overwrites the ballot of all covered entries
+///     with the append's term (tracked as the uniform `log_bal_` watermark),
+///     which is why Raft* needs no §5.4.2 commit restriction.
+class RaftStarNode {
+ public:
+  RaftStarNode(consensus::Group group, consensus::Env& env, Options opt = {});
+
+  void start();
+  void on_packet(const net::Packet& p);
+
+  /// Leader-only append; returns assigned index or -1.
+  LogIndex submit(const kv::Command& cmd);
+
+  void set_apply(consensus::ApplyFn fn) { apply_ = std::move(fn); }
+
+  /// Hook invoked when the leader learns a new commit index (used by the
+  /// ported optimizations: Raft*-PQL gates commit on lease holders here).
+  using CommitGate = std::function<bool(LogIndex)>;
+  void set_commit_gate(CommitGate gate) { commit_gate_ = std::move(gate); }
+
+  /// Re-evaluates the commit gate (PQL calls this when holder acks arrive).
+  void retry_commit() { advance_commit(); }
+
+  [[nodiscard]] Role role() const { return role_; }
+  [[nodiscard]] bool is_leader() const { return role_ == Role::kLeader; }
+  [[nodiscard]] Term current_term() const { return term_; }
+  [[nodiscard]] Term log_bal() const { return log_bal_; }
+  [[nodiscard]] NodeId leader_hint() const { return leader_; }
+  [[nodiscard]] LogIndex commit_index() const { return commit_; }
+  [[nodiscard]] LogIndex last_index() const {
+    return static_cast<LogIndex>(log_.size()) - 1;
+  }
+  [[nodiscard]] const Entry& entry_at(LogIndex i) const {
+    return log_[static_cast<size_t>(i)];
+  }
+  [[nodiscard]] NodeId id() const { return group_.self; }
+  [[nodiscard]] const consensus::Group& group() const { return group_; }
+
+  /// The f+1'th largest replicated index (self included) — what the commit
+  /// would be without any gate. Exposed for PQL's LeaderLearn.
+  [[nodiscard]] LogIndex quorum_match_index() const;
+
+  /// Observer invoked for every successful AppendReply the leader receives
+  /// (non-mutating hook per §4.2 — it may read but never mutates Raft* state;
+  /// Raft*-PQL uses it to collect lease-holder acknowledgements).
+  using AppendReplyObserver = std::function<void(
+      NodeId follower, LogIndex match, const std::vector<NodeId>& piggyback)>;
+  void set_append_reply_observer(AppendReplyObserver obs) {
+    append_reply_observer_ = std::move(obs);
+  }
+
+  /// Piggyback hook: ids attached to our AppendReply messages (Raft*-PQL
+  /// attaches the holders of leases granted by this replica; Fig. 13).
+  using ReplyDecorator = std::function<std::vector<NodeId>()>;
+  void set_reply_decorator(ReplyDecorator dec) {
+    reply_decorator_ = std::move(dec);
+  }
+
+  /// Observer invoked whenever an entry is stored into the LOCAL log
+  /// (leader submit, safe-value adoption, follower suffix replacement).
+  /// Raft*-PQL tracks per-key last-write indexes with it; like all
+  /// optimization hooks it must not mutate Raft* state (§4.2).
+  using EntryObserver = std::function<void(LogIndex, const Entry&)>;
+  void set_entry_observer(EntryObserver obs) {
+    entry_observer_ = std::move(obs);
+  }
+
+  void force_election() { start_election(); }
+
+ private:
+  void on_request_vote(const RequestVote& m);
+  void on_vote_reply(const VoteReply& m);
+  void on_append_entries(const AppendEntries& m);
+  void on_append_reply(const AppendReply& m);
+
+  void arm_election_timer();
+  void arm_heartbeat(uint64_t epoch);
+  void start_election();
+  void become_leader();
+  void step_down(Term t);
+  void schedule_flush();
+  void replicate_to(NodeId peer, bool uncapped = false);
+  void broadcast_append();
+  void advance_commit();
+  void deliver_applies();
+  [[nodiscard]] Term term_at(LogIndex i) const;
+
+  consensus::Group group_;
+  consensus::Env& env_;
+  Options opt_;
+
+  Term term_ = 0;
+  NodeId voted_for_ = kNoNode;
+  std::vector<Entry> log_;
+  Term log_bal_ = 0;  // uniform per-entry ballot (see Entry doc)
+
+  Role role_ = Role::kFollower;
+  NodeId leader_ = kNoNode;
+  LogIndex commit_ = 0;
+  LogIndex applied_ = 0;
+  Time last_heartbeat_ = 0;
+  uint64_t election_epoch_ = 0;
+  uint64_t heartbeat_epoch_ = 0;
+  bool flush_scheduled_ = false;
+
+  // Candidate state: vote tally plus collected extra entries per voter.
+  consensus::QuorumTracker votes_;
+  struct ExtraLog {
+    Term log_bal;
+    LogIndex from;
+    std::vector<Entry> entries;
+  };
+  std::vector<ExtraLog> extras_;
+  LogIndex election_last_index_ = 0;  // our last_index when we solicited votes
+
+  std::unordered_map<NodeId, LogIndex> next_index_;
+  std::unordered_map<NodeId, LogIndex> match_index_;
+
+  consensus::ApplyFn apply_;
+  CommitGate commit_gate_;
+  AppendReplyObserver append_reply_observer_;
+  ReplyDecorator reply_decorator_;
+  EntryObserver entry_observer_;
+
+  void store_entry(Entry e);  // push_back + observer
+};
+
+}  // namespace praft::raftstar

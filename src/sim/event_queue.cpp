@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace praft::sim {
+
+EventId EventQueue::schedule_at(Time at, std::function<void()> fn) {
+  PRAFT_CHECK(fn != nullptr);
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  heap_.push(Event{at, id, std::move(fn)});
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id != kNoEvent) cancelled_.insert(id);
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; the function object is moved out via
+    // const_cast which is safe because we pop immediately afterwards.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    PRAFT_CHECK(ev.at >= now_);
+    now_ = ev.at;
+    ++fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run_until(Time t) {
+  while (!heap_.empty() && heap_.top().at <= t) {
+    if (!step()) break;
+  }
+  if (now_ < t) now_ = t;
+}
+
+void EventQueue::run_all(uint64_t max_events) {
+  uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+}
+
+}  // namespace praft::sim

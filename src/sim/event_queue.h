@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace praft::sim {
+
+using EventId = uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+/// Deterministic discrete-event queue. Events at equal timestamps fire in
+/// scheduling order (FIFO by sequence number), which keeps whole simulations
+/// reproducible for a given seed.
+class EventQueue {
+ public:
+  /// Schedules `fn` to run at absolute time `at` (clamped to now()).
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs the earliest pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs all events with timestamp <= `t`, then advances the clock to `t`.
+  void run_until(Time t);
+
+  /// Runs until the queue drains or `max_events` have fired.
+  void run_all(uint64_t max_events = UINT64_MAX);
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] size_t pending() const { return heap_.size() - cancelled_.size(); }
+  [[nodiscard]] uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Event {
+    Time at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t fired_ = 0;
+};
+
+}  // namespace praft::sim

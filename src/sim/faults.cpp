@@ -1,0 +1,4 @@
+#include "sim/faults.h"
+
+// Header-only; this TU anchors the library target.
+namespace praft::sim {}

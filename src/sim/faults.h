@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace praft::sim {
+
+/// Declarative fault schedule applied by the Network: probabilistic message
+/// drops, timed bidirectional partitions, and timed node crashes. All faults
+/// are part of the deterministic plan so failure tests are reproducible.
+class FaultPlan {
+ public:
+  /// Uniform probability that any WAN message is lost.
+  void set_drop_rate(double p) { drop_rate_ = p; }
+  [[nodiscard]] double drop_rate() const { return drop_rate_; }
+
+  /// Blocks traffic in both directions between `a` and `b` during [from, to).
+  void partition_pair(NodeId a, NodeId b, Time from, Time to) {
+    partitions_.push_back({a, b, from, to});
+  }
+
+  /// Isolates `n` from every other node during [from, to).
+  void isolate(NodeId n, Time from, Time to) {
+    partitions_.push_back({n, kNoNode, from, to});
+  }
+
+  /// Node `n` is crashed (neither sends nor receives) during [from, to).
+  void crash(NodeId n, Time from, Time to) { crashes_.push_back({n, from, to}); }
+
+  [[nodiscard]] bool is_down(NodeId n, Time t) const {
+    for (const auto& c : crashes_) {
+      if (c.node == n && t >= c.from && t < c.to) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool is_blocked(NodeId a, NodeId b, Time t) const {
+    for (const auto& p : partitions_) {
+      if (t < p.from || t >= p.to) continue;
+      const bool pair_match = (p.b != kNoNode) &&
+          ((p.a == a && p.b == b) || (p.a == b && p.b == a));
+      const bool isolate_match = (p.b == kNoNode) && (p.a == a || p.a == b);
+      if (pair_match || isolate_match) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Partition {
+    NodeId a;
+    NodeId b;  // kNoNode => `a` isolated from everyone
+    Time from;
+    Time to;
+  };
+  struct Crash {
+    NodeId node;
+    Time from;
+    Time to;
+  };
+
+  double drop_rate_ = 0.0;
+  std::vector<Partition> partitions_;
+  std::vector<Crash> crashes_;
+};
+
+}  // namespace praft::sim

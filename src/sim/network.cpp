@@ -1,0 +1,81 @@
+#include "sim/network.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace praft::sim {
+
+Network::Network(Simulator& sim, LatencyMatrix latency)
+    : sim_(sim), latency_(std::move(latency)) {}
+
+NodeId Network::add_node(SiteId site, net::DeliverFn deliver,
+                         double egress_bytes_per_us) {
+  PRAFT_CHECK(site >= 0 && site < latency_.num_sites());
+  PRAFT_CHECK(deliver != nullptr);
+  nodes_.push_back(Node{site, std::move(deliver),
+                        EgressLink(egress_bytes_per_us), true});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+SiteId Network::site_of(NodeId n) const {
+  PRAFT_CHECK(n >= 0 && n < num_nodes());
+  return nodes_[static_cast<size_t>(n)].site;
+}
+
+void Network::set_node_up(NodeId n, bool up) {
+  PRAFT_CHECK(n >= 0 && n < num_nodes());
+  nodes_[static_cast<size_t>(n)].up = up;
+}
+
+bool Network::node_up(NodeId n) const {
+  PRAFT_CHECK(n >= 0 && n < num_nodes());
+  return nodes_[static_cast<size_t>(n)].up;
+}
+
+Duration Network::egress_busy(NodeId n) const {
+  PRAFT_CHECK(n >= 0 && n < num_nodes());
+  return nodes_[static_cast<size_t>(n)].egress.busy_time();
+}
+
+bool Network::usable(NodeId n, Time t) const {
+  if (n < 0 || n >= num_nodes()) return false;
+  const auto& node = nodes_[static_cast<size_t>(n)];
+  return node.up && !faults_.is_down(n, t);
+}
+
+void Network::send(NodeId from, NodeId to, std::any payload, size_t bytes) {
+  const Time now = sim_.now();
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  if (!usable(from, now) || to < 0 || to >= num_nodes()) return;
+  if (faults_.is_blocked(from, to, now)) return;
+  if (faults_.drop_rate() > 0.0 && sim_.rng().chance(faults_.drop_rate())) {
+    return;
+  }
+
+  auto& src = nodes_[static_cast<size_t>(from)];
+  const Time departure = src.egress.enqueue(now, bytes);
+  const Duration flight = latency_.one_way(src.site, site_of(to), sim_.rng());
+  Time arrival = departure + flight;
+  // FIFO per link: protocols in the paper's testbed ran over TCP streams.
+  const uint64_t link = (static_cast<uint64_t>(static_cast<uint32_t>(from))
+                         << 32) |
+                        static_cast<uint32_t>(to);
+  Time& last = last_arrival_[link];
+  if (arrival <= last) arrival = last + 1;
+  last = arrival;
+
+  // Payload is moved into the scheduled closure; delivery re-checks that the
+  // destination is alive *at arrival time* (it may crash in flight).
+  sim_.at(arrival, [this, from, to, bytes,
+                    p = std::move(payload)]() mutable {
+    if (!usable(to, sim_.now())) return;
+    if (faults_.is_blocked(from, to, sim_.now())) return;
+    ++messages_delivered_;
+    nodes_[static_cast<size_t>(to)].deliver(
+        net::Packet{from, to, bytes, std::move(p)});
+  });
+}
+
+}  // namespace praft::sim

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/packet.h"
+#include "sim/faults.h"
+#include "sim/latency.h"
+#include "sim/resources.h"
+#include "sim/simulator.h"
+
+namespace praft::sim {
+
+/// Geo-distributed message network. Each registered node lives at a site and
+/// optionally has a finite-egress NIC. send() models:
+///   departure = egress-queue(bytes)          (bandwidth)
+///   arrival   = departure + one_way(site_a, site_b)  (latency + jitter)
+/// subject to the FaultPlan (drops, partitions, crashes).
+class Network {
+ public:
+  Network(Simulator& sim, LatencyMatrix latency);
+
+  /// Registers a node; returns its id (dense, starting at 0).
+  NodeId add_node(SiteId site, net::DeliverFn deliver,
+                  double egress_bytes_per_us = 0.0);
+
+  /// Sends `payload` of modeled size `bytes` from `from` to `to`.
+  /// Self-sends are delivered after the local RTT/2 (loopback still hops the
+  /// event queue, never reenters the sender synchronously).
+  void send(NodeId from, NodeId to, std::any payload, size_t bytes);
+
+  FaultPlan& faults() { return faults_; }
+  [[nodiscard]] const FaultPlan& faults() const { return faults_; }
+  [[nodiscard]] const LatencyMatrix& latency() const { return latency_; }
+  [[nodiscard]] SiteId site_of(NodeId n) const;
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Manual up/down control (in addition to the FaultPlan windows).
+  void set_node_up(NodeId n, bool up);
+  [[nodiscard]] bool node_up(NodeId n) const;
+
+  [[nodiscard]] uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] uint64_t messages_delivered() const { return messages_delivered_; }
+  [[nodiscard]] uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] Duration egress_busy(NodeId n) const;
+
+ private:
+  struct Node {
+    SiteId site;
+    net::DeliverFn deliver;
+    EgressLink egress;
+    bool up = true;
+  };
+
+  [[nodiscard]] bool usable(NodeId n, Time t) const;
+
+  Simulator& sim_;
+  LatencyMatrix latency_;
+  FaultPlan faults_;
+  std::vector<Node> nodes_;
+  // Per-link FIFO ordering (TCP semantics): jitter may stretch but never
+  // reorder a (src, dst) stream. Key = src * 2^32 + dst.
+  std::unordered_map<uint64_t, Time> last_arrival_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace praft::sim

@@ -1,0 +1,4 @@
+#include "sim/resources.h"
+
+// Header-only; this TU anchors the library target.
+namespace praft::sim {}

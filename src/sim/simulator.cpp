@@ -1,0 +1,4 @@
+#include "sim/simulator.h"
+
+// Simulator is header-only today; this TU anchors the library target.
+namespace praft::sim {}

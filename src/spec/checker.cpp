@@ -1,0 +1,119 @@
+#include "spec/checker.h"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+namespace praft::spec {
+
+namespace {
+
+/// Dedup table: canonical state -> node id; parents enable traces.
+struct Node {
+  State state;
+  int64_t parent;
+  std::string via;
+  size_t depth;
+};
+
+struct StateKey {
+  size_t hash;
+  const State* state;
+};
+
+}  // namespace
+
+std::string CheckResult::summary() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : ("VIOLATION of " + failure)) << ": " << states
+     << " states, " << transitions << " transitions, depth " << depth
+     << (complete ? " (complete)" : " (bounded)");
+  return os.str();
+}
+
+CheckResult ModelChecker::check(const Spec& spec, const CheckOptions& opt) {
+  CheckResult res;
+  std::vector<Node> nodes;
+  std::unordered_map<size_t, std::vector<int64_t>> seen;  // hash -> node ids
+  std::deque<int64_t> frontier;
+
+  auto lookup_or_insert = [&](State s, int64_t parent,
+                              std::string via, size_t depth) -> int64_t {
+    const size_t h = hash_state(s);
+    auto& bucket = seen[h];
+    for (int64_t id : bucket) {
+      if (nodes[static_cast<size_t>(id)].state == s) return -1;  // known
+    }
+    const auto id = static_cast<int64_t>(nodes.size());
+    nodes.push_back(Node{std::move(s), parent, std::move(via), depth});
+    bucket.push_back(id);
+    frontier.push_back(id);
+    return id;
+  };
+
+  auto build_trace = [&](int64_t id) {
+    std::vector<std::string> trace;
+    while (id >= 0) {
+      const Node& n = nodes[static_cast<size_t>(id)];
+      if (!n.via.empty()) trace.push_back(n.via);
+      id = n.parent;
+    }
+    std::reverse(trace.begin(), trace.end());
+    return trace;
+  };
+
+  auto violated = [&](const State& s) -> const Invariant* {
+    for (const Invariant& inv : spec.invariants()) {
+      if (!inv.holds(spec, s)) return &inv;
+    }
+    return nullptr;
+  };
+
+  for (const State& s0 : spec.init()) {
+    const int64_t id = lookup_or_insert(s0, -1, "", 0);
+    if (id >= 0) {
+      if (const Invariant* inv = violated(s0)) {
+        res.ok = false;
+        res.failure = inv->name;
+        res.trace = build_trace(id);
+        res.states = nodes.size();
+        return res;
+      }
+    }
+  }
+
+  while (!frontier.empty()) {
+    if (nodes.size() >= opt.max_states) {
+      res.states = nodes.size();
+      res.complete = false;
+      return res;  // budget exhausted, no violation found so far
+    }
+    const int64_t id = frontier.front();
+    frontier.pop_front();
+    const size_t depth = nodes[static_cast<size_t>(id)].depth;
+    res.depth = std::max(res.depth, depth);
+    if (depth >= opt.max_depth) continue;
+    // NOTE: take a copy — `nodes` reallocates as successors are inserted.
+    const State state = nodes[static_cast<size_t>(id)].state;
+    for (auto& [ai, next] : spec.successors(state)) {
+      ++res.transitions;
+      const int64_t nid =
+          lookup_or_insert(std::move(next), id, ai.to_string(), depth + 1);
+      if (nid >= 0) {
+        const Node& n = nodes[static_cast<size_t>(nid)];
+        if (const Invariant* inv = violated(n.state)) {
+          res.ok = false;
+          res.failure = inv->name;
+          res.trace = build_trace(nid);
+          res.states = nodes.size();
+          return res;
+        }
+      }
+    }
+  }
+  res.states = nodes.size();
+  res.complete = true;
+  return res;
+}
+
+}  // namespace praft::spec

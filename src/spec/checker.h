@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spec/spec.h"
+
+namespace praft::spec {
+
+struct CheckOptions {
+  /// Exploration budget; when exceeded the result reports complete=false
+  /// (bounded model checking, exactly like running TLC with small scopes).
+  size_t max_states = 200'000;
+  size_t max_depth = SIZE_MAX;
+};
+
+struct CheckResult {
+  bool ok = true;          // no invariant violation found
+  bool complete = false;   // full state space explored within the budget
+  size_t states = 0;
+  size_t transitions = 0;
+  size_t depth = 0;        // deepest BFS layer reached
+  std::string failure;     // violated invariant (when !ok)
+  std::vector<std::string> trace;  // action path to the violation
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Explicit-state BFS model checker with canonical-state deduplication and
+/// counterexample trace reconstruction.
+class ModelChecker {
+ public:
+  static CheckResult check(const Spec& spec, const CheckOptions& opt = {});
+};
+
+}  // namespace praft::spec

@@ -1,0 +1,119 @@
+#include "spec/refinement.h"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace praft::spec {
+
+std::string RefinementResult::summary() const {
+  std::ostringstream os;
+  os << (ok ? "REFINES" : "REFINEMENT FAILS") << ": " << states
+     << " B-states, " << transitions << " B-transitions ("
+     << stutters << " stutters)" << (complete ? " (complete)" : " (bounded)");
+  if (!ok) os << "\n  " << failure;
+  return os.str();
+}
+
+namespace {
+
+/// Is `target` reachable from `start` in 1..max_steps A-steps?
+bool a_reaches(const Spec& a, const State& start, const State& target,
+               size_t max_steps) {
+  std::deque<std::pair<State, size_t>> frontier;
+  std::unordered_map<size_t, std::vector<State>> seen;
+  auto remember = [&](const State& s) {
+    auto& bucket = seen[hash_state(s)];
+    for (const State& k : bucket) {
+      if (k == s) return false;
+    }
+    bucket.push_back(s);
+    return true;
+  };
+  remember(start);
+  frontier.emplace_back(start, 0);
+  while (!frontier.empty()) {
+    auto [s, d] = std::move(frontier.front());
+    frontier.pop_front();
+    if (d >= max_steps) continue;
+    for (auto& [ai, next] : a.successors(s)) {
+      (void)ai;
+      if (next == target) return true;
+      if (remember(next)) frontier.emplace_back(std::move(next), d + 1);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+RefinementResult RefinementChecker::check(const Spec& b, const Spec& a,
+                                          const RefinementMapping& f,
+                                          const RefinementOptions& opt) {
+  RefinementResult res;
+
+  // Check initial states first: f(Init_B) must be an Init_A state.
+  auto is_a_init = [&](const State& s) {
+    for (const State& i : a.init()) {
+      if (i == s) return true;
+    }
+    return false;
+  };
+  for (const State& b0 : b.init()) {
+    if (!is_a_init(f.map(b0))) {
+      res.ok = false;
+      res.failure = "initial B state does not map to an initial A state";
+      return res;
+    }
+  }
+
+  // BFS over B's reachable states, checking every transition's image.
+  std::vector<State> nodes;
+  std::unordered_map<size_t, std::vector<size_t>> seen;
+  std::deque<size_t> frontier;
+  auto visit = [&](State s) {
+    auto& bucket = seen[hash_state(s)];
+    for (size_t id : bucket) {
+      if (nodes[id] == s) return;
+    }
+    nodes.push_back(std::move(s));
+    bucket.push_back(nodes.size() - 1);
+    frontier.push_back(nodes.size() - 1);
+  };
+  for (const State& b0 : b.init()) visit(b0);
+
+  while (!frontier.empty()) {
+    if (nodes.size() >= opt.max_states) {
+      res.states = nodes.size();
+      res.complete = false;
+      return res;
+    }
+    const size_t id = frontier.front();
+    frontier.pop_front();
+    const State bs = nodes[id];  // copy: nodes grows below
+    const State as = f.map(bs);
+    for (auto& [ai, bn] : b.successors(bs)) {
+      ++res.transitions;
+      const State an = f.map(bn);
+      if (an == as) {
+        ++res.stutters;  // no-op step; always allowed
+      } else if (!a_reaches(a, as, an, opt.max_a_steps)) {
+        res.ok = false;
+        std::ostringstream os;
+        os << "B step " << ai.to_string()
+           << " maps to an A transition that no sequence of <= "
+           << opt.max_a_steps << " A steps produces";
+        res.failure = os.str();
+        res.states = nodes.size();
+        return res;
+      }
+      visit(std::move(bn));
+    }
+  }
+  res.states = nodes.size();
+  res.complete = true;
+  return res;
+}
+
+}  // namespace praft::spec

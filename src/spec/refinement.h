@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "spec/checker.h"
+#include "spec/spec.h"
+
+namespace praft::spec {
+
+/// Maps a low-level (B) state onto a high-level (A) state — the `f` with
+/// `Var_A = f(Var_B)` of §4.1. Also exposes per-variable reads so ported
+/// optimization clauses can evaluate A-variable names against B states.
+struct RefinementMapping {
+  const Spec* from = nullptr;  // B
+  const Spec* to = nullptr;    // A
+  std::function<State(const Spec& b_spec, const State& b_state)> map_state;
+
+  [[nodiscard]] State map(const State& b_state) const {
+    return map_state(*from, b_state);
+  }
+};
+
+struct RefinementResult {
+  bool ok = true;
+  bool complete = false;
+  size_t states = 0;       // reachable B states examined
+  size_t transitions = 0;  // B transitions checked
+  size_t stutters = 0;     // B steps that map to A stutters
+  std::string failure;     // description of the offending B step
+  [[nodiscard]] std::string summary() const;
+};
+
+struct RefinementOptions {
+  size_t max_states = 100'000;
+  /// One B step may imply a SEQUENCE of A steps (the paper's Appendix C maps
+  /// one AppendEntries to several Phase2a/2b steps); the checker searches
+  /// A-paths up to this length.
+  size_t max_a_steps = 4;
+};
+
+/// Checks B => A under `f`: for every reachable B transition b -> b',
+/// f(b') must be reachable from f(b) by 0 (stutter) to max_a_steps A steps.
+class RefinementChecker {
+ public:
+  static RefinementResult check(const Spec& b, const Spec& a,
+                                const RefinementMapping& f,
+                                const RefinementOptions& opt = {});
+};
+
+}  // namespace praft::spec

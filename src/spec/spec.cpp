@@ -1,0 +1,103 @@
+#include "spec/spec.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace praft::spec {
+
+size_t hash_state(const State& s) {
+  size_t h = 0x9e3779b97f4a7c15ull;
+  for (const Value& v : s) {
+    h ^= v.hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string ActionInstance::to_string() const {
+  std::ostringstream os;
+  os << action << "(";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << params[i].to_string();
+  }
+  os << ")";
+  return os.str();
+}
+
+const Value& VarReader::operator[](const std::string& name) const {
+  return spec_->get(*state_, name);
+}
+
+int Spec::declare_var(const std::string& name) {
+  PRAFT_CHECK_MSG(!has_var(name), "duplicate variable: " + name);
+  vars_.push_back(name);
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+int Spec::var_index(const std::string& name) const {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i] == name) return static_cast<int>(i);
+  }
+  PRAFT_CHECK_MSG(false, "unknown variable: " + name);
+  return -1;
+}
+
+bool Spec::has_var(const std::string& name) const {
+  for (const auto& v : vars_) {
+    if (v == name) return true;
+  }
+  return false;
+}
+
+const Action* Spec::action(const std::string& name) const {
+  for (const auto& a : actions_) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+const Value& Spec::get(const State& s, const std::string& var) const {
+  const auto idx = static_cast<size_t>(var_index(var));
+  PRAFT_CHECK(idx < s.size());
+  return s[idx];
+}
+
+void Spec::set(State& s, const std::string& var, Value v) const {
+  const auto idx = static_cast<size_t>(var_index(var));
+  PRAFT_CHECK(idx < s.size());
+  s[idx] = std::move(v);
+}
+
+void Spec::for_each_params(
+    const std::vector<Domain>& domains,
+    const std::function<void(const std::vector<Value>&)>& fn) {
+  std::vector<Value> params(domains.size());
+  std::function<void(size_t)> rec = [&](size_t d) {
+    if (d == domains.size()) {
+      fn(params);
+      return;
+    }
+    for (const Value& v : domains[d]) {
+      params[d] = v;
+      rec(d + 1);
+    }
+  };
+  rec(0);
+}
+
+std::vector<std::pair<ActionInstance, State>> Spec::successors(
+    const State& s) const {
+  std::vector<std::pair<ActionInstance, State>> out;
+  for (const Action& a : actions_) {
+    for_each_params(a.domains, [&](const std::vector<Value>& params) {
+      std::optional<State> next = a.step(*this, s, params);
+      if (next.has_value()) {
+        out.emplace_back(ActionInstance{a.name, params}, std::move(*next));
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace praft::spec

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spec/value.h"
+
+namespace praft::spec {
+
+/// A protocol state: one Value per declared variable, positionally.
+using State = std::vector<Value>;
+
+/// Finite parameter domain for one subaction argument.
+using Domain = std::vector<Value>;
+
+size_t hash_state(const State& s);
+
+/// A named, identified subaction instance (for traces).
+struct ActionInstance {
+  std::string action;
+  std::vector<Value> params;
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Spec;
+
+/// Read access to a state's variables by name (used by optimization clauses
+/// so they are written against VARIABLE NAMES, never positions — the porting
+/// transformation re-binds the names through the refinement mapping).
+class VarReader {
+ public:
+  VarReader(const Spec* spec, const State* state)
+      : spec_(spec), state_(state) {}
+  [[nodiscard]] const Value& operator[](const std::string& name) const;
+
+ private:
+  const Spec* spec_;
+  const State* state_;
+};
+
+/// One TLA+ subaction: a guarded partial transition function over finite
+/// parameter domains. `step` returns nullopt when the guard fails.
+struct Action {
+  std::string name;
+  std::vector<Domain> domains;
+  std::function<std::optional<State>(const Spec&, const State&,
+                                     const std::vector<Value>&)>
+      step;
+};
+
+/// A named invariant over states.
+struct Invariant {
+  std::string name;
+  std::function<bool(const Spec&, const State&)> holds;
+};
+
+/// A protocol specification: variables, initial states, subactions and
+/// invariants — the executable analogue of a TLA+ module (paper §4.1).
+class Spec {
+ public:
+  Spec() = default;
+  explicit Spec(std::string name) : name_(std::move(name)) {}
+
+  int declare_var(const std::string& name);
+  [[nodiscard]] int var_index(const std::string& name) const;
+  [[nodiscard]] bool has_var(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& vars() const { return vars_; }
+
+  void add_init(State s) { init_.push_back(std::move(s)); }
+  void add_action(Action a) { actions_.push_back(std::move(a)); }
+  void add_invariant(Invariant i) { invariants_.push_back(std::move(i)); }
+
+  [[nodiscard]] const std::vector<State>& init() const { return init_; }
+  [[nodiscard]] const std::vector<Action>& actions() const { return actions_; }
+  [[nodiscard]] const Action* action(const std::string& name) const;
+  [[nodiscard]] const std::vector<Invariant>& invariants() const {
+    return invariants_;
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Variable accessors by name (checked).
+  [[nodiscard]] const Value& get(const State& s, const std::string& var) const;
+  void set(State& s, const std::string& var, Value v) const;
+
+  /// All (action instance, next state) pairs enabled in `s`.
+  [[nodiscard]] std::vector<std::pair<ActionInstance, State>> successors(
+      const State& s) const;
+
+  /// Enumerates the Cartesian product of an action's parameter domains.
+  static void for_each_params(
+      const std::vector<Domain>& domains,
+      const std::function<void(const std::vector<Value>&)>& fn);
+
+ private:
+  std::string name_;
+  std::vector<std::string> vars_;
+  std::vector<State> init_;
+  std::vector<Action> actions_;
+  std::vector<Invariant> invariants_;
+};
+
+}  // namespace praft::spec

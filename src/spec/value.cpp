@@ -1,0 +1,193 @@
+#include "spec/value.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace praft::spec {
+
+Value Value::tuple(Tuple t) { return Value(Repr(std::move(t))); }
+
+Value Value::set(Set s) {
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+  return Value(Repr(std::move(s)));
+}
+
+Value Value::map(Map m) {
+  std::sort(m.begin(), m.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return Value(Repr(std::move(m)));
+}
+
+bool Value::as_bool() const {
+  PRAFT_CHECK_MSG(is_bool(), "Value is not a bool");
+  return std::get<bool>(v_);
+}
+int64_t Value::as_int() const {
+  PRAFT_CHECK_MSG(is_int(), "Value is not an int");
+  return std::get<int64_t>(v_);
+}
+const std::string& Value::as_string() const {
+  PRAFT_CHECK_MSG(is_string(), "Value is not a string");
+  return std::get<std::string>(v_);
+}
+const Value::Tuple& Value::as_tuple() const {
+  PRAFT_CHECK_MSG(is_tuple(), "Value is not a tuple");
+  return std::get<Tuple>(v_);
+}
+const Value::Set& Value::as_set() const {
+  PRAFT_CHECK_MSG(is_set(), "Value is not a set");
+  return std::get<Set>(v_);
+}
+const Value::Map& Value::as_map() const {
+  PRAFT_CHECK_MSG(is_map(), "Value is not a map");
+  return std::get<Map>(v_);
+}
+
+const Value& Value::at(size_t i) const {
+  const Tuple& t = as_tuple();
+  PRAFT_CHECK_MSG(i < t.size(), "tuple index out of range");
+  return t[i];
+}
+
+Value Value::with_at(size_t i, Value v) const {
+  Tuple t = as_tuple();
+  PRAFT_CHECK_MSG(i < t.size(), "tuple index out of range");
+  t[i] = std::move(v);
+  return Value::tuple(std::move(t));
+}
+
+bool Value::contains(const Value& v) const {
+  const Set& s = as_set();
+  return std::binary_search(s.begin(), s.end(), v);
+}
+
+Value Value::with_added(const Value& v) const {
+  Set s = as_set();
+  auto it = std::lower_bound(s.begin(), s.end(), v);
+  if (it == s.end() || !(*it == v)) s.insert(it, v);
+  return Value(Repr(std::move(s)));
+}
+
+size_t Value::size() const {
+  if (is_set()) return as_set().size();
+  if (is_tuple()) return as_tuple().size();
+  if (is_map()) return as_map().size();
+  PRAFT_CHECK_MSG(false, "size() on a scalar Value");
+  return 0;
+}
+
+Value Value::get(const Value& key) const {
+  const Map& m = as_map();
+  auto it = std::lower_bound(
+      m.begin(), m.end(), key,
+      [](const auto& kv, const Value& k) { return kv.first < k; });
+  if (it != m.end() && it->first == key) return it->second;
+  return none();
+}
+
+Value Value::with_put(const Value& key, Value v) const {
+  Map m = as_map();
+  auto it = std::lower_bound(
+      m.begin(), m.end(), key,
+      [](const auto& kv, const Value& k) { return kv.first < k; });
+  if (it != m.end() && it->first == key) {
+    it->second = std::move(v);
+  } else {
+    m.insert(it, {key, std::move(v)});
+  }
+  return Value(Repr(std::move(m)));
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.v_.index() != b.v_.index()) return a.v_.index() < b.v_.index();
+  switch (a.v_.index()) {
+    case 0: return false;
+    case 1: return std::get<bool>(a.v_) < std::get<bool>(b.v_);
+    case 2: return std::get<int64_t>(a.v_) < std::get<int64_t>(b.v_);
+    case 3: return std::get<std::string>(a.v_) < std::get<std::string>(b.v_);
+    case 4: return std::get<Value::Tuple>(a.v_) < std::get<Value::Tuple>(b.v_);
+    case 5: return std::get<Value::Set>(a.v_) < std::get<Value::Set>(b.v_);
+    case 6: return std::get<Value::Map>(a.v_) < std::get<Value::Map>(b.v_);
+  }
+  return false;
+}
+
+namespace {
+size_t mix(size_t h, size_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+}  // namespace
+
+size_t Value::hash() const {
+  size_t h = v_.index() * 0x2545f4914f6cdd1dull;
+  switch (v_.index()) {
+    case 0: break;
+    case 1: h = mix(h, std::get<bool>(v_) ? 2 : 1); break;
+    case 2:
+      h = mix(h, static_cast<size_t>(std::get<int64_t>(v_)) *
+                     0xbf58476d1ce4e5b9ull);
+      break;
+    case 3: h = mix(h, std::hash<std::string>{}(std::get<std::string>(v_)));
+      break;
+    case 4:
+      for (const Value& e : std::get<Tuple>(v_)) h = mix(h, e.hash());
+      break;
+    case 5:
+      for (const Value& e : std::get<Set>(v_)) h = mix(h, e.hash());
+      break;
+    case 6:
+      for (const auto& [k, v] : std::get<Map>(v_)) {
+        h = mix(h, k.hash());
+        h = mix(h, v.hash());
+      }
+      break;
+  }
+  return h;
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  switch (v_.index()) {
+    case 0: os << "_|_"; break;
+    case 1: os << (std::get<bool>(v_) ? "TRUE" : "FALSE"); break;
+    case 2: os << std::get<int64_t>(v_); break;
+    case 3: os << '"' << std::get<std::string>(v_) << '"'; break;
+    case 4: {
+      os << "<<";
+      const auto& t = std::get<Tuple>(v_);
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << t[i].to_string();
+      }
+      os << ">>";
+      break;
+    }
+    case 5: {
+      os << "{";
+      const auto& s = std::get<Set>(v_);
+      for (size_t i = 0; i < s.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << s[i].to_string();
+      }
+      os << "}";
+      break;
+    }
+    case 6: {
+      os << "[";
+      const auto& m = std::get<Map>(v_);
+      for (size_t i = 0; i < m.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << m[i].first.to_string() << " |-> " << m[i].second.to_string();
+      }
+      os << "]";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace praft::spec

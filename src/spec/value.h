@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace praft::spec {
+
+/// A TLA+-style value: none (unbound), booleans, integers, strings, tuples,
+/// finite sets and finite functions (maps). Sets and maps keep their elements
+/// sorted so every value has one canonical form — states hash and compare
+/// structurally, which the model checker relies on.
+class Value {
+ public:
+  using Tuple = std::vector<Value>;
+  /// Distinct type from Tuple so both can live in one variant.
+  struct Set : std::vector<Value> {  // sorted, deduped
+    using std::vector<Value>::vector;
+  };
+  using Map = std::vector<std::pair<Value, Value>>;  // sorted by key
+
+  Value() : v_(std::monostate{}) {}
+  static Value none() { return Value(); }
+  static Value boolean(bool b) { return Value(Repr(b)); }
+  static Value integer(int64_t i) { return Value(Repr(i)); }
+  static Value string(std::string s) { return Value(Repr(std::move(s))); }
+  static Value tuple(Tuple t);
+  static Value set(Set s);
+  static Value map(Map m);
+
+  [[nodiscard]] bool is_none() const { return v_.index() == 0; }
+  [[nodiscard]] bool is_bool() const { return v_.index() == 1; }
+  [[nodiscard]] bool is_int() const { return v_.index() == 2; }
+  [[nodiscard]] bool is_string() const { return v_.index() == 3; }
+  [[nodiscard]] bool is_tuple() const { return v_.index() == 4; }
+  [[nodiscard]] bool is_set() const { return v_.index() == 5; }
+  [[nodiscard]] bool is_map() const { return v_.index() == 6; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Tuple& as_tuple() const;
+  [[nodiscard]] const Set& as_set() const;
+  [[nodiscard]] const Map& as_map() const;
+
+  // --- Tuple helpers -------------------------------------------------------
+  /// Element access (tuple index must be in range).
+  [[nodiscard]] const Value& at(size_t i) const;
+  /// Functional update: a copy with element i replaced.
+  [[nodiscard]] Value with_at(size_t i, Value v) const;
+
+  // --- Set helpers ---------------------------------------------------------
+  [[nodiscard]] bool contains(const Value& v) const;
+  [[nodiscard]] Value with_added(const Value& v) const;
+  [[nodiscard]] size_t size() const;
+
+  // --- Map helpers ---------------------------------------------------------
+  /// Lookup; returns none() when absent.
+  [[nodiscard]] Value get(const Value& key) const;
+  [[nodiscard]] Value with_put(const Value& key, Value v) const;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] size_t hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, std::string, Tuple,
+                            Set, Map>;
+  explicit Value(Repr r) : v_(std::move(r)) {}
+  Repr v_;
+};
+
+/// Convenience constructors.
+inline Value V(bool b) { return Value::boolean(b); }
+inline Value V(int64_t i) { return Value::integer(i); }
+inline Value V(int i) { return Value::integer(i); }
+inline Value V(const char* s) { return Value::string(s); }
+template <typename... Ts>
+Value VT(Ts&&... elems) {
+  Value::Tuple t;
+  (t.push_back(std::forward<Ts>(elems)), ...);
+  return Value::tuple(std::move(t));
+}
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.hash(); }
+};
+
+}  // namespace praft::spec

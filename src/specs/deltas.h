@@ -1,0 +1,41 @@
+#pragma once
+
+#include "core/port.h"
+#include "specs/multipaxos_spec.h"
+
+namespace praft::specs {
+
+/// Paxos Quorum Lease as a non-mutating optimization delta on MultiPaxos
+/// (Appendix B.3). New variables: applyIndex, timer, leases. Added
+/// subactions: GrantLease, UpdateTimer, Apply, ReadAtLocal. Modified:
+/// Propose gains the "reads, or no active lease" guard. Values must be typed
+/// tuples <<type, id>> with type "r" or "w" (use pql_values()).
+///
+/// Porting this delta through the Raft* bundle yields the B.4 RQL spec.
+core::OptimizationDelta make_pql_delta(const ConsensusScope& scope);
+
+/// Value domain for PQL scopes: one read and one write op.
+spec::Domain pql_values();
+
+/// Mencius (coordinated Paxos) as a non-mutating delta on MultiPaxos
+/// (Appendix B.5). Instance i's default leader is acceptor (i mod n). New
+/// variables: skipTags, executable, skip1b (skip tags piggybacked on 1b
+/// messages), propDefaults (isDefault flags piggybacked on proposals).
+/// Modified: Propose (coordination restriction + default flag), Accept
+/// (skip tags + executable set), Phase1b / BecomeLeader (skip-tag transfer).
+///
+/// Porting this delta through the Raft* bundle yields the B.6 CoorRaft spec.
+core::OptimizationDelta make_mencius_delta(const ConsensusScope& scope);
+
+/// Value domain for Mencius scopes: one real value and the no-op.
+spec::Domain mencius_values();
+spec::Value mencius_noop();
+
+/// The paper's §2.2 motivating example: checkpointing. The optimization
+/// records the last checkpointed instance id — a variable that only READS
+/// Paxos state (is the instance chosen?). Ported to Raft*, "instance id"
+/// becomes "log index" purely through the refinement mapping, "without
+/// considering the precise semantics" (§2.2).
+core::OptimizationDelta make_checkpoint_delta(const ConsensusScope& scope);
+
+}  // namespace praft::specs

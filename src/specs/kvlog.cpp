@@ -1,0 +1,130 @@
+#include "specs/kvlog.h"
+
+namespace praft::specs {
+
+using core::AddedAction;
+using core::DeltaUpdates;
+using core::ModifiedAction;
+using spec::Action;
+using spec::Domain;
+using spec::Invariant;
+using spec::Spec;
+using spec::State;
+using spec::V;
+using spec::Value;
+
+std::unique_ptr<KvLogBundle> make_kvlog(int num_keys, int num_values) {
+  auto bundle = std::make_unique<KvLogBundle>();
+
+  Domain keys, values;
+  for (int k = 0; k < num_keys; ++k) keys.push_back(V(k));
+  for (int v = 1; v <= num_values; ++v) values.push_back(V(v));
+
+  Value empty_row;
+  {
+    Value::Tuple t(static_cast<size_t>(num_keys), Value::none());
+    empty_row = Value::tuple(std::move(t));
+  }
+
+  // --- A: the key-value store (Fig. 4a) -----------------------------------
+  Spec& a = bundle->a;
+  a = Spec("KvStore");
+  a.declare_var("table");
+  a.declare_var("output");
+  a.add_init(State{empty_row, Value::none()});
+  a.add_action(Action{
+      "Put",
+      {keys, values},
+      [](const Spec& sp, const State& s, const std::vector<Value>& p)
+          -> std::optional<State> {
+        State n = s;
+        sp.set(n, "table",
+               sp.get(s, "table").with_at(static_cast<size_t>(p[0].as_int()),
+                                          p[1]));
+        return n;
+      }});
+  a.add_action(Action{
+      "Get",
+      {keys},
+      [](const Spec& sp, const State& s, const std::vector<Value>& p)
+          -> std::optional<State> {
+        State n = s;
+        sp.set(n, "output",
+               sp.get(s, "table").at(static_cast<size_t>(p[0].as_int())));
+        return n;
+      }});
+
+  // --- B: the log (Fig. 4b) ------------------------------------------------
+  Spec& b = bundle->b;
+  b = Spec("Log");
+  b.declare_var("logs");
+  b.declare_var("output");
+  b.add_init(State{empty_row, Value::none()});
+  b.add_action(Action{
+      "Write",
+      {keys, values},
+      [](const Spec& sp, const State& s, const std::vector<Value>& p)
+          -> std::optional<State> {
+        const auto i = static_cast<size_t>(p[0].as_int());
+        const Value& logs = sp.get(s, "logs");
+        // Contiguity: i = 0 or logs[i-1] already bound (Fig. 4b line 2).
+        if (i > 0 && logs.at(i - 1).is_none()) return std::nullopt;
+        State n = s;
+        sp.set(n, "logs", logs.with_at(i, p[1]));
+        return n;
+      }});
+  b.add_action(Action{
+      "Read",
+      {keys},
+      [](const Spec& sp, const State& s, const std::vector<Value>& p)
+          -> std::optional<State> {
+        State n = s;
+        sp.set(n, "output",
+               sp.get(s, "logs").at(static_cast<size_t>(p[0].as_int())));
+        return n;
+      }});
+
+  // --- f: B => A (the i-th log entry is the table entry with key i) -------
+  bundle->f.from = &bundle->b;
+  bundle->f.to = &bundle->a;
+  bundle->f.map_state = [](const Spec& bs, const State& s) {
+    return State{bs.get(s, "logs"), bs.get(s, "output")};
+  };
+
+  // --- Fig. 3-style correspondence ----------------------------------------
+  bundle->corr.entries.push_back({"Write", "Put", nullptr});
+  bundle->corr.entries.push_back({"Read", "Get", nullptr});
+
+  // --- Δ: the size counter (Fig. 4c) ---------------------------------------
+  core::OptimizationDelta& d = bundle->delta;
+  d.name = "size";
+  d.new_vars.emplace_back("size", V(0));
+  ModifiedAction put_mod;
+  put_mod.base = "Put";
+  put_mod.clause.apply = [](const core::VarFn& a_pre, const core::VarFn&,
+                            const core::VarFn& d_pre,
+                            const std::vector<Value>& p)
+      -> std::optional<DeltaUpdates> {
+    // Extra guard (Fig. 4c line 2): the key must be unbound. Reads A-vars
+    // only; never writes them.
+    const Value cell = a_pre("table").at(static_cast<size_t>(p[0].as_int()));
+    if (!cell.is_none()) return std::nullopt;
+    DeltaUpdates u;
+    u["size"] = V(d_pre("size").as_int() + 1);
+    return u;
+  };
+  d.modified.push_back(std::move(put_mod));
+  d.new_invariants.push_back(Invariant{
+      "SizeCountsBoundKeys",
+      [](const Spec& sp, const State& s) {
+        int64_t bound = 0;
+        for (const Value& cell : sp.get(s, "table").as_tuple()) {
+          bound += cell.is_none() ? 0 : 1;
+        }
+        return sp.get(s, "size").as_int() == bound;
+      }});
+
+  return bundle;
+}
+
+}  // namespace praft::specs

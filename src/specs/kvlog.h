@@ -1,0 +1,29 @@
+#pragma once
+
+#include <memory>
+
+#include "core/port.h"
+#include "spec/refinement.h"
+#include "spec/spec.h"
+
+namespace praft::specs {
+
+/// The paper's Fig. 4 teaching example, executable:
+///   A  — a key-value store with Put/Get (Fig. 4a);
+///   B  — a log that stores values contiguously and refines A under
+///        table[k] = logs[k] (Fig. 4b);
+///   Δ  — the non-mutating "size counter" optimization on A (Fig. 4c);
+/// port(B, f, corr, Δ) then mechanically produces Fig. 4d.
+struct KvLogBundle {
+  spec::Spec a;
+  spec::Spec b;
+  spec::RefinementMapping f;       // B => A
+  core::Correspondence corr;       // Write -> Put, Read -> Get
+  core::OptimizationDelta delta;   // size counter
+};
+
+/// Builds the bundle with `num_keys` keys/log positions and integer values
+/// 1..num_values. The bundle must outlive any Spec derived from it.
+std::unique_ptr<KvLogBundle> make_kvlog(int num_keys = 2, int num_values = 2);
+
+}  // namespace praft::specs

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <memory>
+
+#include "core/port.h"
+#include "spec/refinement.h"
+#include "specs/multipaxos_spec.h"
+
+namespace praft::specs {
+
+/// The Raft* spec (Appendix B.2), its MultiPaxos counterpart, the refinement
+/// mapping between them (Fig. 3) and the action correspondence table the
+/// porting method consumes (§4.3).
+struct RaftStarBundle {
+  ConsensusScope scope;
+  std::unique_ptr<spec::Spec> paxos;     // A
+  std::unique_ptr<spec::Spec> raftstar;  // B
+  spec::RefinementMapping f;             // Raft* => MultiPaxos
+  core::Correspondence corr;             // Fig. 3 function table
+};
+
+/// Builds both specs at `scope`. Fig. 3's variable mapping:
+///   currentTerm/highestBallot -> ballot,  isLeader -> phase1Succeeded,
+///   entry.val -> instance.val,  entry.bal (logBallot) -> instance.bal,
+///   requestVote/requestVoteOK -> prepare/prepareOK,
+///   (im/ex) append/appendOK   -> accept/acceptOK.
+/// Action table: Phase1a->Phase1a, Phase1b->Phase1b,
+/// BecomeLeader->BecomeLeader(+implicit accepts), ProposeEntries->Propose,
+/// AcceptEntries->Accept (per covered instance — checked as a multi-step
+/// refinement, Appendix C's "stuttering").
+std::unique_ptr<RaftStarBundle> make_raftstar_bundle(
+    const ConsensusScope& scope);
+
+}  // namespace praft::specs

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace praft {
+namespace {
+
+TEST(TypesTest, DurationHelpers) {
+  EXPECT_EQ(usec(7), 7);
+  EXPECT_EQ(msec(3), 3000);
+  EXPECT_EQ(sec(2), 2'000'000);
+  EXPECT_DOUBLE_EQ(to_ms(msec(250)), 250.0);
+}
+
+TEST(CheckTest, ThrowsOnFailure) {
+  EXPECT_NO_THROW(PRAFT_CHECK(1 + 1 == 2));
+  EXPECT_THROW(PRAFT_CHECK(false), CheckFailure);
+  EXPECT_THROW(PRAFT_CHECK_MSG(false, "boom"), CheckFailure);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const int64_t v = r.range(10, 20);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 20);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, SplitIndependence) {
+  Rng a(5);
+  Rng c = a.split();
+  std::set<uint64_t> vals;
+  for (int i = 0; i < 50; ++i) {
+    vals.insert(a.next());
+    vals.insert(c.next());
+  }
+  EXPECT_EQ(vals.size(), 100u);
+}
+
+TEST(HistogramTest, EmptyBehaviour) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.record(1234);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 1234.0, 1234.0 * 0.04);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) h.record(r.range(1, 1'000'000));
+  const int64_t p50 = h.percentile(50);
+  const int64_t p90 = h.percentile(90);
+  const int64_t p99 = h.percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_NEAR(static_cast<double>(p50), 500'000.0, 50'000.0);
+  EXPECT_NEAR(static_cast<double>(p99), 990'000.0, 50'000.0);
+}
+
+TEST(HistogramTest, RelativeErrorBounded) {
+  Histogram h;
+  for (int64_t v : {1, 10, 100, 1000, 10'000, 100'000, 1'000'000}) {
+    h.clear();
+    h.record(v);
+    const auto p = static_cast<double>(h.percentile(50));
+    EXPECT_NEAR(p, static_cast<double>(v), static_cast<double>(v) * 0.05 + 1);
+  }
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_LT(a.percentile(40), 100);
+  EXPECT_GT(a.percentile(60), 100);
+}
+
+TEST(HistogramTest, NegativeClampedToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1);
+}
+
+TEST(HistogramTest, MeanMatches) {
+  Histogram h;
+  h.record(100);
+  h.record(300);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+}  // namespace
+}  // namespace praft

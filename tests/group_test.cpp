@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "consensus/group.h"
+#include "consensus/types.h"
+
+namespace praft::consensus {
+namespace {
+
+Group make_group(NodeId self, std::initializer_list<NodeId> members) {
+  Group g;
+  g.self = self;
+  g.members = members;
+  return g;
+}
+
+TEST(GroupTest, QuorumArithmetic) {
+  EXPECT_EQ(make_group(0, {0}).majority(), 1);
+  EXPECT_EQ(make_group(0, {0, 1, 2}).majority(), 2);
+  EXPECT_EQ(make_group(0, {0, 1, 2, 3, 4}).majority(), 3);
+  EXPECT_EQ(make_group(0, {0, 1, 2, 3, 4}).f(), 2);
+  EXPECT_EQ(make_group(0, {0, 1, 2, 3, 4, 5, 6}).f(), 3);
+}
+
+TEST(GroupTest, RankAndMembership) {
+  const Group g = make_group(11, {10, 11, 12});
+  EXPECT_TRUE(g.contains(10));
+  EXPECT_FALSE(g.contains(99));
+  EXPECT_EQ(g.rank_of(10), 0);
+  EXPECT_EQ(g.rank_of(12), 2);
+  EXPECT_THROW(g.rank_of(99), CheckFailure);
+}
+
+TEST(GroupTest, ValidateRejectsNonMemberSelf) {
+  Group g = make_group(99, {0, 1, 2});
+  EXPECT_THROW(g.validate(), CheckFailure);
+  Group empty;
+  empty.self = 0;
+  EXPECT_THROW(empty.validate(), CheckFailure);
+}
+
+TEST(QuorumTrackerTest, DedupesAcks) {
+  QuorumTracker t(2);
+  EXPECT_TRUE(t.add(1));
+  EXPECT_FALSE(t.add(1));  // duplicate
+  EXPECT_FALSE(t.reached());
+  EXPECT_TRUE(t.add(2));
+  EXPECT_TRUE(t.reached());
+  EXPECT_EQ(t.count(), 2);
+}
+
+TEST(QuorumTrackerTest, ZeroNeededIsImmediatelyReached) {
+  QuorumTracker t(0);
+  EXPECT_TRUE(t.reached());
+}
+
+TEST(BallotTest, LexicographicOrder) {
+  EXPECT_LT((Ballot{1, 5}), (Ballot{2, 0}));
+  EXPECT_LT((Ballot{2, 0}), (Ballot{2, 1}));
+  EXPECT_EQ((Ballot{3, 3}), (Ballot{3, 3}));
+  EXPECT_FALSE(Ballot{}.valid());
+  EXPECT_TRUE((Ballot{0, 0}).valid());
+}
+
+TEST(WireTest, EntryBytesTrackCommandSize) {
+  kv::Command small{kv::Op::kPut, 1, 1, 8, 0, 1};
+  kv::Command big{kv::Op::kPut, 1, 1, 4096, 0, 1};
+  EXPECT_LT(wire::entry_bytes(small), wire::entry_bytes(big));
+  EXPECT_EQ(wire::entry_bytes(big) - wire::entry_bytes(small), 4096u - 8u);
+}
+
+}  // namespace
+}  // namespace praft::consensus

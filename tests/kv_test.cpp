@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "kv/command.h"
+#include "kv/store.h"
+#include "kv/workload.h"
+
+namespace praft::kv {
+namespace {
+
+TEST(CommandTest, WireBytesIncludeValueOnlyForPuts) {
+  Command get{Op::kGet, 7, 0, 4096, 1, 1};
+  Command put{Op::kPut, 7, 9, 4096, 1, 2};
+  EXPECT_EQ(get.wire_bytes(), 24u);
+  EXPECT_EQ(put.wire_bytes(), 24u + 4096u);
+}
+
+TEST(StoreTest, PutThenGet) {
+  KvStore s;
+  s.apply(Command{Op::kPut, 1, 42, 8, 0, 1});
+  const auto r = s.apply(Command{Op::kGet, 1, 0, 8, 0, 2});
+  EXPECT_EQ(r.value, 42u);
+  EXPECT_EQ(s.read_local(1), 42u);
+}
+
+TEST(StoreTest, GetMissingReturnsZero) {
+  KvStore s;
+  EXPECT_EQ(s.apply(Command{Op::kGet, 99, 0, 8, 0, 1}).value, 0u);
+  EXPECT_EQ(s.read_local(99), 0u);
+}
+
+TEST(StoreTest, OverwriteBumpsVersion) {
+  KvStore s;
+  EXPECT_EQ(s.apply(Command{Op::kPut, 5, 1, 8, 0, 1}).version, 1u);
+  EXPECT_EQ(s.apply(Command{Op::kPut, 5, 2, 8, 0, 2}).version, 2u);
+  EXPECT_EQ(s.read_local(5), 2u);
+}
+
+TEST(StoreTest, NoopDoesNothingButCounts) {
+  KvStore s;
+  s.apply(noop_command());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.applied_count(), 1u);
+}
+
+TEST(StoreTest, FingerprintDetectsDivergence) {
+  KvStore a, b;
+  a.apply(Command{Op::kPut, 1, 10, 8, 0, 1});
+  b.apply(Command{Op::kPut, 1, 10, 8, 0, 1});
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.apply(Command{Op::kPut, 2, 20, 8, 0, 2});
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(StoreTest, FingerprintOrderInsensitive) {
+  KvStore a, b;
+  a.apply(Command{Op::kPut, 1, 10, 8, 0, 1});
+  a.apply(Command{Op::kPut, 2, 20, 8, 0, 2});
+  b.apply(Command{Op::kPut, 2, 20, 8, 0, 2});
+  b.apply(Command{Op::kPut, 1, 10, 8, 0, 1});
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(WorkloadTest, ReadFractionRespected) {
+  WorkloadConfig cfg;
+  cfg.read_fraction = 0.9;
+  cfg.conflict_rate = 0.0;
+  WorkloadGenerator gen(cfg, 0, Rng(1));
+  int reads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) reads += gen.next(1, static_cast<uint64_t>(i)).is_read();
+  EXPECT_NEAR(static_cast<double>(reads) / n, 0.9, 0.02);
+}
+
+TEST(WorkloadTest, ConflictRateHitsHotKey) {
+  WorkloadConfig cfg;
+  cfg.conflict_rate = 0.25;
+  WorkloadGenerator gen(cfg, 0, Rng(2));
+  int hot = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hot += (gen.next(1, static_cast<uint64_t>(i)).key == 0);
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.25, 0.02);
+}
+
+TEST(WorkloadTest, PartitionsAreDisjoint) {
+  WorkloadConfig cfg;
+  cfg.conflict_rate = 0.0;
+  cfg.num_partitions = 5;
+  cfg.num_records = 100'000;
+  WorkloadGenerator g0(cfg, 0, Rng(3));
+  WorkloadGenerator g4(cfg, 4, Rng(4));
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t k0 = g0.next(1, static_cast<uint64_t>(i)).key;
+    const uint64_t k4 = g4.next(2, static_cast<uint64_t>(i)).key;
+    EXPECT_GE(k0, 1u);
+    EXPECT_LT(k0, 20'001u);
+    EXPECT_GE(k4, 80'001u);
+    EXPECT_LT(k4, 100'001u);
+  }
+}
+
+TEST(WorkloadTest, ValueSizePropagates) {
+  WorkloadConfig cfg;
+  cfg.value_size = 4096;
+  cfg.read_fraction = 0.0;
+  WorkloadGenerator gen(cfg, 0, Rng(5));
+  const Command c = gen.next(1, 1);
+  EXPECT_EQ(c.value_size, 4096u);
+  EXPECT_TRUE(c.is_write());
+}
+
+TEST(WorkloadTest, SeqAndClientStamped) {
+  WorkloadConfig cfg;
+  WorkloadGenerator gen(cfg, 0, Rng(6));
+  const Command c = gen.next(42, 17);
+  EXPECT_EQ(c.client, 42);
+  EXPECT_EQ(c.seq, 17u);
+}
+
+}  // namespace
+}  // namespace praft::kv

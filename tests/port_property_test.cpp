@@ -1,0 +1,120 @@
+// Property sweeps over the §4.3 port at many scopes: for EVERY scope the
+// Fig. 5 diamond must close. This is the porting method's regression net.
+#include <gtest/gtest.h>
+
+#include "core/port.h"
+#include "spec/checker.h"
+#include "spec/refinement.h"
+#include "specs/kvlog.h"
+
+namespace praft {
+namespace {
+
+struct Scope {
+  int keys;
+  int values;
+};
+
+class KvLogScopeTest : public ::testing::TestWithParam<Scope> {};
+
+TEST_P(KvLogScopeTest, DiamondClosesAtEveryScope) {
+  const Scope sc = GetParam();
+  auto bundle = specs::make_kvlog(sc.keys, sc.values);
+  spec::Spec ad = core::apply_delta(bundle->a, bundle->delta);
+  spec::Spec bd =
+      core::port(bundle->b, bundle->f, bundle->corr, bundle->delta);
+
+  spec::CheckOptions mopt;
+  mopt.max_states = 300'000;
+  const auto ad_check = spec::ModelChecker::check(ad, mopt);
+  EXPECT_TRUE(ad_check.ok) << ad_check.summary();
+
+  spec::RefinementOptions ropt;
+  ropt.max_states = 300'000;
+  const auto b_a =
+      spec::RefinementChecker::check(bundle->b, bundle->a, bundle->f, ropt);
+  EXPECT_TRUE(b_a.ok) << "B=>A " << b_a.summary();
+  const auto bd_b = spec::RefinementChecker::check(
+      bd, bundle->b, core::projection_mapping(bd, bundle->b), ropt);
+  EXPECT_TRUE(bd_b.ok) << "BΔ=>B " << bd_b.summary();
+  const auto bd_ad = spec::RefinementChecker::check(
+      bd, ad, core::lifted_mapping(bundle->f, bd, ad, bundle->delta), ropt);
+  EXPECT_TRUE(bd_ad.ok) << "BΔ=>AΔ " << bd_ad.summary();
+
+  // The ported spec preserves B's reachable-state pruning: BΔ is never
+  // larger than B (extra guards only restrict).
+  const auto b_states = spec::ModelChecker::check(bundle->b, mopt).states;
+  const auto bd_states = spec::ModelChecker::check(bd, mopt).states;
+  EXPECT_LE(bd_states, b_states * 2)  // size counter adds one dimension
+      << "ported spec blew up unexpectedly";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scopes, KvLogScopeTest,
+    ::testing::Values(Scope{1, 1}, Scope{1, 2}, Scope{2, 1}, Scope{2, 2},
+                      Scope{2, 3}, Scope{3, 1}, Scope{3, 2}, Scope{4, 1}),
+    [](const ::testing::TestParamInfo<Scope>& info) {
+      return "keys" + std::to_string(info.param.keys) + "_vals" +
+             std::to_string(info.param.values);
+    });
+
+// Deltas composed of only-added actions (no modified ones) port too.
+TEST(PortEdgeCaseTest, AddedOnlyDelta) {
+  auto bundle = specs::make_kvlog(2, 2);
+  core::OptimizationDelta d;
+  d.name = "audit";
+  d.new_vars.emplace_back("audits", spec::V(0));
+  d.added.push_back(core::AddedAction{
+      "Audit",
+      {},
+      [](const core::VarFn& av, const core::VarFn& dv,
+         const std::vector<spec::Value>&)
+          -> std::optional<core::DeltaUpdates> {
+        (void)av;
+        core::DeltaUpdates u;
+        const int64_t n = dv("audits").as_int();
+        if (n >= 3) return std::nullopt;  // bounded for checking
+        u["audits"] = spec::V(n + 1);
+        return u;
+      }});
+  spec::Spec ad = core::apply_delta(bundle->a, d);
+  spec::Spec bd = core::port(bundle->b, bundle->f, bundle->corr, d);
+  EXPECT_NE(bd.action("Audit"), nullptr);
+  const auto res = spec::RefinementChecker::check(
+      bd, ad, core::lifted_mapping(bundle->f, bd, ad, d));
+  EXPECT_TRUE(res.ok) << res.summary();
+}
+
+// An empty delta is the identity port: BΔ == B modulo naming.
+TEST(PortEdgeCaseTest, EmptyDeltaIsIdentity) {
+  auto bundle = specs::make_kvlog(2, 2);
+  core::OptimizationDelta d;
+  d.name = "noop";
+  spec::Spec bd = core::port(bundle->b, bundle->f, bundle->corr, d);
+  EXPECT_EQ(bd.vars().size(), bundle->b.vars().size());
+  const auto b_res = spec::ModelChecker::check(bundle->b);
+  const auto bd_res = spec::ModelChecker::check(bd);
+  EXPECT_EQ(b_res.states, bd_res.states);
+  EXPECT_EQ(b_res.transitions, bd_res.transitions);
+}
+
+// A modified action whose clause always fails removes the action entirely.
+TEST(PortEdgeCaseTest, AlwaysFalseClauseDisablesAction) {
+  auto bundle = specs::make_kvlog(2, 2);
+  core::OptimizationDelta d;
+  d.name = "freeze";
+  d.new_vars.emplace_back("unused", spec::V(0));
+  core::ModifiedAction m;
+  m.base = "Put";
+  m.clause.apply = [](const core::VarFn&, const core::VarFn&,
+                      const core::VarFn&, const std::vector<spec::Value>&)
+      -> std::optional<core::DeltaUpdates> { return std::nullopt; };
+  d.modified.push_back(std::move(m));
+  spec::Spec bd = core::port(bundle->b, bundle->f, bundle->corr, d);
+  // With Write disabled, only Read remains: exactly one reachable state.
+  const auto res = spec::ModelChecker::check(bd);
+  EXPECT_EQ(res.states, 1u);
+}
+
+}  // namespace
+}  // namespace praft

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/port.h"
+#include "spec/checker.h"
+#include "spec/refinement.h"
+#include "spec/value.h"
+#include "specs/kvlog.h"
+
+namespace praft {
+namespace {
+
+using spec::CheckOptions;
+using spec::CheckResult;
+using spec::ModelChecker;
+using spec::RefinementChecker;
+using spec::V;
+using spec::Value;
+using spec::VT;
+
+// ---------------------------------------------------------------------------
+// Value semantics.
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, ScalarBasics) {
+  EXPECT_TRUE(Value::none().is_none());
+  EXPECT_EQ(V(7).as_int(), 7);
+  EXPECT_TRUE(V(true).as_bool());
+  EXPECT_EQ(V("x").as_string(), "x");
+  EXPECT_FALSE(V(1) == V(2));
+  EXPECT_TRUE(V(1) == V(1));
+}
+
+TEST(ValueTest, SetsAreCanonical) {
+  const Value s1 = Value::set({V(3), V(1), V(2), V(1)});
+  const Value s2 = Value::set({V(1), V(2), V(3)});
+  EXPECT_TRUE(s1 == s2);
+  EXPECT_EQ(s1.hash(), s2.hash());
+  EXPECT_EQ(s1.size(), 3u);
+  EXPECT_TRUE(s1.contains(V(2)));
+  EXPECT_FALSE(s1.contains(V(9)));
+}
+
+TEST(ValueTest, WithAddedIsPersistent) {
+  const Value s = Value::set({V(1)});
+  const Value s2 = s.with_added(V(2));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s2.size(), 2u);
+  EXPECT_TRUE(s2.with_added(V(2)) == s2);  // idempotent
+}
+
+TEST(ValueTest, TupleUpdate) {
+  const Value t = VT(V(1), V(2), V(3));
+  const Value t2 = t.with_at(1, V(9));
+  EXPECT_EQ(t.at(1).as_int(), 2);
+  EXPECT_EQ(t2.at(1).as_int(), 9);
+  EXPECT_NE(t.hash(), t2.hash());
+}
+
+TEST(ValueTest, MapOperations) {
+  Value m = Value::map({});
+  m = m.with_put(V("a"), V(1));
+  m = m.with_put(V("b"), V(2));
+  m = m.with_put(V("a"), V(3));
+  EXPECT_EQ(m.get(V("a")).as_int(), 3);
+  EXPECT_EQ(m.get(V("b")).as_int(), 2);
+  EXPECT_TRUE(m.get(V("zzz")).is_none());
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(ValueTest, OrderingIsTotal) {
+  std::vector<Value> vals = {Value::none(), V(false), V(0), V("a"),
+                             VT(V(1)),      Value::set({V(1)})};
+  for (size_t i = 0; i < vals.size(); ++i) {
+    for (size_t j = 0; j < vals.size(); ++j) {
+      const bool lt = vals[i] < vals[j];
+      const bool gt = vals[j] < vals[i];
+      const bool eq = vals[i] == vals[j];
+      EXPECT_EQ(static_cast<int>(lt) + static_cast<int>(gt) +
+                    static_cast<int>(eq),
+                1);
+    }
+  }
+}
+
+TEST(ValueTest, ToStringReadable) {
+  EXPECT_EQ(VT(V(1), V("x")).to_string(), "<<1, \"x\">>");
+  EXPECT_EQ(Value::set({V(2), V(1)}).to_string(), "{1, 2}");
+}
+
+// ---------------------------------------------------------------------------
+// Model checker on the Fig. 4 example.
+// ---------------------------------------------------------------------------
+
+TEST(ModelCheckerTest, ExploresKvStoreCompletely) {
+  auto bundle = specs::make_kvlog(2, 2);
+  const CheckResult res = ModelChecker::check(bundle->a);
+  EXPECT_TRUE(res.ok);
+  EXPECT_TRUE(res.complete);
+  // table: 3 options per key (none,1,2)^2 x output: 3 = 27, minus the two
+  // unreachable "output bound but table fully empty" states (no deletes).
+  EXPECT_EQ(res.states, 25u);
+}
+
+TEST(ModelCheckerTest, LogHasFewerStatesThanKv) {
+  // The contiguity guard prunes sparse logs.
+  auto bundle = specs::make_kvlog(2, 2);
+  const CheckResult a = ModelChecker::check(bundle->a);
+  const CheckResult b = ModelChecker::check(bundle->b);
+  EXPECT_TRUE(b.ok);
+  EXPECT_TRUE(b.complete);
+  EXPECT_LT(b.states, a.states);
+}
+
+TEST(ModelCheckerTest, FindsViolationWithTrace) {
+  // A deliberately wrong invariant produces a counterexample trace.
+  auto bundle = specs::make_kvlog(1, 1);
+  bundle->a.add_invariant(spec::Invariant{
+      "TableNeverBound",
+      [](const spec::Spec& sp, const spec::State& s) {
+        return sp.get(s, "table").at(0).is_none();
+      }});
+  const CheckResult res = ModelChecker::check(bundle->a);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.failure, "TableNeverBound");
+  ASSERT_FALSE(res.trace.empty());
+  EXPECT_NE(res.trace.back().find("Put"), std::string::npos);
+}
+
+TEST(ModelCheckerTest, BudgetBoundsExploration) {
+  auto bundle = specs::make_kvlog(2, 2);
+  CheckOptions opt;
+  opt.max_states = 5;
+  const CheckResult res = ModelChecker::check(bundle->a, opt);
+  EXPECT_TRUE(res.ok);
+  EXPECT_FALSE(res.complete);
+  EXPECT_LE(res.states, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Refinement: B (log) refines A (kv store) — Fig. 4a/4b.
+// ---------------------------------------------------------------------------
+
+TEST(RefinementTest, LogRefinesKvStore) {
+  auto bundle = specs::make_kvlog(2, 2);
+  const auto res = RefinementChecker::check(bundle->b, bundle->a, bundle->f);
+  EXPECT_TRUE(res.ok) << res.summary();
+  EXPECT_TRUE(res.complete);
+  EXPECT_GT(res.transitions, 0u);
+}
+
+TEST(RefinementTest, BrokenMappingIsRejected) {
+  auto bundle = specs::make_kvlog(2, 2);
+  spec::RefinementMapping wrong = bundle->f;
+  wrong.map_state = [](const spec::Spec& bs, const spec::State& s) {
+    // Swap the variables: output becomes the table. Nonsense on purpose.
+    return spec::State{VT(bs.get(s, "output"), bs.get(s, "output")),
+                       bs.get(s, "output")};
+  };
+  const auto res = RefinementChecker::check(bundle->b, bundle->a, wrong);
+  EXPECT_FALSE(res.ok);
+}
+
+// ---------------------------------------------------------------------------
+// The §4.3 port on the Fig. 4 example: the full Fig. 5 diamond.
+// ---------------------------------------------------------------------------
+
+class KvLogPortTest : public ::testing::Test {
+ protected:
+  KvLogPortTest()
+      : bundle_(specs::make_kvlog(2, 2)),
+        ad_(core::apply_delta(bundle_->a, bundle_->delta)),
+        bd_(core::port(bundle_->b, bundle_->f, bundle_->corr, bundle_->delta)) {}
+
+  std::unique_ptr<specs::KvLogBundle> bundle_;
+  spec::Spec ad_;  // AΔ — Fig. 4c
+  spec::Spec bd_;  // BΔ — Fig. 4d, generated mechanically
+};
+
+TEST_F(KvLogPortTest, DeltaSpecHoldsItsInvariant) {
+  const CheckResult res = ModelChecker::check(ad_);
+  EXPECT_TRUE(res.ok) << res.summary();  // size == #bound keys
+  EXPECT_TRUE(res.complete);
+}
+
+TEST_F(KvLogPortTest, PortedSpecHasDeltaVariable) {
+  EXPECT_TRUE(bd_.has_var("size"));
+  EXPECT_TRUE(bd_.has_var("logs"));
+  EXPECT_EQ(bd_.init().size(), 1u);
+}
+
+TEST_F(KvLogPortTest, AdRefinesA) {
+  // §4.2: a non-mutating optimization refines the base protocol under the
+  // projection that drops the new variables.
+  const auto proj = core::projection_mapping(ad_, bundle_->a);
+  const auto res = RefinementChecker::check(ad_, bundle_->a, proj);
+  EXPECT_TRUE(res.ok) << res.summary();
+}
+
+TEST_F(KvLogPortTest, BdRefinesB) {
+  const auto proj = core::projection_mapping(bd_, bundle_->b);
+  const auto res = RefinementChecker::check(bd_, bundle_->b, proj);
+  EXPECT_TRUE(res.ok) << res.summary();
+  EXPECT_TRUE(res.complete);
+}
+
+TEST_F(KvLogPortTest, BdRefinesAd) {
+  const auto lifted =
+      core::lifted_mapping(bundle_->f, bd_, ad_, bundle_->delta);
+  const auto res = RefinementChecker::check(bd_, ad_, lifted);
+  EXPECT_TRUE(res.ok) << res.summary();
+  EXPECT_TRUE(res.complete);
+}
+
+TEST_F(KvLogPortTest, PortedGuardMatchesFig4d) {
+  // In BΔ, Write(i, v) must be disabled once logs[i] is bound (the ported
+  // "table[k] = {}" clause) and must bump size when enabled.
+  const spec::State s0 = bd_.init()[0];
+  auto succs = bd_.successors(s0);
+  int64_t size_after_write = -1;
+  for (const auto& [ai, next] : succs) {
+    if (ai.action == "Write") {
+      size_after_write = bd_.get(next, "size").as_int();
+      // A second write to the same slot must now be disabled.
+      const auto* write = bd_.action("Write");
+      ASSERT_NE(write, nullptr);
+      auto again = write->step(bd_, next, ai.params);
+      EXPECT_FALSE(again.has_value());
+    }
+  }
+  EXPECT_EQ(size_after_write, 1);
+}
+
+TEST_F(KvLogPortTest, EngineRejectsMutatingDelta) {
+  // A delta whose clause writes an A-variable must be rejected (§4.2).
+  core::OptimizationDelta bad;
+  bad.name = "mutating";
+  bad.new_vars.emplace_back("junk", V(0));
+  core::ModifiedAction m;
+  m.base = "Put";
+  m.clause.apply = [](const core::VarFn&, const core::VarFn&,
+                      const core::VarFn&, const std::vector<Value>&)
+      -> std::optional<core::DeltaUpdates> {
+    core::DeltaUpdates u;
+    u["output"] = V(666);  // writes an A variable!
+    return u;
+  };
+  bad.modified.push_back(std::move(m));
+  spec::Spec abad = core::apply_delta(bundle_->a, bad);
+  const spec::State s0 = abad.init()[0];
+  const auto* put = abad.action("Put");
+  ASSERT_NE(put, nullptr);
+  EXPECT_THROW(put->step(abad, s0, {V(0), V(1)}), praft::CheckFailure);
+}
+
+}  // namespace
+}  // namespace praft
