@@ -1,32 +1,49 @@
-// Quickstart: bring up a 5-region Raft* cluster in the simulator, run a
-// client workload, and inspect the replicated state.
+// Quickstart: bring up a 5-region cluster in the simulator running ANY of
+// the registered consensus protocols — selected by name at runtime through
+// the consensus::ProtocolRegistry — run a client workload, and inspect the
+// replicated state.
 //
-//   build/examples/quickstart
+//   build/examples/quickstart [raft|raftstar|multipaxos|mencius]
 #include <cstdio>
+#include <string>
 
+#include "consensus/registry.h"
 #include "harness/cluster.h"
 #include "harness/log_server.h"
 
 using namespace praft;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string protocol = argc > 1 ? argv[1] : "raftstar";
+  if (!consensus::ProtocolRegistry::instance().contains(protocol)) {
+    std::printf("unknown protocol \"%s\"; registered:", protocol.c_str());
+    for (const auto& name : consensus::protocol_names()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+    return 1;
+  }
+
   // 1. A cluster over the paper's 5-region AWS latency matrix.
   harness::ClusterConfig cfg;
   cfg.num_replicas = 5;
   cfg.seed = 42;
   harness::Cluster cluster(cfg);
 
-  // 2. One Raft* replica per region.
-  cluster.build_replicas([&](harness::NodeHost& host,
-                             const consensus::Group& group)
-                             -> std::unique_ptr<harness::ReplicaServer> {
-    return std::make_unique<harness::RaftStarServer>(host, group, cfg.costs);
-  });
+  // 2. One replica per region, protocol picked at runtime by name.
+  std::printf("protocol: %s\n", protocol.c_str());
+  cluster.build_replicas(protocol);
 
-  // 3. Elect the Oregon replica and attach closed-loop clients everywhere.
-  const int leader = cluster.establish_leader(0);
-  std::printf("leader elected: replica %d (%s)\n", leader,
-              cluster.net().latency().site_name(leader).c_str());
+  // 3. Elect the Oregon replica (leaderless protocols like Mencius skip
+  //    this: every replica owns its residue class) and attach closed-loop
+  //    clients everywhere.
+  if (!cluster.server(0).leaderless()) {
+    const int leader = cluster.establish_leader(0);
+    std::printf("leader elected: replica %d (%s)\n", leader,
+                cluster.net().latency().site_name(leader).c_str());
+  } else {
+    cluster.run_for(msec(500));  // let status beats flow
+  }
 
   kv::WorkloadConfig wl;
   wl.read_fraction = 0.5;

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <utility>
+
+#include "common/check.h"
+#include "consensus/types.h"
+
+namespace praft::consensus {
+
+/// Shared commit/apply watermark: guarantees the state machine sees every
+/// position exactly once, in order, regardless of how the protocol decides
+/// positions (contiguous commit index in Raft/Raft*, out-of-order chosen
+/// instances behind a floor in MultiPaxos, per-slot decisions in Mencius).
+///
+/// The protocol supplies a `get(index) -> const kv::Command*` lookup; a null
+/// return means "not locally available yet" and pauses delivery at the gap
+/// without losing the commit watermark (Paxos replicas repair gaps via
+/// LearnValues and drain later).
+///
+/// Re-entrancy: apply callbacks may feed back into the protocol (Mencius
+/// re-proposes a lost command from inside its acked callback, which can land
+/// back here). A nested drain is folded into the outer loop instead of
+/// recursing.
+class Applier {
+ public:
+  /// `start` is the inclusive index *before* the first real position:
+  /// 0 for 1-based logs (Raft/Raft*/MultiPaxos), -1 for Mencius' 0-based
+  /// slot space.
+  explicit Applier(LogIndex start = 0) : commit_(start), applied_(start) {}
+
+  void set_apply(ApplyFn fn) { apply_ = std::move(fn); }
+
+  /// Highest position known committed/chosen-contiguously (inclusive).
+  [[nodiscard]] LogIndex commit_index() const { return commit_; }
+  /// Highest position delivered to the state machine (inclusive).
+  [[nodiscard]] LogIndex applied() const { return applied_; }
+  /// First position NOT yet delivered (exclusive floor).
+  [[nodiscard]] LogIndex next_index() const { return applied_ + 1; }
+
+  /// Raises the commit watermark to `commit` (monotone: lower values are
+  /// ignored) and delivers every available position up to it.
+  template <typename Get>
+  void commit_to(LogIndex commit, Get&& get) {
+    if (commit > commit_) commit_ = commit;
+    drain_bounded(std::forward<Get>(get), /*bounded=*/true);
+  }
+
+  /// Delivers every consecutively-available position, without a watermark
+  /// bound (Mencius: decisions are per-slot, there is no global commit
+  /// index). The commit watermark trails the applied one.
+  template <typename Get>
+  void drain(Get&& get) {
+    drain_bounded(std::forward<Get>(get), /*bounded=*/false);
+  }
+
+ private:
+  template <typename Get>
+  void drain_bounded(Get&& get, bool bounded) {
+    if (draining_) return;  // nested call: the outer loop picks it up
+    draining_ = true;
+    while (!bounded || applied_ < commit_) {
+      const kv::Command* cmd = get(applied_ + 1);
+      if (cmd == nullptr) break;  // gap: wait for repair
+      ++applied_;
+      if (commit_ < applied_) commit_ = applied_;
+      if (apply_) apply_(applied_, *cmd);
+    }
+    PRAFT_CHECK(applied_ <= commit_);
+    draining_ = false;
+  }
+
+  LogIndex commit_;
+  LogIndex applied_;
+  bool draining_ = false;
+  ApplyFn apply_;
+};
+
+}  // namespace praft::consensus

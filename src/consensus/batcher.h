@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "consensus/env.h"
+
+namespace praft::consensus {
+
+/// The `batch_delay` submission coalescer shared by every leader in the
+/// repo: submissions within one delay window ride a single replication
+/// message (etcd-style batching, cf. the paper's §5 testbed). poke() arms at
+/// most one pending flush; the flush callback runs once after the delay with
+/// everything that accumulated in the meantime.
+///
+/// The protocol keeps its own typed pending queue (Raft appends straight to
+/// its log; Paxos queues commands; Mencius queues OwnItems + skip ranges) —
+/// what is shared is the scheduling discipline, so future pipelining or
+/// adaptive-delay work lands in exactly one place.
+class Batcher {
+ public:
+  using FlushFn = std::function<void()>;
+
+  Batcher(Env& env, Duration delay, FlushFn flush)
+      : env_(env), delay_(delay), flush_(std::move(flush)) {}
+
+  /// Schedules a flush after the batch delay unless one is already pending.
+  void poke() {
+    if (scheduled_) return;
+    scheduled_ = true;
+    env_.schedule(delay_, [this] {
+      scheduled_ = false;
+      flush_();
+    });
+  }
+
+  [[nodiscard]] bool pending() const { return scheduled_; }
+  [[nodiscard]] Duration delay() const { return delay_; }
+
+ private:
+  Env& env_;
+  Duration delay_;
+  FlushFn flush_;
+  bool scheduled_ = false;
+};
+
+}  // namespace praft::consensus

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "consensus/types.h"
+
+namespace praft::consensus {
+
+/// Contiguous replicated-log storage (Raft / Raft*): a dense array with the
+/// index-0 sentinel entry, so AppendEntries prev-checks need no special
+/// cases. All access is bounds-checked via PRAFT_CHECK — out-of-range
+/// indexes are protocol bugs, never silent UB.
+template <typename E>
+class ContiguousLog {
+ public:
+  ContiguousLog() { entries_.emplace_back(); }  // index 0 sentinel
+
+  [[nodiscard]] LogIndex last_index() const {
+    return static_cast<LogIndex>(entries_.size()) - 1;
+  }
+
+  [[nodiscard]] const E& at(LogIndex i) const {
+    PRAFT_CHECK(i >= 0 && i <= last_index());
+    return entries_[static_cast<size_t>(i)];
+  }
+
+  [[nodiscard]] E& at(LogIndex i) {
+    PRAFT_CHECK(i >= 0 && i <= last_index());
+    return entries_[static_cast<size_t>(i)];
+  }
+
+  void append(E e) { entries_.push_back(std::move(e)); }
+
+  /// Erases everything after `last_kept` (conflict-suffix erasure in Raft,
+  /// full-suffix replacement in Raft*). Keeping the sentinel is mandatory.
+  void truncate_after(LogIndex last_kept) {
+    PRAFT_CHECK(last_kept >= 0 && last_kept <= last_index());
+    entries_.resize(static_cast<size_t>(last_kept) + 1);
+  }
+
+ private:
+  std::vector<E> entries_;
+};
+
+/// Sparse instance/slot storage (MultiPaxos / Mencius): holes are real in
+/// Paxos-family protocols — instances commit out of order and execution
+/// waits at the first gap. Slots materialize on first touch and may be
+/// pruned once executed (Mencius).
+template <typename S>
+class SparseLog {
+ public:
+  using Map = std::map<LogIndex, S>;
+  using iterator = typename Map::iterator;
+  using const_iterator = typename Map::const_iterator;
+
+  /// Materializes (default-constructs) the slot on first touch — unlike
+  /// ContiguousLog::at, which is a bounds-checked read. The distinct name
+  /// keeps a read-path caller from silently creating phantom slots.
+  [[nodiscard]] S& materialize(LogIndex i) { return slots_[i]; }
+
+  [[nodiscard]] const S* find(LogIndex i) const {
+    auto it = slots_.find(i);
+    return it == slots_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] S* find(LogIndex i) {
+    auto it = slots_.find(i);
+    return it == slots_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] iterator lookup(LogIndex i) { return slots_.find(i); }
+  void erase(iterator it) { slots_.erase(it); }
+
+  [[nodiscard]] bool empty() const { return slots_.empty(); }
+  [[nodiscard]] size_t size() const { return slots_.size(); }
+  [[nodiscard]] iterator begin() { return slots_.begin(); }
+  [[nodiscard]] iterator end() { return slots_.end(); }
+  [[nodiscard]] const_iterator begin() const { return slots_.begin(); }
+  [[nodiscard]] const_iterator end() const { return slots_.end(); }
+
+ private:
+  Map slots_;
+};
+
+}  // namespace praft::consensus

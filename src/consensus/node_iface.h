@@ -1,0 +1,46 @@
+#pragma once
+
+#include "consensus/types.h"
+#include "net/packet.h"
+
+namespace praft::consensus {
+
+/// Runtime-polymorphic face of a consensus protocol node. This is the
+/// paper's structural-parallelism claim made executable: every protocol in
+/// the repo (Raft, Raft*, MultiPaxos, Mencius) drives the same replicated
+/// state machine through the same six verbs, so harness servers, clusters
+/// and bench binaries can pick a protocol by name at runtime (see
+/// consensus/registry.h) instead of being stamped out per protocol type.
+class NodeIface {
+ public:
+  virtual ~NodeIface() = default;
+
+  /// Arms timers. Call exactly once after construction.
+  virtual void start() = 0;
+
+  /// Feeds a network packet whose payload holds this protocol's message.
+  virtual void on_packet(const net::Packet& p) = 0;
+
+  /// Proposes `cmd`. Returns the assigned log position, or -1 when this
+  /// node cannot propose right now (not the leader).
+  virtual LogIndex submit(const kv::Command& cmd) = 0;
+
+  /// Registers the in-order apply callback (exactly once per position).
+  virtual void set_apply(ApplyFn fn) = 0;
+
+  [[nodiscard]] virtual bool is_leader() const = 0;
+  [[nodiscard]] virtual NodeId leader_hint() const = 0;
+  /// True for protocols with no single elected leader (Mencius: every
+  /// replica owns a residue class). Harnesses use this instead of matching
+  /// protocol names, so registry-added protocols inherit the right handling.
+  [[nodiscard]] virtual bool leaderless() const { return false; }
+  /// Highest position known committed/chosen-contiguously.
+  [[nodiscard]] virtual LogIndex commit_index() const = 0;
+  [[nodiscard]] virtual NodeId id() const = 0;
+
+  /// Kicks off an immediate leadership attempt (no-op for leaderless
+  /// protocols like Mencius, where every replica owns a residue class).
+  virtual void force_election() {}
+};
+
+}  // namespace praft::consensus

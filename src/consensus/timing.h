@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace praft::consensus {
+
+/// Timing knobs shared by every protocol in the repo — the paper's thesis is
+/// that MultiPaxos, Raft, Raft* and Mencius are structurally parallel, and
+/// their leader-failure detection / heartbeat / batching machinery is
+/// literally the same code (this layer). Defaults are WAN-scale (the paper's
+/// testbed spans 25–292 ms RTTs); unit tests shrink them.
+///
+/// Per-protocol Options structs inherit from this, so protocol code and
+/// tests keep writing `opt.election_timeout_min = ...` while the definition
+/// lives in exactly one place.
+struct TimingOptions {
+  /// Randomized leader-failure timeout window (Raft elections, Paxos
+  /// Prepare retries). Mencius ignores these: every replica already leads
+  /// its own residue class.
+  Duration election_timeout_min = msec(1200);
+  Duration election_timeout_max = msec(2400);
+  /// Leader keep-alive tick (Raft/Raft* empty AppendEntries, Paxos
+  /// Heartbeat, Mencius StatusBeat).
+  Duration heartbeat_interval = msec(150);
+  /// Leader batching delay (etcd-style): submissions within this window
+  /// ride one replication message. 0 means flush on the next event-loop
+  /// turn.
+  Duration batch_delay = msec(1);
+  /// Flush/packetization cap: no single replication message carries more
+  /// than this many log entries.
+  size_t max_entries_per_batch = 4096;
+  /// Recovery-burst cap: loss-recovery retransmissions (Paxos re-proposes,
+  /// Mencius StatusBeat retransmits) send at most this many entries per
+  /// tick — deliberately smaller than the steady-state packetization cap so
+  /// a healing partition does not flood the wire.
+  size_t max_retransmit_entries = 512;
+};
+
+}  // namespace praft::consensus

@@ -1,6 +1,7 @@
 #include "harness/cluster.h"
 
 #include "common/check.h"
+#include "harness/log_server.h"
 
 namespace praft::harness {
 
@@ -36,6 +37,15 @@ void Cluster::build_replicas(const ServerFactory& factory) {
     servers_.push_back(factory(*replica_hosts_[static_cast<size_t>(i)], g));
     servers_.back()->start();
   }
+}
+
+void Cluster::build_replicas(const std::string& protocol,
+                             const consensus::TimingOptions& timing) {
+  const CostModel costs = cfg_.costs;
+  build_replicas([protocol, timing, costs](NodeHost& host,
+                                           const consensus::Group& g) {
+    return std::make_unique<LogServer>(host, g, costs, protocol, timing);
+  });
 }
 
 void Cluster::add_clients(int per_region, const kv::WorkloadConfig& wl,

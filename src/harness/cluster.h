@@ -2,9 +2,11 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "consensus/group.h"
+#include "consensus/timing.h"
 #include "harness/client.h"
 #include "harness/cost_model.h"
 #include "harness/host.h"
@@ -39,6 +41,12 @@ class Cluster {
 
   /// Creates the replica nodes (ids 0..n-1) and starts their servers.
   void build_replicas(const ServerFactory& factory);
+
+  /// Same, selecting the consensus protocol by registry name at runtime
+  /// ("raft", "raftstar", "multipaxos", "mencius", or anything registered
+  /// later) behind the generic LogServer adapter.
+  void build_replicas(const std::string& protocol,
+                      const consensus::TimingOptions& timing = {});
 
   /// Adds `per_region` clients next to every replica, starting at `start_at`.
   void add_clients(int per_region, const kv::WorkloadConfig& wl, Time start_at);

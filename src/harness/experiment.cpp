@@ -32,45 +32,41 @@ LatencySummary summarize(const Histogram& h) {
 
 namespace {
 
-template <typename Opt>
-Opt wan_options() {
-  Opt o;
-  o.election_timeout_min = msec(1200);
-  o.election_timeout_max = msec(2400);
-  o.heartbeat_interval = msec(150);
-  o.batch_delay = msec(1);
-  return o;
-}
-
+// Protocol Options default-construct to the paper's WAN-scale timing
+// (consensus::TimingOptions), so factories pass no explicit options.
 Cluster::ServerFactory make_server_factory(const ExperimentConfig& cfg,
                                            const CostModel& costs) {
+  if (!cfg.protocol.empty()) {
+    // Runtime selection through the protocol registry; TimingOptions
+    // defaults are the paper's WAN-scale values.
+    const std::string protocol = cfg.protocol;
+    return [costs, protocol](NodeHost& h, const consensus::Group& g) {
+      return std::make_unique<LogServer>(h, g, costs, protocol);
+    };
+  }
   switch (cfg.system) {
     case SystemKind::kRaft:
       return [costs](NodeHost& h, const consensus::Group& g) {
-        return std::make_unique<RaftServer>(h, g, costs,
-                                            wan_options<raft::Options>());
+        return std::make_unique<RaftServer>(h, g, costs);
       };
     case SystemKind::kRaftStar:
       return [costs](NodeHost& h, const consensus::Group& g) {
-        return std::make_unique<RaftStarServer>(
-            h, g, costs, wan_options<raftstar::Options>());
+        return std::make_unique<RaftStarServer>(h, g, costs);
       };
     case SystemKind::kPaxos:
       return [costs](NodeHost& h, const consensus::Group& g) {
-        return std::make_unique<PaxosServer>(h, g, costs,
-                                             wan_options<paxos::Options>());
+        return std::make_unique<PaxosServer>(h, g, costs);
       };
     case SystemKind::kRaftStarPql:
       return [costs, cfg](NodeHost& h, const consensus::Group& g) {
         pql::PqlOptions popt;  // PQL paper leases: 2 s / 0.5 s renew (§5.1)
         popt.include_leader_grants = cfg.pql_include_leader_grants;
         return std::make_unique<pql::RaftStarPqlServer>(
-            h, g, costs, wan_options<raftstar::Options>(), popt);
+            h, g, costs, raftstar::Options{}, popt);
       };
     case SystemKind::kRaftStarLL:
       return [costs](NodeHost& h, const consensus::Group& g) {
-        return std::make_unique<pql::LeaderLeaseServer>(
-            h, g, costs, wan_options<raftstar::Options>());
+        return std::make_unique<pql::LeaderLeaseServer>(h, g, costs);
       };
     case SystemKind::kRaftStarMencius:
       return [costs, cfg](NodeHost& h, const consensus::Group& g) {
@@ -100,7 +96,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   Cluster cluster(cc);
   cluster.build_replicas(make_server_factory(cfg, cc.costs));
 
-  if (cfg.system != SystemKind::kRaftStarMencius) {
+  if (!cluster.server(0).leaderless()) {
     const int leader = cluster.establish_leader(cfg.leader_replica);
     PRAFT_CHECK_MSG(leader == cfg.leader_replica,
                     "could not establish the requested leader");

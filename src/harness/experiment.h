@@ -22,6 +22,10 @@ const char* system_name(SystemKind k);
 /// One experiment point: a system, a workload, a client count, a duration.
 struct ExperimentConfig {
   SystemKind system = SystemKind::kRaft;
+  /// When non-empty, overrides `system`: the replicas run this consensus
+  /// registry protocol ("raft", "raftstar", "multipaxos", "mencius", ...)
+  /// behind the generic LogServer adapter, selected at runtime.
+  std::string protocol;
   kv::WorkloadConfig workload;
   int clients_per_region = 50;
   int leader_replica = 0;  // leader site (ignored by Mencius)

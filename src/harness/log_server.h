@@ -1,35 +1,63 @@
 #pragma once
 
+#include <memory>
+#include <string>
+#include <utility>
+
 #include "common/check.h"
+#include "consensus/node_iface.h"
+#include "consensus/registry.h"
 #include "harness/protocols.h"
 #include "harness/server.h"
 
 namespace praft::harness {
 
-/// Replica adapter for log-replicating protocols (Raft, Raft*, MultiPaxos):
-/// client requests (reads AND writes — the paper's baselines persist reads in
-/// the log, §4.4 "Paxos Quorum Lease") are submitted at the leader; follower
-/// replicas forward to the leader etcd-style and relay the reply.
-template <typename P>
+/// Replica adapter for log-replicating protocols: client requests (reads AND
+/// writes — the paper's baselines persist reads in the log, §4.4 "Paxos
+/// Quorum Lease") are submitted at the leader; follower replicas forward to
+/// the leader etcd-style and relay the reply.
+///
+/// The protocol node behind the adapter is runtime-polymorphic
+/// (consensus::NodeIface): construct with a registry name to pick the
+/// protocol at runtime, or hand in a concretely-built node (see
+/// TypedLogServer below) when the adapter needs protocol-specific hooks.
 class LogServer : public ReplicaServer {
  public:
+  /// Selects the protocol by registry name ("raft", "raftstar",
+  /// "multipaxos", "mencius", or anything registered later).
   LogServer(NodeHost& host, consensus::Group group, CostModel costs,
-            typename P::Options opt = {})
-      : ReplicaServer(host, costs), node_(std::move(group), host, opt) {
-    node_.set_apply([this](consensus::LogIndex i, const kv::Command& c) {
+            const std::string& protocol,
+            const consensus::TimingOptions& timing = {})
+      : LogServer(host, costs,
+                  consensus::make_node(protocol, std::move(group), host,
+                                       timing),
+                  protocol_cost(protocol)) {}
+
+  /// Wraps an already-constructed node (typed adapters, tests).
+  LogServer(NodeHost& host, CostModel costs,
+            std::unique_ptr<consensus::NodeIface> node, ProtocolCost cost)
+      : ReplicaServer(host, costs), node_(std::move(node)),
+        cost_(std::move(cost)) {
+    PRAFT_CHECK_MSG(node_ != nullptr, "LogServer needs a protocol node");
+    node_->set_apply([this](consensus::LogIndex i, const kv::Command& c) {
       on_apply(i, c);
     });
   }
 
-  void start() override { node_.start(); }
-  [[nodiscard]] bool is_leader() const override { return node_.is_leader(); }
+  void start() override { node_->start(); }
+  [[nodiscard]] bool is_leader() const override { return node_->is_leader(); }
   [[nodiscard]] NodeId leader_hint() const override {
-    return node_.leader_hint();
+    return node_->leader_hint();
   }
-  void trigger_election() override { node_.force_election(); }
+  [[nodiscard]] bool leaderless() const override {
+    return node_->leaderless();
+  }
+  void trigger_election() override { node_->force_election(); }
 
-  typename P::Node& node() { return node_; }
-  [[nodiscard]] const typename P::Node& node() const { return node_; }
+  consensus::NodeIface& node_iface() { return *node_; }
+  [[nodiscard]] const consensus::NodeIface& node_iface() const {
+    return *node_;
+  }
 
   /// Test probe: observes every (index, command) this replica applies.
   using ApplyProbe =
@@ -37,15 +65,17 @@ class LogServer : public ReplicaServer {
   void set_apply_probe(ApplyProbe probe) { apply_probe_ = std::move(probe); }
 
   void handle(const net::Packet& p) override {
-    if (net::payload_as<typename P::Message>(p) != nullptr) {
-      node_.on_packet(p);
-      return;
-    }
     if (const auto* hm = net::payload_as<Message>(p)) {
       on_harness_message(*hm);
       return;
     }
-    handle_other(p);
+    if (handle_other(p)) return;
+    // With a protocol classifier, silently drop foreign packet families
+    // (a lease message reaching a plain replica, etc.) instead of letting
+    // the node CHECK-fail on them. Without one (a registry protocol with no
+    // cost traits), hand everything through.
+    if (cost_ && !cost_(p)) return;
+    node_->on_packet(p);
   }
 
   [[nodiscard]] Duration cost_of(const net::Packet& p) const override {
@@ -57,17 +87,23 @@ class LogServer : public ReplicaServer {
       if (std::holds_alternative<Forward>(*hm)) return costs_.client_request;
       return costs_.message_base;
     }
-    if (const auto* pm = net::payload_as<typename P::Message>(p)) {
-      const auto entries = static_cast<Duration>(P::entry_count(*pm));
-      return costs_.message_base + entries * costs_.entry_follower +
-             costs_.size_cost(p.bytes);
+    if (cost_) {
+      if (const auto entries = cost_(p)) {
+        return costs_.message_base +
+               static_cast<Duration>(*entries) * costs_.entry_follower +
+               costs_.size_cost(p.bytes);
+      }
     }
     return costs_.message_base;
   }
 
  protected:
-  /// Subclasses (PQL, LL) intercept extra message families here.
-  virtual void handle_other(const net::Packet& p) { (void)p; }
+  /// Subclasses (PQL, LL) intercept extra message families here. Return true
+  /// when the packet was consumed; anything else goes to the protocol node.
+  virtual bool handle_other(const net::Packet& p) {
+    (void)p;
+    return false;
+  }
 
   /// Subclasses may divert reads (lease-based local reads). Return true when
   /// the request was fully handled.
@@ -96,14 +132,14 @@ class LogServer : public ReplicaServer {
         try_serve_read(cmd, cmd.client, origin != kNoNode, origin)) {
       return;
     }
-    if (node_.is_leader()) {
-      const consensus::LogIndex idx = node_.submit(cmd);
+    if (node_->is_leader()) {
+      const consensus::LogIndex idx = node_->submit(cmd);
       if (idx >= 0) {
         pending_[idx] = PendingOp{cmd.client, origin, cmd.seq, cmd};
         return;
       }
     }
-    const NodeId leader = node_.leader_hint();
+    const NodeId leader = node_->leader_hint();
     if (origin == kNoNode) {
       if (leader != kNoNode && leader != id()) {
         Forward f{cmd, id()};
@@ -145,13 +181,35 @@ class LogServer : public ReplicaServer {
     (void)cmd;
   }
 
-  typename P::Node node_;
+  std::unique_ptr<consensus::NodeIface> node_;
+  ProtocolCost cost_;
   PendingMap pending_;
   ApplyProbe apply_probe_;
 };
 
-using RaftServer = LogServer<RaftProtocol>;
-using RaftStarServer = LogServer<RaftStarProtocol>;
-using PaxosServer = LogServer<PaxosProtocol>;
+/// Typed wrapper for adapters (and tests) that need the concrete node type —
+/// PQL installs Raft*-specific observers, Mencius tests read skip counters.
+/// Everything else about the server is the runtime LogServer.
+template <typename P>
+class TypedLogServer : public LogServer {
+ public:
+  TypedLogServer(NodeHost& host, consensus::Group group, CostModel costs,
+                 typename P::Options opt = {})
+      : LogServer(host, costs,
+                  std::make_unique<typename P::Node>(std::move(group), host,
+                                                     opt),
+                  protocol_cost<P>()) {}
+
+  typename P::Node& node() {
+    return static_cast<typename P::Node&>(*node_);
+  }
+  [[nodiscard]] const typename P::Node& node() const {
+    return static_cast<const typename P::Node&>(*node_);
+  }
+};
+
+using RaftServer = TypedLogServer<RaftProtocol>;
+using RaftStarServer = TypedLogServer<RaftStarProtocol>;
+using PaxosServer = TypedLogServer<PaxosProtocol>;
 
 }  // namespace praft::harness

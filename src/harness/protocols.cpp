@@ -1,0 +1,17 @@
+#include "harness/protocols.h"
+
+namespace praft::harness {
+
+// Deliberately a name map parallel to consensus::ProtocolRegistry: the
+// registry stays transport-cost-agnostic and the per-message entry counts
+// live only in the harness traits (see protocols.h). Protocols registered
+// without traits degrade gracefully to base message cost.
+ProtocolCost protocol_cost(const std::string& name) {
+  if (name == "raft") return protocol_cost<RaftProtocol>();
+  if (name == "raftstar") return protocol_cost<RaftStarProtocol>();
+  if (name == "multipaxos") return protocol_cost<PaxosProtocol>();
+  if (name == "mencius") return protocol_cost<MenciusProtocol>();
+  return {};  // unknown: base message cost only
+}
+
+}  // namespace praft::harness

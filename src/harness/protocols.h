@@ -1,7 +1,13 @@
 #pragma once
 
+#include <functional>
+#include <optional>
+#include <string>
 #include <variant>
 
+#include "mencius/messages.h"
+#include "mencius/node.h"
+#include "net/packet.h"
 #include "paxos/messages.h"
 #include "paxos/node.h"
 #include "raft/messages.h"
@@ -11,9 +17,19 @@
 
 namespace praft::harness {
 
-/// Protocol traits consumed by LogServer<P>: the node type, its message
-/// variant, options, and how many log entries a message carries (for CPU
-/// cost accounting).
+/// Per-protocol CPU-cost accounting: the number of log entries a packet
+/// carries when it belongs to the protocol, std::nullopt for foreign
+/// packets. This is the one remaining job of the compile-time traits below —
+/// everything else (node type, options, server wiring) is resolved at
+/// runtime through consensus::ProtocolRegistry and the type-erased
+/// LogServer.
+using ProtocolCost =
+    std::function<std::optional<size_t>(const net::Packet&)>;
+
+/// Compile-time traits: the node type, its message variant, its options, and
+/// the per-message entry count (for CPU cost accounting). Consumed by
+/// TypedLogServer<P> (adapters needing concrete node access, e.g. PQL) and
+/// by protocol_cost().
 struct RaftProtocol {
   using Node = raft::RaftNode;
   using Message = raft::Message;
@@ -55,5 +71,31 @@ struct PaxosProtocol {
     return 0;
   }
 };
+
+struct MenciusProtocol {
+  using Node = mencius::MenciusNode;
+  using Message = mencius::Message;
+  using Options = mencius::Options;
+  static constexpr const char* kName = "Mencius";
+  static size_t entry_count(const Message& m) {
+    return mencius::entry_count(m);
+  }
+};
+
+/// Cost hook derived from a protocol's traits.
+template <typename P>
+ProtocolCost protocol_cost() {
+  return [](const net::Packet& p) -> std::optional<size_t> {
+    const auto* m = net::payload_as<typename P::Message>(p);
+    if (m == nullptr) return std::nullopt;
+    return P::entry_count(*m);
+  };
+}
+
+/// Cost hook for a registry protocol name ("raft", "raftstar",
+/// "multipaxos", "mencius"). Unknown names get an empty hook — the server
+/// falls back to base message cost, so protocols registered by future
+/// subsystems still run (just without per-entry CPU accounting).
+ProtocolCost protocol_cost(const std::string& name);
 
 }  // namespace praft::harness

@@ -21,6 +21,9 @@ class ReplicaServer : public PacketHandler {
   virtual void start() = 0;
   [[nodiscard]] virtual bool is_leader() const = 0;
   [[nodiscard]] virtual NodeId leader_hint() const = 0;
+  /// True when the protocol has no single elected leader (see
+  /// consensus::NodeIface::leaderless).
+  [[nodiscard]] virtual bool leaderless() const { return false; }
   /// Kicks off an immediate election attempt (used to pin the leader site).
   virtual void trigger_election() {}
 

@@ -13,7 +13,12 @@ constexpr consensus::Term kDecidedBal = std::numeric_limits<consensus::Term>::ma
 
 MenciusNode::MenciusNode(consensus::Group group, consensus::Env& env,
                          Options opt)
-    : group_(std::move(group)), env_(env), opt_(opt) {
+    : group_(std::move(group)),
+      env_(env),
+      opt_(opt),
+      status_(env),
+      batcher_(env, opt_.batch_delay, [this] { flush(); }),
+      applier_(/*start=*/-1) {
   group_.validate();
   rank_ = group_.rank_of(group_.self);
   n_ = group_.n();
@@ -23,27 +28,31 @@ MenciusNode::MenciusNode(consensus::Group group, consensus::Env& env,
     owner_rev_floor_[m] = -1;
     last_heard_[m] = 0;
   }
+  status_.set_handler([this] { maintenance(); });
+  applier_.set_apply([this](LogIndex i, const kv::Command& cmd) {
+    on_slot_applied(i, cmd);
+  });
 }
 
 void MenciusNode::start() {
   last_progress_ = env_.now();
-  arm_status_timer();
+  status_.start(opt_.heartbeat_interval);
 }
 
 MenciusNode::Slot& MenciusNode::slot(LogIndex i) {
   PRAFT_CHECK(i >= 0);
-  return slots_[i];
+  return slots_.materialize(i);
 }
 
 const MenciusNode::Slot* MenciusNode::slot_if(LogIndex i) const {
-  auto it = slots_.find(i);
-  return it == slots_.end() ? nullptr : &it->second;
+  return slots_.find(i);
 }
 
 LogIndex MenciusNode::own_decided_floor() const {
-  // Smallest own slot not known decided. Own slots below applied_ are
-  // decided by construction; walk the residue class from there.
-  LogIndex f = applied_ + ((rank_ - applied_) % n_ + n_) % n_;
+  // Smallest own slot not known decided. Own slots below the apply floor
+  // are decided by construction; walk the residue class from there.
+  const LogIndex floor = afloor();
+  LogIndex f = floor + ((rank_ - floor) % n_ + n_) % n_;
   while (true) {
     if (f >= next_own_) break;  // unused slots are undecided by definition
     const Slot* s = slot_if(f);
@@ -71,18 +80,9 @@ LogIndex MenciusNode::submit(const kv::Command& cmd) {
   own_unacked_.push_back(i);
   slot_got_value(i, s);
   pending_.push_back(OwnItem{i, cmd});
-  schedule_flush();
+  batcher_.poke();
   advance_floors();
   return i;
-}
-
-void MenciusNode::schedule_flush() {
-  if (flush_scheduled_) return;
-  flush_scheduled_ = true;
-  env_.schedule(opt_.batch_delay, [this] {
-    flush_scheduled_ = false;
-    flush();
-  });
 }
 
 void MenciusNode::flush() {
@@ -136,7 +136,7 @@ void MenciusNode::skip_own_upto(LogIndex boundary) {
     last = i;
   }
   pending_skips_.emplace_back(first, last + 1);
-  schedule_flush();
+  batcher_.poke();
 }
 
 // ---------------------------------------------------------------------------
@@ -150,7 +150,7 @@ void MenciusNode::slot_got_value(LogIndex /*i*/, Slot& s) {
 }
 
 void MenciusNode::decide(LogIndex i, const kv::Command& cmd) {
-  if (i < applied_) return;
+  if (i < afloor()) return;
   Slot& s = slot(i);
   if (s.st == St::kDecided) return;
   if (s.st == St::kValued) {
@@ -191,38 +191,48 @@ void MenciusNode::advance_floors() {
 }
 
 void MenciusNode::advance_floors_inner() {
-  if (info_floor_ < applied_) info_floor_ = applied_;
+  if (info_floor_ < afloor()) info_floor_ = afloor();
   while (true) {
     const Slot* s = slot_if(info_floor_);
     if (s == nullptr || s->st == St::kEmpty) break;
     ++info_floor_;
   }
-  bool progressed = false;
-  while (true) {
-    auto it = slots_.find(applied_);
-    if (it == slots_.end() || it->second.st != St::kDecided) break;
-    Slot& s = it->second;
-    if (!s.cmd.is_noop()) {
-      --unapplied_ops_[s.cmd.key];
-      if (s.cmd.is_write()) --unapplied_writes_[s.cmd.key];
-    }
-    if (s.own_pending_ack && acked_) acked_(s.cmd);
-    if (apply_) apply_(applied_, s.cmd);
-    // Retain the decided value for revocation prepares (see on_rev_prepare).
-    decided_history_.emplace_back(applied_, s.cmd);
-    if (decided_history_.size() > kHistoryCap) decided_history_.pop_front();
-    slots_.erase(it);
-    ++applied_;
-    progressed = true;
-  }
-  if (progressed) last_progress_ = env_.now();
-  if (info_floor_ < applied_) info_floor_ = applied_;
+  const LogIndex before = afloor();
+  // Execute the contiguous decided prefix in slot order; the shared applier
+  // guarantees exactly-once in-order delivery and pauses at the first
+  // undecided slot.
+  applier_.drain([this](LogIndex i) -> const kv::Command* {
+    const Slot* s = slots_.find(i);
+    return (s != nullptr && s->st == St::kDecided) ? &s->cmd : nullptr;
+  });
+  if (afloor() > before) last_progress_ = env_.now();
+  if (info_floor_ < afloor()) info_floor_ = afloor();
   try_ack_own();
 }
 
-bool MenciusNode::commutes_below(LogIndex i, const kv::Command& cmd) const {
+void MenciusNode::on_slot_applied(LogIndex i, const kv::Command& cmd) {
+  // Apply-time bookkeeping around the shared applier: release commutativity
+  // counters, late-ack our own proposal, retain the decided value for
+  // revocation prepares, then prune the slot.
+  auto it = slots_.lookup(i);
+  PRAFT_CHECK(it != slots_.end());
+  Slot& s = it->second;
+  if (!s.cmd.is_noop()) {
+    --unapplied_ops_[s.cmd.key];
+    if (s.cmd.is_write()) --unapplied_writes_[s.cmd.key];
+  }
+  if (s.own_pending_ack && acked_) acked_(s.cmd);
+  if (apply_) apply_(i, cmd);
+  decided_history_.emplace_back(i, cmd);
+  if (decided_history_.size() > kHistoryCap) decided_history_.pop_front();
+  slots_.erase(it);
+}
+
+bool MenciusNode::commutes_below(LogIndex /*i*/,
+                                 const kv::Command& cmd) const {
   // Conservative: counts cover ALL unexecuted valued slots (including slots
-  // above i, which execute after i anyway) — false conflicts only.
+  // above the probed one, which execute after it anyway) — false conflicts
+  // only.
   if (cmd.is_noop()) return true;
   if (cmd.is_read()) {
     auto it = unapplied_writes_.find(cmd.key);
@@ -240,28 +250,27 @@ void MenciusNode::try_ack_own() {
   }
   for (auto it = own_unacked_.begin(); it != own_unacked_.end();) {
     const LogIndex i = *it;
-    if (i < applied_) {
+    if (i < afloor()) {
       // Acked at apply time (or already re-proposed); drop the tracker.
       it = own_unacked_.erase(it);
       continue;
     }
-    auto sit = slots_.find(i);
-    if (sit == slots_.end()) {
+    Slot* s = slots_.find(i);
+    if (s == nullptr) {
       it = own_unacked_.erase(it);
       continue;
     }
-    Slot& s = sit->second;
-    if (!s.own_pending_ack) {
+    if (!s->own_pending_ack) {
       it = own_unacked_.erase(it);
       continue;
     }
     // Early ack (the Mencius commutativity optimization, §5.2): our value is
     // committed on a majority AND every earlier unexecuted slot is known and
     // commutes with it.
-    if (s.st == St::kDecided && info_floor_ >= i &&
-        commutes_below(i, s.cmd)) {
-      s.own_pending_ack = false;
-      acked_(s.cmd);
+    if (s->st == St::kDecided && info_floor_ >= i &&
+        commutes_below(i, s->cmd)) {
+      s->own_pending_ack = false;
+      acked_(s->cmd);
       it = own_unacked_.erase(it);
       continue;
     }
@@ -282,16 +291,16 @@ void MenciusNode::note_owner_watermark(NodeId owner, LogIndex decided_floor,
   // (and above its revocation floor) IS the decided value — the owner is the
   // only ballot-0 proposer of its slots.
   const int orank = group_.rank_of(owner);
-  LogIndex i = applied_ + ((orank - applied_) % n_ + n_) % n_;
+  const LogIndex base = afloor();
+  LogIndex i = base + ((orank - base) % n_ + n_) % n_;
   const LogIndex floor = owner_floor_[owner];
   const LogIndex rf = owner_rev_floor_[owner];
   for (; i < floor; i += n_) {
     if (i <= rf) continue;  // revoked zone: explicit decides only
-    auto it = slots_.find(i);
-    if (it == slots_.end()) continue;
-    Slot& s = it->second;
-    if (s.st == St::kValued && s.bal == Ballot{0, owner}) {
-      decide(i, s.cmd);
+    Slot* s = slots_.find(i);
+    if (s == nullptr) continue;
+    if (s->st == St::kValued && s->bal == Ballot{0, owner}) {
+      decide(i, s->cmd);
     }
   }
 }
@@ -306,7 +315,7 @@ void MenciusNode::on_accept_own(const AcceptOwn& m) {
   for (const OwnItem& item : m.items) {
     max_seen_ = std::max(max_seen_, item.index);
     max_item = std::max(max_item, item.index);
-    if (item.index < applied_) {
+    if (item.index < afloor()) {
       ok.indexes.push_back(item.index);  // long since decided; re-ack
       continue;
     }
@@ -339,16 +348,15 @@ void MenciusNode::on_accept_own(const AcceptOwn& m) {
 
 void MenciusNode::on_accept_own_ok(const AcceptOwnOk& m) {
   for (LogIndex i : m.indexes) {
-    auto it = slots_.find(i);
-    if (it == slots_.end()) continue;
-    Slot& s = it->second;
-    if (s.st != St::kValued || !(s.bal == Ballot{0, group_.self})) continue;
+    Slot* s = slots_.find(i);
+    if (s == nullptr) continue;
+    if (s->st != St::kValued || !(s->bal == Ballot{0, group_.self})) continue;
     bool dup = false;
-    for (NodeId a : s.acks) dup |= (a == m.acceptor);
+    for (NodeId a : s->acks) dup |= (a == m.acceptor);
     if (dup) continue;
-    s.acks.push_back(m.acceptor);
-    if (static_cast<int>(s.acks.size()) >= group_.majority()) {
-      decide(i, s.cmd);  // committed on a majority at ballot 0
+    s->acks.push_back(m.acceptor);
+    if (static_cast<int>(s->acks.size()) >= group_.majority()) {
+      decide(i, s->cmd);  // committed on a majority at ballot 0
     }
   }
   advance_floors();
@@ -357,12 +365,11 @@ void MenciusNode::on_accept_own_ok(const AcceptOwnOk& m) {
 void MenciusNode::on_accept_own_rej(const AcceptOwnRej& m) {
   for (LogIndex i : m.indexes) {
     own_rev_floor_ = std::max(own_rev_floor_, i);
-    auto it = slots_.find(i);
-    if (it == slots_.end()) continue;
-    Slot& s = it->second;
-    if (s.st == St::kValued && s.own_pending_ack) {
-      const kv::Command lost = s.cmd;
-      s.own_pending_ack = false;
+    Slot* s = slots_.find(i);
+    if (s == nullptr) continue;
+    if (s->st == St::kValued && s->own_pending_ack) {
+      const kv::Command lost = s->cmd;
+      s->own_pending_ack = false;
       submit(lost);  // re-propose on a fresh slot
     }
   }
@@ -375,7 +382,7 @@ void MenciusNode::on_skip_range(const SkipRange& m) {
   const int orank = group_.rank_of(m.owner);
   LogIndex i = m.lo + (((orank - m.lo) % n_) + n_) % n_;
   for (; i < m.hi; i += n_) {
-    if (i < applied_) continue;
+    if (i < afloor()) continue;
     decide(i, kv::noop_command());
   }
   max_seen_ = std::max(max_seen_, m.hi - 1);
@@ -395,7 +402,7 @@ void MenciusNode::on_learn_req(const LearnReq& m) {
   lv.from = group_.self;
   for (LogIndex i = m.lo; i < m.hi; ++i) {
     if (owner_of(i) != group_.self) continue;
-    if (i < applied_) {
+    if (i < afloor()) {
       for (const auto& [idx, cmd] : decided_history_) {
         if (idx == i) {
           lv.slots.push_back(SlotInfo{i, cmd.is_noop(), cmd});
@@ -439,7 +446,7 @@ void MenciusNode::start_revocation(NodeId owner, LogIndex lo, LogIndex hi) {
   const int orank = group_.rank_of(owner);
   LogIndex i = lo + (((orank - lo) % n_) + n_) % n_;
   for (; i < hi; i += n_) {
-    if (i < applied_) continue;
+    if (i < afloor()) continue;
     Slot& s = slot(i);
     if (rev_.bal > s.promised) s.promised = rev_.bal;
     if (s.st != St::kEmpty) {
@@ -456,7 +463,7 @@ void MenciusNode::on_rev_prepare(const RevPrepare& m) {
   const int orank = group_.rank_of(m.owner);
   LogIndex i = m.lo + (((orank - m.lo) % n_) + n_) % n_;
   for (; i < m.hi; i += n_) {
-    if (i < applied_) {
+    if (i < afloor()) {
       // Already executed: report the decided value at the top ballot so the
       // revoker cannot choose anything else.
       for (const auto& [idx, cmd] : decided_history_) {
@@ -503,8 +510,8 @@ void MenciusNode::on_rev_prepare_ok(const RevPrepareOk& m) {
             ? it->second.cmd
             : kv::noop_command();
     ra.items.push_back(OwnItem{i, cmd});
-    Slot& s = slot(i);
-    if (i >= applied_) {
+    if (i >= afloor()) {
+      Slot& s = slot(i);
       // Self-accept.
       if (s.st != St::kDecided) {
         if (s.st == St::kValued && !(s.cmd == cmd)) {
@@ -536,7 +543,7 @@ void MenciusNode::on_rev_accept(const RevAccept& m) {
   ok.from = group_.self;
   ok.bal = m.bal;
   for (const OwnItem& item : m.items) {
-    if (item.index < applied_) {
+    if (item.index < afloor()) {
       ok.indexes.push_back(item.index);
       continue;
     }
@@ -586,7 +593,7 @@ void MenciusNode::on_rev_accept_ok(const RevAcceptOk& m) {
     ait->second.push_back(m.from);
     if (static_cast<int>(ait->second.size()) == group_.majority()) {
       const Slot* s = slot_if(i);
-      if (s != nullptr && i >= applied_) {
+      if (s != nullptr && i >= afloor()) {
         decide(i, s->cmd);
         lv.slots.push_back(SlotInfo{i, s->cmd.is_noop(),
                                     slot_if(i) != nullptr ? slot_if(i)->cmd
@@ -600,7 +607,7 @@ void MenciusNode::on_rev_accept_ok(const RevAcceptOk& m) {
   const int orank = group_.rank_of(rev_.owner);
   LogIndex i = rev_.lo + (((orank - rev_.lo) % n_) + n_) % n_;
   for (; i < rev_.hi; i += n_) {
-    if (i < applied_) continue;
+    if (i < afloor()) continue;
     const Slot* s = slot_if(i);
     if (s == nullptr || s->st != St::kDecided) {
       done = false;
@@ -615,13 +622,6 @@ void MenciusNode::on_rev_accept_ok(const RevAcceptOk& m) {
 // Maintenance loop.
 // ---------------------------------------------------------------------------
 
-void MenciusNode::arm_status_timer() {
-  env_.schedule(opt_.status_interval, [this] {
-    maintenance();
-    arm_status_timer();
-  });
-}
-
 void MenciusNode::maintenance() {
   const Time now = env_.now();
   broadcast(Message{StatusBeat{group_.self, next_own_, own_decided_floor(),
@@ -630,8 +630,10 @@ void MenciusNode::maintenance() {
   // Retransmit stale undecided own proposals.
   AcceptOwn retrans;
   retrans.owner = group_.self;
-  for (LogIndex i = applied_ + ((rank_ - applied_) % n_ + n_) % n_;
-       i < next_own_ && retrans.items.size() < 512; i += n_) {
+  const LogIndex base = afloor();
+  for (LogIndex i = base + ((rank_ - base) % n_ + n_) % n_;
+       i < next_own_ && retrans.items.size() < opt_.max_retransmit_entries;
+       i += n_) {
     const Slot* s = slot_if(i);
     if (s != nullptr && s->st == St::kValued &&
         s->bal == Ballot{0, group_.self} &&
@@ -646,14 +648,14 @@ void MenciusNode::maintenance() {
   }
 
   // Execution stalled on someone's slot?
-  if (now - last_progress_ > opt_.learn_after && max_seen_ >= applied_) {
-    const NodeId blocker = owner_of(applied_);
+  if (now - last_progress_ > opt_.learn_after && max_seen_ >= afloor()) {
+    const NodeId blocker = owner_of(afloor());
     if (blocker != group_.self) {
-      const LogIndex hi = std::min(max_seen_ + 1, applied_ + 256);
-      env_.send(blocker, Message{LearnReq{group_.self, applied_, hi}},
+      const LogIndex hi = std::min(max_seen_ + 1, afloor() + 256);
+      env_.send(blocker, Message{LearnReq{group_.self, afloor(), hi}},
                 consensus::wire::kSmallMsg);
       if (now - last_heard_[blocker] > opt_.revoke_timeout) {
-        start_revocation(blocker, applied_, max_seen_ + 1);
+        start_revocation(blocker, afloor(), max_seen_ + 1);
       }
     }
   }

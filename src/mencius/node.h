@@ -6,17 +6,23 @@
 #include <unordered_map>
 #include <vector>
 
+#include "consensus/applier.h"
+#include "consensus/batcher.h"
 #include "consensus/env.h"
 #include "consensus/group.h"
+#include "consensus/log.h"
+#include "consensus/node_iface.h"
+#include "consensus/timer.h"
+#include "consensus/timing.h"
 #include "consensus/types.h"
 #include "mencius/messages.h"
 #include "net/packet.h"
 
 namespace praft::mencius {
 
-struct Options {
-  Duration batch_delay = msec(1);
-  Duration status_interval = msec(150);
+struct Options : consensus::TimingOptions {
+  // The shared heartbeat_interval drives the StatusBeat/maintenance tick
+  // (Mencius has no single leader, so the election timeouts are unused).
   /// Stale undecided slots of an unresponsive owner are revoked after this.
   Duration revoke_timeout = msec(2500);
   /// Retransmit own unacked proposals after this.
@@ -48,29 +54,43 @@ struct Options {
 /// different value). Owners therefore publish `rev_floor`, and slots at or
 /// below it decide only through explicit authoritative messages
 /// (LearnVals / the revoker's decide broadcast).
-class MenciusNode {
+///
+/// Sparse slot storage, the maintenance tick, submission batching and the
+/// in-order exactly-once apply watermark come from the shared consensus
+/// runtime.
+class MenciusNode : public consensus::NodeIface {
  public:
   MenciusNode(consensus::Group group, consensus::Env& env, Options opt = {});
 
-  void start();
-  void on_packet(const net::Packet& p);
+  void start() override;
+  void on_packet(const net::Packet& p) override;
 
   /// Callbacks:
   ///  apply(index, cmd)  — in slot order, exactly once per slot;
   ///  acked(cmd)         — the moment this node's OWN proposal may be
   ///                       acknowledged to the client (commit + commute
   ///                       check), possibly before it executes.
-  void set_apply(consensus::ApplyFn fn) { apply_ = std::move(fn); }
+  void set_apply(consensus::ApplyFn fn) override { apply_ = std::move(fn); }
   using AckFn = std::function<void(const kv::Command&)>;
   void set_acked(AckFn fn) { acked_ = std::move(fn); }
 
   /// Proposes a command on this node's next own slot. Always succeeds
   /// (every replica is a leader for its residue class). Returns the slot.
-  LogIndex submit(const kv::Command& cmd);
+  LogIndex submit(const kv::Command& cmd) override;
 
-  [[nodiscard]] NodeId id() const { return group_.self; }
+  /// Every replica is the default leader of its own residue class.
+  [[nodiscard]] bool is_leader() const override { return true; }
+  [[nodiscard]] NodeId leader_hint() const override { return group_.self; }
+  [[nodiscard]] bool leaderless() const override { return true; }
+  /// The contiguous executed prefix (Mencius has no global commit index;
+  /// the watermark trails execution).
+  [[nodiscard]] LogIndex commit_index() const override {
+    return applier_.commit_index();
+  }
+
+  [[nodiscard]] NodeId id() const override { return group_.self; }
   [[nodiscard]] int rank() const { return rank_; }
-  [[nodiscard]] LogIndex applied_floor() const { return applied_; }
+  [[nodiscard]] LogIndex applied_floor() const { return applier_.next_index(); }
   [[nodiscard]] LogIndex next_own() const { return next_own_; }
   [[nodiscard]] NodeId owner_of(LogIndex i) const {
     return group_.members[static_cast<size_t>(i) % group_.members.size()];
@@ -106,10 +126,8 @@ class MenciusNode {
   void on_rev_accept(const RevAccept& m);
   void on_rev_accept_ok(const RevAcceptOk& m);
 
-  void schedule_flush();
   void flush();
   void broadcast(Message m);
-  void arm_status_timer();
   void maintenance();  // retransmit, learn-requests, revocation triggers
   void note_owner_watermark(NodeId owner, LogIndex decided_floor,
                             LogIndex rev_floor);
@@ -118,12 +136,15 @@ class MenciusNode {
   void slot_got_value(LogIndex i, Slot& s);
   void advance_floors();
   void advance_floors_inner();
+  void on_slot_applied(LogIndex i, const kv::Command& cmd);
   void try_ack_own();
   void start_revocation(NodeId owner, LogIndex lo, LogIndex hi);
   [[nodiscard]] bool commutes_below(LogIndex i, const kv::Command& cmd) const;
   Slot& slot(LogIndex i);
   [[nodiscard]] const Slot* slot_if(LogIndex i) const;
   [[nodiscard]] LogIndex own_decided_floor() const;
+  /// Exclusive execution floor: slots < afloor() are executed.
+  [[nodiscard]] LogIndex afloor() const { return applier_.next_index(); }
 
   consensus::Group group_;
   consensus::Env& env_;
@@ -131,12 +152,17 @@ class MenciusNode {
   int rank_;
   int n_;
 
-  std::map<LogIndex, Slot> slots_;   // sparse; pruned below applied_
-  LogIndex applied_ = 0;             // slots < applied_ are executed
+  consensus::SparseLog<Slot> slots_;  // sparse; pruned below the apply floor
   LogIndex info_floor_ = 0;          // slots < info_floor_ have st != kEmpty
   LogIndex next_own_ = 0;            // smallest unused own slot
   LogIndex max_seen_ = -1;           // largest slot index observed anywhere
   LogIndex own_rev_floor_ = -1;      // highest own slot known revoked
+
+  // Shared runtime machinery. Mencius slots are 0-based, so the applier
+  // starts at -1; the status/maintenance beat rides the heartbeat interval.
+  consensus::PeriodicTimer status_;
+  consensus::Batcher batcher_;
+  consensus::Applier applier_;
 
   // Per-owner published watermarks.
   std::unordered_map<NodeId, LogIndex> owner_floor_;
@@ -149,7 +175,6 @@ class MenciusNode {
 
   // Pending own proposals not yet flushed.
   std::vector<OwnItem> pending_;
-  bool flush_scheduled_ = false;
   std::vector<std::pair<LogIndex, LogIndex>> pending_skips_;
 
   // Own proposals whose clients have not been acknowledged yet.

@@ -25,6 +25,7 @@ class MenciusServer : public harness::ReplicaServer {
   /// Every replica is the default leader of its own slots.
   [[nodiscard]] bool is_leader() const override { return true; }
   [[nodiscard]] NodeId leader_hint() const override { return id(); }
+  [[nodiscard]] bool leaderless() const override { return true; }
 
   MenciusNode& node() { return node_; }
 

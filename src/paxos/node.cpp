@@ -8,26 +8,40 @@
 namespace praft::paxos {
 
 PaxosNode::PaxosNode(consensus::Group group, consensus::Env& env, Options opt)
-    : group_(std::move(group)), env_(env), opt_(opt),
+    : group_(std::move(group)),
+      env_(env),
+      opt_(opt),
+      election_(env, opt_.election_timeout_min, opt_.election_timeout_max),
+      heartbeat_(env),
+      batcher_(env, opt_.batch_delay, [this] { flush_batch(); }),
       prepare_acks_(group_.majority()) {
   group_.validate();
   ballot_ = Ballot{0, kNoNode};
+  election_.set_gate([this] { return !is_leader(); });
+  election_.set_handler([this](bool expired) {
+    if (expired) {
+      start_prepare();
+    } else if (!is_leader() && applier_.applied() < commit_floor()) {
+      request_missing(commit_floor());  // re-ask for lost LearnValues
+    }
+  });
+  heartbeat_.set_gate([this] { return is_leader(); });
+  heartbeat_.set_handler([this] { heartbeat_tick(); });
 }
 
-void PaxosNode::start() { arm_election_timer(); }
+void PaxosNode::start() { election_.start(); }
 
 PaxosNode::Instance& PaxosNode::inst(LogIndex i) {
   PRAFT_CHECK(i >= 1);
-  return instances_[i];
+  return instances_.materialize(i);
 }
 
 const PaxosNode::Instance* PaxosNode::inst_if(LogIndex i) const {
-  auto it = instances_.find(i);
-  return it == instances_.end() ? nullptr : &it->second;
+  return instances_.find(i);
 }
 
 bool PaxosNode::chosen_at(LogIndex i) const {
-  if (i <= commit_floor_) return true;
+  if (i <= commit_floor()) return true;
   const Instance* in = inst_if(i);
   return in != nullptr && in->chosen;
 }
@@ -35,21 +49,6 @@ bool PaxosNode::chosen_at(LogIndex i) const {
 const kv::Command* PaxosNode::value_at(LogIndex i) const {
   const Instance* in = inst_if(i);
   return (in != nullptr && in->has) ? &in->cmd : nullptr;
-}
-
-void PaxosNode::arm_election_timer() {
-  const uint64_t epoch = ++election_epoch_;
-  const Duration timeout = env_.random_range(opt_.election_timeout_min,
-                                             opt_.election_timeout_max);
-  env_.schedule(timeout, [this, epoch, timeout] {
-    if (epoch != election_epoch_) return;
-    if (!is_leader() && env_.now() - last_leader_seen_ >= timeout) {
-      start_prepare();
-    } else if (!is_leader() && applied_ < commit_floor_) {
-      request_missing(commit_floor_);  // re-ask for lost LearnValues
-    }
-    arm_election_timer();
-  });
 }
 
 void PaxosNode::start_prepare() {
@@ -62,15 +61,15 @@ void PaxosNode::start_prepare() {
   prepare_acks_.add(group_.self);
   safe_vals_.clear();
   // Self-promise: include our own accepted values.
-  for (LogIndex i = commit_floor_ + 1; i <= log_tail_; ++i) {
+  for (LogIndex i = commit_floor() + 1; i <= log_tail_; ++i) {
     if (const Instance* in = inst_if(i); in != nullptr && in->has) {
       safe_vals_[i] = AcceptedVal{i, in->bal, in->cmd};
     }
   }
-  last_leader_seen_ = env_.now();
+  election_.touch();
   PRAFT_LOG(kDebug) << "paxos " << group_.self << " prepare ballot ("
                     << ballot_.round << "," << ballot_.node << ")";
-  Prepare p{ballot_, group_.self, commit_floor_ + 1};
+  Prepare p{ballot_, group_.self, commit_floor() + 1};
   for (NodeId peer : group_.members) {
     if (peer == group_.self) continue;
     env_.send(peer, Message{p}, wire_size(p));
@@ -84,7 +83,7 @@ void PaxosNode::on_prepare(const Prepare& m) {
     phase1_succeeded_ = false;
     preparing_ = false;
     leader_ = m.sender;
-    last_leader_seen_ = env_.now();
+    election_.touch();
     PrepareOk ok;
     ok.bal = ballot_;
     ok.sender = group_.self;
@@ -120,38 +119,34 @@ void PaxosNode::finish_prepare() {
                    << ballot_.round << "," << ballot_.node << ")";
   // Re-propose every safe value in the unchosen range; fill holes with
   // no-ops so execution can make progress (classic MultiPaxos recovery).
-  LogIndex max_seen = commit_floor_;
+  LogIndex max_seen = commit_floor();
   if (!safe_vals_.empty()) max_seen = std::max(max_seen, safe_vals_.rbegin()->first);
   std::vector<kv::Command> cmds;
-  for (LogIndex i = commit_floor_ + 1; i <= max_seen; ++i) {
+  for (LogIndex i = commit_floor() + 1; i <= max_seen; ++i) {
     auto it = safe_vals_.find(i);
     cmds.push_back(it != safe_vals_.end() ? it->second.cmd : kv::noop_command());
   }
   next_propose_ = max_seen + 1;
-  if (!cmds.empty()) propose_range(commit_floor_ + 1, cmds);
+  if (!cmds.empty()) propose_range(commit_floor() + 1, cmds);
   safe_vals_.clear();
-  arm_heartbeat(++heartbeat_epoch_);
+  heartbeat_.start(opt_.heartbeat_interval);
 }
 
-void PaxosNode::arm_heartbeat(uint64_t epoch) {
-  env_.schedule(opt_.heartbeat_interval, [this, epoch] {
-    if (epoch != heartbeat_epoch_ || !is_leader()) return;
-    retransmit_unchosen();
-    Heartbeat hb{ballot_, group_.self, commit_floor_};
-    for (NodeId peer : group_.members) {
-      if (peer == group_.self) continue;
-      env_.send(peer, Message{hb}, wire_size(hb));
-    }
-    arm_heartbeat(epoch);
-  });
+void PaxosNode::heartbeat_tick() {
+  retransmit_unchosen();
+  Heartbeat hb{ballot_, group_.self, commit_floor()};
+  for (NodeId peer : group_.members) {
+    if (peer == group_.self) continue;
+    env_.send(peer, Message{hb}, wire_size(hb));
+  }
 }
 
 void PaxosNode::retransmit_unchosen() {
   // Re-propose stale unchosen instances (lost accepts / lost acks).
-  constexpr LogIndex kMaxBatch = 512;
+  const auto max_batch = static_cast<LogIndex>(opt_.max_retransmit_entries);
   const Time cutoff = env_.now() - opt_.retransmit_age;
   LogIndex first = 0;
-  for (LogIndex i = commit_floor_ + 1; i <= log_tail_; ++i) {
+  for (LogIndex i = commit_floor() + 1; i <= log_tail_; ++i) {
     const Instance* in = inst_if(i);
     if (in != nullptr && in->has && !in->chosen && in->proposed_at <= cutoff) {
       first = i;
@@ -159,7 +154,7 @@ void PaxosNode::retransmit_unchosen() {
     }
   }
   if (first == 0) return;
-  const LogIndex last = std::min(log_tail_, first + kMaxBatch - 1);
+  const LogIndex last = std::min(log_tail_, first + max_batch - 1);
   std::vector<kv::Command> cmds;
   for (LogIndex i = first; i <= last; ++i) {
     const Instance* in = inst_if(i);
@@ -173,17 +168,8 @@ LogIndex PaxosNode::submit(const kv::Command& cmd) {
   if (!is_leader()) return -1;
   pending_.push_back(cmd);
   const LogIndex idx = next_propose_ + static_cast<LogIndex>(pending_.size()) - 1;
-  schedule_flush();
+  batcher_.poke();
   return idx;
-}
-
-void PaxosNode::schedule_flush() {
-  if (flush_scheduled_) return;
-  flush_scheduled_ = true;
-  env_.schedule(opt_.batch_delay, [this] {
-    flush_scheduled_ = false;
-    flush_batch();
-  });
 }
 
 void PaxosNode::flush_batch() {
@@ -220,7 +206,7 @@ void PaxosNode::propose_range(LogIndex start,
     add_ack(in, ballot_, group_.self);
     log_tail_ = std::max(log_tail_, i);
   }
-  AcceptBatch ab{ballot_, group_.self, start, cmds, commit_floor_};
+  AcceptBatch ab{ballot_, group_.self, start, cmds, commit_floor()};
   for (NodeId peer : group_.members) {
     if (peer == group_.self) continue;
     env_.send(peer, Message{ab}, wire_size(ab));
@@ -244,7 +230,7 @@ void PaxosNode::on_accept(const AcceptBatch& m) {
     preparing_ = false;
   }
   leader_ = m.sender;
-  last_leader_seen_ = env_.now();
+  election_.touch();
   for (size_t k = 0; k < m.cmds.size(); ++k) {
     const LogIndex i = m.start + static_cast<LogIndex>(k);
     Instance& in = inst(i);
@@ -254,7 +240,7 @@ void PaxosNode::on_accept(const AcceptBatch& m) {
     in.has = true;
     log_tail_ = std::max(log_tail_, i);
   }
-  if (m.commit_floor > commit_floor_) sync_to_floor(m.bal, m.commit_floor);
+  if (m.commit_floor > commit_floor()) sync_to_floor(m.bal, m.commit_floor);
   if (!m.cmds.empty()) {
     AcceptOkBatch ok{m.bal, group_.self, m.start,
                      static_cast<LogIndex>(m.cmds.size())};
@@ -282,30 +268,35 @@ void PaxosNode::mark_chosen(LogIndex i) {
 }
 
 void PaxosNode::advance_floor() {
+  // Extend the contiguous chosen watermark, then execute the contiguous
+  // LOCALLY-CHOSEN prefix in order. Instances below the floor whose local
+  // value is stale (accepted at an older ballot than the one that chose)
+  // are repaired via LearnValues before execution — the Applier pauses at
+  // the gap without losing the watermark.
+  LogIndex floor = commit_floor();
   while (true) {
-    const Instance* in = inst_if(commit_floor_ + 1);
+    const Instance* in = inst_if(floor + 1);
     if (in == nullptr || !in->chosen) break;
-    ++commit_floor_;
+    ++floor;
   }
-  // Execute the contiguous LOCALLY-CHOSEN prefix in order. Instances below
-  // the floor whose local value is stale (accepted at an older ballot than
-  // the one that chose) are repaired via LearnValues before execution.
-  while (applied_ < commit_floor_) {
-    const Instance* in = inst_if(applied_ + 1);
-    if (in == nullptr || !in->chosen) break;
-    ++applied_;
-    if (apply_) apply_(applied_, in->cmd);
-  }
+  commit_to(floor);
+}
+
+void PaxosNode::commit_to(LogIndex floor) {
+  applier_.commit_to(floor, [this](LogIndex i) -> const kv::Command* {
+    const Instance* in = inst_if(i);
+    return (in != nullptr && in->chosen) ? &in->cmd : nullptr;
+  });
 }
 
 void PaxosNode::sync_to_floor(const Ballot& sender_bal, LogIndex floor) {
-  for (LogIndex i = commit_floor_ + 1; i <= floor; ++i) {
+  for (LogIndex i = commit_floor() + 1; i <= floor; ++i) {
     Instance& in = inst(i);
     // The sender (ballot owner) proposes exactly one value per instance per
     // ballot, so a local value accepted at sender_bal IS the chosen value.
     if (!in.chosen && in.has && in.bal == sender_bal) in.chosen = true;
   }
-  commit_floor_ = std::max(commit_floor_, floor);
+  commit_to(floor);
   advance_floor();
   request_missing(floor);
 }
@@ -313,7 +304,7 @@ void PaxosNode::sync_to_floor(const Ballot& sender_bal, LogIndex floor) {
 void PaxosNode::request_missing(LogIndex upto) {
   if (leader_ == kNoNode || leader_ == group_.self) return;
   LogIndex from = 0;
-  for (LogIndex i = applied_ + 1; i <= upto; ++i) {
+  for (LogIndex i = applier_.applied() + 1; i <= upto; ++i) {
     const Instance* in = inst_if(i);
     if (in == nullptr || !in->chosen) {
       from = i;
@@ -343,15 +334,15 @@ void PaxosNode::on_heartbeat(const Heartbeat& m) {
     preparing_ = false;
   }
   leader_ = m.sender;
-  last_leader_seen_ = env_.now();
-  if (m.commit_floor > commit_floor_) sync_to_floor(m.bal, m.commit_floor);
+  election_.touch();
+  if (m.commit_floor > commit_floor()) sync_to_floor(m.bal, m.commit_floor);
 }
 
 void PaxosNode::on_learn_request(const LearnRequest& m) {
   LearnValues lv;
   lv.sender = group_.self;
   lv.start = m.from;
-  for (LogIndex i = m.from; i <= std::min(m.to, commit_floor_); ++i) {
+  for (LogIndex i = m.from; i <= std::min(m.to, commit_floor()); ++i) {
     const Instance* in = inst_if(i);
     if (in == nullptr || !in->chosen) break;
     lv.cmds.push_back(in->cmd);
@@ -364,7 +355,7 @@ void PaxosNode::on_learn_values(const LearnValues& m) {
   // from below the sender's floor): they overwrite stale local accepts.
   for (size_t k = 0; k < m.cmds.size(); ++k) {
     const LogIndex i = m.start + static_cast<LogIndex>(k);
-    if (i > commit_floor_) break;
+    if (i > commit_floor()) break;
     Instance& in = inst(i);
     if (in.chosen) continue;
     in.cmd = m.cmds[k];

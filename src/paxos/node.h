@@ -3,19 +3,21 @@
 #include <map>
 #include <vector>
 
+#include "consensus/applier.h"
+#include "consensus/batcher.h"
 #include "consensus/env.h"
 #include "consensus/group.h"
+#include "consensus/log.h"
+#include "consensus/node_iface.h"
+#include "consensus/timer.h"
+#include "consensus/timing.h"
 #include "consensus/types.h"
 #include "net/packet.h"
 #include "paxos/messages.h"
 
 namespace praft::paxos {
 
-struct Options {
-  Duration election_timeout_min = msec(1200);
-  Duration election_timeout_max = msec(2400);
-  Duration heartbeat_interval = msec(150);
-  Duration batch_delay = msec(1);
+struct Options : consensus::TimingOptions {
   /// Unchosen instances older than this are re-proposed on the heartbeat
   /// tick (loss recovery; Raft gets the same effect from nextIndex probes).
   Duration retransmit_age = msec(300);
@@ -27,32 +29,43 @@ struct Options {
 /// instances commit out of order; execution still applies the contiguous
 /// chosen prefix in order. A proposer overwrites accepted (ballot, value)
 /// pairs and never erases them — the behaviour Raft* restores (paper §3).
-class PaxosNode {
+///
+/// Sparse instance storage, the election timer, leader heartbeats, batching
+/// and the chosen-floor apply watermark come from the shared consensus
+/// runtime.
+class PaxosNode : public consensus::NodeIface {
  public:
   PaxosNode(consensus::Group group, consensus::Env& env, Options opt = {});
 
-  void start();
-  void on_packet(const net::Packet& p);
+  void start() override;
+  void on_packet(const net::Packet& p) override;
 
   /// Leader-only: assigns the command the next free instance. Returns the
   /// instance id, or -1 when not leader.
-  LogIndex submit(const kv::Command& cmd);
+  LogIndex submit(const kv::Command& cmd) override;
 
-  void set_apply(consensus::ApplyFn fn) { apply_ = std::move(fn); }
+  void set_apply(consensus::ApplyFn fn) override {
+    applier_.set_apply(std::move(fn));
+  }
 
-  [[nodiscard]] bool is_leader() const {
+  [[nodiscard]] bool is_leader() const override {
     return phase1_succeeded_ && ballot_.node == group_.self;
   }
-  [[nodiscard]] NodeId leader_hint() const { return leader_; }
+  [[nodiscard]] NodeId leader_hint() const override { return leader_; }
   [[nodiscard]] Ballot ballot() const { return ballot_; }
-  /// All instances < this are chosen (contiguous watermark).
-  [[nodiscard]] LogIndex commit_floor() const { return commit_floor_; }
-  [[nodiscard]] LogIndex applied_index() const { return applied_; }
-  [[nodiscard]] NodeId id() const { return group_.self; }
+  /// All instances <= this are chosen (contiguous watermark).
+  [[nodiscard]] LogIndex commit_floor() const {
+    return applier_.commit_index();
+  }
+  [[nodiscard]] LogIndex commit_index() const override {
+    return commit_floor();
+  }
+  [[nodiscard]] LogIndex applied_index() const { return applier_.applied(); }
+  [[nodiscard]] NodeId id() const override { return group_.self; }
   [[nodiscard]] bool chosen_at(LogIndex i) const;
   [[nodiscard]] const kv::Command* value_at(LogIndex i) const;
 
-  void force_election() { start_prepare(); }
+  void force_election() override { start_prepare(); }
 
  private:
   struct Instance {
@@ -74,16 +87,15 @@ class PaxosNode {
   void on_learn_request(const LearnRequest& m);
   void on_learn_values(const LearnValues& m);
 
-  void arm_election_timer();
-  void arm_heartbeat(uint64_t epoch);
   void start_prepare();
   void finish_prepare();
-  void schedule_flush();
   void flush_batch();
   void propose_range(LogIndex start, const std::vector<kv::Command>& cmds);
   void retransmit_unchosen();
+  void heartbeat_tick();
   void mark_chosen(LogIndex i);
   void advance_floor();
+  void commit_to(LogIndex floor);
   /// Adopts a (possibly newer) contiguous-chosen watermark from a sender at
   /// `sender_bal`: local values accepted at that same ballot are provably the
   /// chosen ones; anything else below the floor is fetched via LearnRequest.
@@ -100,11 +112,15 @@ class PaxosNode {
   Ballot ballot_;               // highest ballot seen (promise)
   bool phase1_succeeded_ = false;
   NodeId leader_ = kNoNode;
-  std::map<LogIndex, Instance> instances_;  // sparse: holes are real in Paxos
-  LogIndex commit_floor_ = 0;   // all instances <= floor are chosen
-  LogIndex applied_ = 0;
+  consensus::SparseLog<Instance> instances_;  // sparse: holes are real
   LogIndex next_propose_ = 1;   // leader's next unused instance id
   LogIndex log_tail_ = 0;       // largest instance id with an accepted value
+
+  // Shared runtime machinery.
+  consensus::ElectionTimer election_;
+  consensus::PeriodicTimer heartbeat_;
+  consensus::Batcher batcher_;
+  consensus::Applier applier_;
 
   // Phase 1 (candidate) state.
   bool preparing_ = false;
@@ -113,13 +129,6 @@ class PaxosNode {
 
   // Pending client batch (leader).
   std::vector<kv::Command> pending_;
-  bool flush_scheduled_ = false;
-
-  Time last_leader_seen_ = 0;
-  uint64_t election_epoch_ = 0;
-  uint64_t heartbeat_epoch_ = 0;
-
-  consensus::ApplyFn apply_;
 };
 
 }  // namespace praft::paxos

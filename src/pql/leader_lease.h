@@ -26,15 +26,17 @@ class LeaderLeaseServer : public harness::RaftStarServer {
   [[nodiscard]] int64_t local_reads_served() const { return local_reads_; }
 
  protected:
-  void handle_other(const net::Packet& p) override {
+  bool handle_other(const net::Packet& p) override {
     if (const auto* lm = net::payload_as<lease::Message>(p)) {
       leases_.on_message(*lm);
+      return true;
     }
+    return false;
   }
 
   bool try_serve_read(const kv::Command& cmd, NodeId, bool,
                       NodeId origin) override {
-    if (!node_.is_leader() || !leases_.quorum_lease_active(host_.now())) {
+    if (!node().is_leader() || !leases_.quorum_lease_active(host_.now())) {
       return false;  // followers forward; an unleased leader uses the log
     }
     ++local_reads_;

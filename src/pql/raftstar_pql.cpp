@@ -9,20 +9,20 @@ RaftStarPqlServer::RaftStarPqlServer(harness::NodeHost& host,
     : harness::RaftStarServer(host, group, costs, opt), popt_(popt),
       leases_(group, host, popt.lease) {
   // Non-mutating hooks (§4.2): all PQL state lives in this adapter.
-  node_.set_entry_observer(
+  node().set_entry_observer(
       [this](consensus::LogIndex i, const raftstar::Entry& e) {
         if (e.cmd.is_write()) last_write_[e.cmd.key] = i;
       });
-  node_.set_reply_decorator(
+  node().set_reply_decorator(
       [this] { return leases_.granted_holders(host_.now()); });
-  node_.set_append_reply_observer(
+  node().set_append_reply_observer(
       [this](NodeId follower, consensus::LogIndex match,
              const std::vector<NodeId>& holders) {
         auto& ack = follower_acks_[follower];
         ack.match = std::max(ack.match, match);
         ack.holders = holders;
       });
-  node_.set_commit_gate(
+  node().set_commit_gate(
       [this](consensus::LogIndex i) { return commit_allowed(i); });
 }
 
@@ -38,15 +38,17 @@ void RaftStarPqlServer::arm_gate_retry() {
   const uint64_t epoch = ++gate_epoch_;
   host_.schedule(popt_.gate_retry, [this, epoch] {
     if (epoch != gate_epoch_) return;
-    if (node_.is_leader()) node_.retry_commit();
+    if (node().is_leader()) node().retry_commit();
     arm_gate_retry();
   });
 }
 
-void RaftStarPqlServer::handle_other(const net::Packet& p) {
+bool RaftStarPqlServer::handle_other(const net::Packet& p) {
   if (const auto* lm = net::payload_as<lease::Message>(p)) {
     leases_.on_message(*lm);
+    return true;
   }
+  return false;
 }
 
 bool RaftStarPqlServer::commit_allowed(consensus::LogIndex i) const {
@@ -74,7 +76,7 @@ bool RaftStarPqlServer::try_serve_read(const kv::Command& cmd, NodeId,
   // LocalRead (Fig. 13): quorum lease + every write to the key committed.
   if (!leases_.quorum_lease_active(host_.now())) return false;
   const consensus::LogIndex need = last_write_index(cmd.key);
-  if (need <= node_.commit_index()) {
+  if (need <= node().commit_index()) {
     serve_read_now(cmd, origin);
   } else {
     pending_reads_.push_back(PendingRead{cmd, origin, need});
@@ -101,7 +103,7 @@ void RaftStarPqlServer::on_applied_hook(consensus::LogIndex,
 void RaftStarPqlServer::drain_pending_reads() {
   const Time now = host_.now();
   for (auto it = pending_reads_.begin(); it != pending_reads_.end();) {
-    if (it->need > node_.commit_index()) {
+    if (it->need > node().commit_index()) {
       ++it;
       continue;
     }

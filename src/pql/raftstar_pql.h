@@ -55,7 +55,7 @@ class RaftStarPqlServer : public harness::RaftStarServer {
   }
 
  protected:
-  void handle_other(const net::Packet& p) override;
+  bool handle_other(const net::Packet& p) override;
   bool try_serve_read(const kv::Command& cmd, NodeId reply_to,
                       bool via_forward, NodeId origin) override;
   void on_applied_hook(consensus::LogIndex idx,

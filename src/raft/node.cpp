@@ -8,31 +8,28 @@
 namespace praft::raft {
 
 RaftNode::RaftNode(consensus::Group group, consensus::Env& env, Options opt)
-    : group_(std::move(group)), env_(env), opt_(opt), votes_(group_.majority()) {
+    : group_(std::move(group)),
+      env_(env),
+      opt_(opt),
+      election_(env, opt_.election_timeout_min, opt_.election_timeout_max),
+      heartbeat_(env),
+      batcher_(env, opt_.batch_delay,
+               [this] {
+                 if (role_ == Role::kLeader) broadcast_append();
+               }),
+      votes_(group_.majority()) {
   group_.validate();
-  log_.push_back(Entry{});  // index 0 sentinel, term 0
-}
-
-void RaftNode::start() { arm_election_timer(); }
-
-Term RaftNode::term_at(LogIndex i) const {
-  PRAFT_CHECK(i >= 0 && i <= last_index());
-  return log_[static_cast<size_t>(i)].term;
-}
-
-void RaftNode::arm_election_timer() {
-  const uint64_t epoch = ++election_epoch_;
-  const Duration timeout = env_.random_range(opt_.election_timeout_min,
-                                             opt_.election_timeout_max);
-  env_.schedule(timeout, [this, epoch, timeout] {
-    if (epoch != election_epoch_) return;  // superseded
-    if (role_ != Role::kLeader &&
-        env_.now() - last_heartbeat_ >= timeout) {
-      start_election();
-    }
-    arm_election_timer();
+  election_.set_gate([this] { return role_ != Role::kLeader; });
+  election_.set_handler([this](bool expired) {
+    if (expired) start_election();
   });
+  heartbeat_.set_gate([this] { return role_ == Role::kLeader; });
+  heartbeat_.set_handler([this] { broadcast_append(); });
 }
+
+void RaftNode::start() { election_.start(); }
+
+Term RaftNode::term_at(LogIndex i) const { return log_.at(i).term; }
 
 void RaftNode::start_election() {
   ++term_;
@@ -41,7 +38,7 @@ void RaftNode::start_election() {
   voted_for_ = group_.self;
   votes_ = consensus::QuorumTracker(group_.majority());
   votes_.add(group_.self);
-  last_heartbeat_ = env_.now();  // restart the clock for this attempt
+  election_.touch();  // restart the clock for this attempt
   PRAFT_LOG(kDebug) << "raft " << group_.self << " starts election term "
                     << term_;
   RequestVote rv{term_, group_.self, last_index(), term_at(last_index())};
@@ -60,7 +57,7 @@ void RaftNode::step_down(Term t) {
   if (role_ == Role::kLeader) {
     next_index_.clear();
     match_index_.clear();
-    ++heartbeat_epoch_;  // stop the heartbeat chain
+    heartbeat_.stop();
   }
   role_ = Role::kFollower;
 }
@@ -97,7 +94,7 @@ void RaftNode::on_request_vote(const RequestVote& m) {
     if (up_to_date) {
       granted = true;
       voted_for_ = m.candidate;
-      last_heartbeat_ = env_.now();  // granting a vote defers our own election
+      election_.touch();  // granting a vote defers our own election
     }
   }
   VoteReply reply{term_, group_.self, granted};
@@ -127,33 +124,16 @@ void RaftNode::become_leader() {
   PRAFT_LOG(kInfo) << "raft " << group_.self << " leader at term " << term_;
   // Commit a no-op to pull prior-term entries to commit (§5.4.2 workaround —
   // Raft cannot count replicas of old-term entries directly).
-  log_.push_back(Entry{term_, kv::noop_command()});
+  log_.append(Entry{term_, kv::noop_command()});
   broadcast_append();
-  arm_heartbeat(++heartbeat_epoch_);
-}
-
-void RaftNode::arm_heartbeat(uint64_t epoch) {
-  env_.schedule(opt_.heartbeat_interval, [this, epoch] {
-    if (epoch != heartbeat_epoch_ || role_ != Role::kLeader) return;
-    broadcast_append();
-    arm_heartbeat(epoch);
-  });
+  heartbeat_.start(opt_.heartbeat_interval);
 }
 
 LogIndex RaftNode::submit(const kv::Command& cmd) {
   if (role_ != Role::kLeader) return -1;
-  log_.push_back(Entry{term_, cmd});
-  schedule_flush();
+  log_.append(Entry{term_, cmd});
+  batcher_.poke();
   return last_index();
-}
-
-void RaftNode::schedule_flush() {
-  if (flush_scheduled_) return;
-  flush_scheduled_ = true;
-  env_.schedule(opt_.batch_delay, [this] {
-    flush_scheduled_ = false;
-    if (role_ == Role::kLeader) broadcast_append();
-  });
 }
 
 void RaftNode::broadcast_append() {
@@ -173,12 +153,12 @@ void RaftNode::replicate_to(NodeId peer) {
   ae.leader = group_.self;
   ae.prev_index = prev;
   ae.prev_term = term_at(std::min(prev, last_index()));
-  ae.commit = commit_;
+  ae.commit = commit_index();
   const LogIndex hi =
       std::min(last_index(),
-               prev + static_cast<LogIndex>(opt_.max_entries_per_append));
+               prev + static_cast<LogIndex>(opt_.max_entries_per_batch));
   for (LogIndex i = prev + 1; i <= hi; ++i) {
-    ae.entries.push_back(log_[static_cast<size_t>(i)]);
+    ae.entries.push_back(log_.at(i));
   }
   env_.send(peer, Message{ae}, wire_size(ae));
   // Optimistic pipelining: assume delivery and advance nextIndex so the
@@ -195,7 +175,7 @@ void RaftNode::on_append_entries(const AppendEntries& m) {
   }
   step_down(m.term);
   leader_ = m.leader;
-  last_heartbeat_ = env_.now();
+  election_.touch();
 
   if (m.prev_index > last_index() ||
       term_at(m.prev_index) != m.prev_term) {
@@ -212,19 +192,16 @@ void RaftNode::on_append_entries(const AppendEntries& m) {
   for (const Entry& e : m.entries) {
     ++idx;
     if (idx <= last_index()) {
-      if (log_[static_cast<size_t>(idx)].term != e.term) {
-        log_.resize(static_cast<size_t>(idx));  // erase extraneous entries
-        log_.push_back(e);
+      if (log_.at(idx).term != e.term) {
+        log_.truncate_after(idx - 1);  // erase extraneous entries
+        log_.append(e);
       }
     } else {
-      log_.push_back(e);
+      log_.append(e);
     }
   }
   const LogIndex match = m.prev_index + static_cast<LogIndex>(m.entries.size());
-  if (m.commit > commit_) {
-    commit_ = std::min(m.commit, match);
-    deliver_applies();
-  }
+  commit_to(std::min(m.commit, match));
   AppendReply reply{term_, group_.self, true, match, 0};
   env_.send(m.leader, Message{reply}, wire_size(reply));
 }
@@ -252,25 +229,22 @@ void RaftNode::on_append_reply(const AppendReply& m) {
 void RaftNode::advance_commit() {
   // Highest N replicated on a majority with log[N].term == current term
   // (§5.4.2: never commit old-term entries by counting).
-  for (LogIndex n = last_index(); n > commit_; --n) {
+  for (LogIndex n = last_index(); n > commit_index(); --n) {
     if (term_at(n) != term_) break;
     int count = 1;  // self
     for (const auto& [peer, match] : match_index_) {
       if (match >= n) ++count;
     }
     if (count >= group_.majority()) {
-      commit_ = n;
-      deliver_applies();
+      commit_to(n);
       break;
     }
   }
 }
 
-void RaftNode::deliver_applies() {
-  while (applied_ < commit_) {
-    ++applied_;
-    if (apply_) apply_(applied_, log_[static_cast<size_t>(applied_)].cmd);
-  }
+void RaftNode::commit_to(LogIndex target) {
+  applier_.commit_to(target,
+                     [this](LogIndex i) { return &log_.at(i).cmd; });
 }
 
 }  // namespace praft::raft

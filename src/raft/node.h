@@ -3,25 +3,23 @@
 #include <unordered_map>
 #include <vector>
 
+#include "consensus/applier.h"
+#include "consensus/batcher.h"
 #include "consensus/env.h"
 #include "consensus/group.h"
+#include "consensus/log.h"
+#include "consensus/node_iface.h"
+#include "consensus/timer.h"
+#include "consensus/timing.h"
 #include "consensus/types.h"
 #include "net/packet.h"
 #include "raft/messages.h"
 
 namespace praft::raft {
 
-/// Tunables. Defaults are WAN-scale (the paper's testbed spans 25–292 ms
-/// RTTs); unit tests shrink them to keep simulated time small.
-struct Options {
-  Duration election_timeout_min = msec(1200);
-  Duration election_timeout_max = msec(2400);
-  Duration heartbeat_interval = msec(150);
-  /// Leader batching delay (etcd-style): submissions within this window ride
-  /// one AppendEntries. 0 means flush on the next event-loop turn.
-  Duration batch_delay = msec(1);
-  size_t max_entries_per_append = 4096;
-};
+/// Tunables. All of Raft's timing knobs are the shared consensus ones; the
+/// struct exists so call sites keep a protocol-scoped name.
+struct Options : consensus::TimingOptions {};
 
 enum class Role { kFollower, kCandidate, kLeader };
 
@@ -29,38 +27,45 @@ enum class Role { kFollower, kCandidate, kLeader };
 /// randomized elections, AppendEntries with conflict-suffix erasure, in-order
 /// commit, and the §5.4.2 restriction (only current-term entries commit by
 /// counting). This is the protocol Raft* deviates from (see src/raftstar).
-class RaftNode {
+///
+/// Log storage, the election timer, leader heartbeats, submission batching
+/// and the apply watermark all come from the shared consensus runtime; this
+/// file holds only Raft's genuine protocol delta.
+class RaftNode : public consensus::NodeIface {
  public:
   RaftNode(consensus::Group group, consensus::Env& env, Options opt = {});
 
   /// Arms the election timer. Call once after construction.
-  void start();
+  void start() override;
 
   /// Feeds a network packet whose payload holds a raft::Message.
-  void on_packet(const net::Packet& p);
+  void on_packet(const net::Packet& p) override;
 
   /// Leader-only: appends `cmd` to the log and schedules replication.
   /// Returns the assigned index, or -1 when this node is not the leader.
-  LogIndex submit(const kv::Command& cmd);
+  LogIndex submit(const kv::Command& cmd) override;
 
   /// Registers the in-order apply callback (exactly once per index).
-  void set_apply(consensus::ApplyFn fn) { apply_ = std::move(fn); }
+  void set_apply(consensus::ApplyFn fn) override {
+    applier_.set_apply(std::move(fn));
+  }
 
   [[nodiscard]] Role role() const { return role_; }
-  [[nodiscard]] bool is_leader() const { return role_ == Role::kLeader; }
+  [[nodiscard]] bool is_leader() const override {
+    return role_ == Role::kLeader;
+  }
   [[nodiscard]] Term current_term() const { return term_; }
-  [[nodiscard]] NodeId leader_hint() const { return leader_; }
-  [[nodiscard]] LogIndex commit_index() const { return commit_; }
-  [[nodiscard]] LogIndex last_index() const {
-    return static_cast<LogIndex>(log_.size()) - 1;
+  [[nodiscard]] NodeId leader_hint() const override { return leader_; }
+  [[nodiscard]] LogIndex commit_index() const override {
+    return applier_.commit_index();
   }
-  [[nodiscard]] const Entry& entry_at(LogIndex i) const {
-    return log_[static_cast<size_t>(i)];
-  }
-  [[nodiscard]] NodeId id() const { return group_.self; }
+  [[nodiscard]] LogIndex last_index() const { return log_.last_index(); }
+  /// Bounds-checked access (PRAFT_CHECK on out-of-range indexes).
+  [[nodiscard]] const Entry& entry_at(LogIndex i) const { return log_.at(i); }
+  [[nodiscard]] NodeId id() const override { return group_.self; }
 
   /// Test hook: forces an immediate election attempt.
-  void force_election() { start_election(); }
+  void force_election() override { start_election(); }
 
  private:
   void on_request_vote(const RequestVote& m);
@@ -68,16 +73,13 @@ class RaftNode {
   void on_append_entries(const AppendEntries& m);
   void on_append_reply(const AppendReply& m);
 
-  void arm_election_timer();
-  void arm_heartbeat(uint64_t epoch);
   void start_election();
   void become_leader();
   void step_down(Term t);
-  void schedule_flush();
   void replicate_to(NodeId peer);
   void broadcast_append();
   void advance_commit();
-  void deliver_applies();
+  void commit_to(LogIndex target);
   [[nodiscard]] Term term_at(LogIndex i) const;
 
   consensus::Group group_;
@@ -87,17 +89,17 @@ class RaftNode {
   // Persistent state (modeled in memory; the simulator never loses it).
   Term term_ = 0;
   NodeId voted_for_ = kNoNode;
-  std::vector<Entry> log_;  // log_[0] is the sentinel
+  consensus::ContiguousLog<Entry> log_;
 
   // Volatile state.
   Role role_ = Role::kFollower;
   NodeId leader_ = kNoNode;
-  LogIndex commit_ = 0;
-  LogIndex applied_ = 0;
-  Time last_heartbeat_ = 0;
-  uint64_t election_epoch_ = 0;
-  uint64_t heartbeat_epoch_ = 0;
-  bool flush_scheduled_ = false;
+
+  // Shared runtime machinery.
+  consensus::ElectionTimer election_;
+  consensus::PeriodicTimer heartbeat_;
+  consensus::Batcher batcher_;
+  consensus::Applier applier_;
 
   // Candidate state.
   consensus::QuorumTracker votes_;
@@ -105,8 +107,6 @@ class RaftNode {
   // Leader state.
   std::unordered_map<NodeId, LogIndex> next_index_;
   std::unordered_map<NodeId, LogIndex> match_index_;
-
-  consensus::ApplyFn apply_;
 };
 
 }  // namespace praft::raft

@@ -9,36 +9,33 @@ namespace praft::raftstar {
 
 RaftStarNode::RaftStarNode(consensus::Group group, consensus::Env& env,
                            Options opt)
-    : group_(std::move(group)), env_(env), opt_(opt),
+    : group_(std::move(group)),
+      env_(env),
+      opt_(opt),
+      election_(env, opt_.election_timeout_min, opt_.election_timeout_max),
+      heartbeat_(env),
+      batcher_(env, opt_.batch_delay,
+               [this] {
+                 if (role_ == Role::kLeader) broadcast_append();
+               }),
       votes_(group_.majority()) {
   group_.validate();
-  log_.push_back(Entry{});  // sentinel
+  election_.set_gate([this] { return role_ != Role::kLeader; });
+  election_.set_handler([this](bool expired) {
+    if (expired) start_election();
+  });
+  heartbeat_.set_gate([this] { return role_ == Role::kLeader; });
+  heartbeat_.set_handler([this] { broadcast_append(); });
 }
 
-void RaftStarNode::start() { arm_election_timer(); }
+void RaftStarNode::start() { election_.start(); }
 
 void RaftStarNode::store_entry(Entry e) {
-  log_.push_back(std::move(e));
-  if (entry_observer_) entry_observer_(last_index(), log_.back());
+  log_.append(std::move(e));
+  if (entry_observer_) entry_observer_(last_index(), log_.at(last_index()));
 }
 
-Term RaftStarNode::term_at(LogIndex i) const {
-  PRAFT_CHECK(i >= 0 && i <= last_index());
-  return log_[static_cast<size_t>(i)].term;
-}
-
-void RaftStarNode::arm_election_timer() {
-  const uint64_t epoch = ++election_epoch_;
-  const Duration timeout = env_.random_range(opt_.election_timeout_min,
-                                             opt_.election_timeout_max);
-  env_.schedule(timeout, [this, epoch, timeout] {
-    if (epoch != election_epoch_) return;
-    if (role_ != Role::kLeader && env_.now() - last_heartbeat_ >= timeout) {
-      start_election();
-    }
-    arm_election_timer();
-  });
-}
+Term RaftStarNode::term_at(LogIndex i) const { return log_.at(i).term; }
 
 void RaftStarNode::start_election() {
   ++term_;
@@ -49,7 +46,7 @@ void RaftStarNode::start_election() {
   votes_.add(group_.self);
   extras_.clear();
   election_last_index_ = last_index();
-  last_heartbeat_ = env_.now();
+  election_.touch();
   PRAFT_LOG(kDebug) << "raft* " << group_.self << " starts election term "
                     << term_;
   RequestVote rv{term_, group_.self, last_index(), term_at(last_index())};
@@ -68,7 +65,7 @@ void RaftStarNode::step_down(Term t) {
   if (role_ == Role::kLeader) {
     next_index_.clear();
     match_index_.clear();
-    ++heartbeat_epoch_;
+    heartbeat_.stop();
   }
   role_ = Role::kFollower;
 }
@@ -109,11 +106,11 @@ void RaftStarNode::on_request_vote(const RequestVote& m) {
     if (up_to_date) {
       reply.granted = true;
       voted_for_ = m.candidate;
-      last_heartbeat_ = env_.now();
+      election_.touch();
       reply.log_bal = log_bal_;
       reply.extra_from = m.last_index + 1;
       for (LogIndex i = m.last_index + 1; i <= last_index(); ++i) {
-        reply.extras.push_back(log_[static_cast<size_t>(i)]);
+        reply.extras.push_back(log_.at(i));
       }
     }
   }
@@ -174,31 +171,14 @@ void RaftStarNode::become_leader() {
   // No term-start no-op needed: Raft* re-ballots every covered entry, so
   // prior-term entries commit by counting (the §5.4.2 rule is unnecessary).
   broadcast_append();
-  arm_heartbeat(++heartbeat_epoch_);
-}
-
-void RaftStarNode::arm_heartbeat(uint64_t epoch) {
-  env_.schedule(opt_.heartbeat_interval, [this, epoch] {
-    if (epoch != heartbeat_epoch_ || role_ != Role::kLeader) return;
-    broadcast_append();
-    arm_heartbeat(epoch);
-  });
+  heartbeat_.start(opt_.heartbeat_interval);
 }
 
 LogIndex RaftStarNode::submit(const kv::Command& cmd) {
   if (role_ != Role::kLeader) return -1;
   store_entry(Entry{term_, cmd});
-  schedule_flush();
+  batcher_.poke();
   return last_index();
-}
-
-void RaftStarNode::schedule_flush() {
-  if (flush_scheduled_) return;
-  flush_scheduled_ = true;
-  env_.schedule(opt_.batch_delay, [this] {
-    flush_scheduled_ = false;
-    if (role_ == Role::kLeader) broadcast_append();
-  });
 }
 
 void RaftStarNode::broadcast_append() {
@@ -218,14 +198,14 @@ void RaftStarNode::replicate_to(NodeId peer, bool uncapped) {
   ae.leader = group_.self;
   ae.prev_index = prev;
   ae.prev_term = term_at(std::min(prev, last_index()));
-  ae.commit = commit_;
+  ae.commit = commit_index();
   const LogIndex hi =
       uncapped ? last_index()
                : std::min(last_index(),
                           prev + static_cast<LogIndex>(
-                                     opt_.max_entries_per_append));
+                                     opt_.max_entries_per_batch));
   for (LogIndex i = prev + 1; i <= hi; ++i) {
-    ae.entries.push_back(log_[static_cast<size_t>(i)]);
+    ae.entries.push_back(log_.at(i));
   }
   env_.send(peer, Message{ae}, wire_size(ae));
   // Optimistic pipelining (see RaftNode::replicate_to).
@@ -240,7 +220,7 @@ void RaftStarNode::on_append_entries(const AppendEntries& m) {
   }
   step_down(m.term);
   leader_ = m.leader;
-  last_heartbeat_ = env_.now();
+  election_.touch();
 
   const LogIndex coverage =
       m.prev_index + static_cast<LogIndex>(m.entries.size());
@@ -267,14 +247,11 @@ void RaftStarNode::on_append_entries(const AppendEntries& m) {
 
   // Replace the whole suffix after prev with the leader's entries, and stamp
   // the covered log at the append's ballot (difference #3).
-  log_.resize(static_cast<size_t>(m.prev_index) + 1);
+  log_.truncate_after(m.prev_index);
   for (const Entry& e : m.entries) store_entry(e);
   log_bal_ = m.term;
 
-  if (m.commit > commit_) {
-    commit_ = std::min(m.commit, last_index());
-    deliver_applies();
-  }
+  commit_to(std::min(m.commit, last_index()));
   AppendReply reply;
   reply.term = term_;
   reply.follower = group_.self;
@@ -335,19 +312,18 @@ void RaftStarNode::advance_commit() {
   const LogIndex target = quorum_match_index();
   // No current-term check: every successful reply re-accepted the covered
   // prefix at this term's ballot (LeaderLearn in Fig. 2b).
-  while (commit_ < target) {
-    const LogIndex next = commit_ + 1;
+  LogIndex allowed = commit_index();
+  while (allowed < target) {
+    const LogIndex next = allowed + 1;
     if (commit_gate_ && !commit_gate_(next)) break;  // PQL holder gating
-    commit_ = next;
+    allowed = next;
   }
-  deliver_applies();
+  commit_to(allowed);
 }
 
-void RaftStarNode::deliver_applies() {
-  while (applied_ < commit_) {
-    ++applied_;
-    if (apply_) apply_(applied_, log_[static_cast<size_t>(applied_)].cmd);
-  }
+void RaftStarNode::commit_to(LogIndex target) {
+  applier_.commit_to(target,
+                     [this](LogIndex i) { return &log_.at(i).cmd; });
 }
 
 }  // namespace praft::raftstar

@@ -3,21 +3,23 @@
 #include <unordered_map>
 #include <vector>
 
+#include "consensus/applier.h"
+#include "consensus/batcher.h"
 #include "consensus/env.h"
 #include "consensus/group.h"
+#include "consensus/log.h"
+#include "consensus/node_iface.h"
+#include "consensus/timer.h"
+#include "consensus/timing.h"
 #include "consensus/types.h"
 #include "net/packet.h"
 #include "raftstar/messages.h"
 
 namespace praft::raftstar {
 
-struct Options {
-  Duration election_timeout_min = msec(1200);
-  Duration election_timeout_max = msec(2400);
-  Duration heartbeat_interval = msec(150);
-  Duration batch_delay = msec(1);
-  size_t max_entries_per_append = 4096;
-};
+/// Raft* shares every timing knob with the rest of the repo (see
+/// consensus::TimingOptions); the struct exists for protocol-scoped naming.
+struct Options : consensus::TimingOptions {};
 
 enum class Role { kFollower, kCandidate, kLeader };
 
@@ -31,17 +33,22 @@ enum class Role { kFollower, kCandidate, kLeader };
 ///  3. Every accepted append overwrites the ballot of all covered entries
 ///     with the append's term (tracked as the uniform `log_bal_` watermark),
 ///     which is why Raft* needs no §5.4.2 commit restriction.
-class RaftStarNode {
+///
+/// Timers, batching, log storage and the apply watermark come from the
+/// shared consensus runtime; only the deltas above live here.
+class RaftStarNode : public consensus::NodeIface {
  public:
   RaftStarNode(consensus::Group group, consensus::Env& env, Options opt = {});
 
-  void start();
-  void on_packet(const net::Packet& p);
+  void start() override;
+  void on_packet(const net::Packet& p) override;
 
   /// Leader-only append; returns assigned index or -1.
-  LogIndex submit(const kv::Command& cmd);
+  LogIndex submit(const kv::Command& cmd) override;
 
-  void set_apply(consensus::ApplyFn fn) { apply_ = std::move(fn); }
+  void set_apply(consensus::ApplyFn fn) override {
+    applier_.set_apply(std::move(fn));
+  }
 
   /// Hook invoked when the leader learns a new commit index (used by the
   /// ported optimizations: Raft*-PQL gates commit on lease holders here).
@@ -52,18 +59,19 @@ class RaftStarNode {
   void retry_commit() { advance_commit(); }
 
   [[nodiscard]] Role role() const { return role_; }
-  [[nodiscard]] bool is_leader() const { return role_ == Role::kLeader; }
+  [[nodiscard]] bool is_leader() const override {
+    return role_ == Role::kLeader;
+  }
   [[nodiscard]] Term current_term() const { return term_; }
   [[nodiscard]] Term log_bal() const { return log_bal_; }
-  [[nodiscard]] NodeId leader_hint() const { return leader_; }
-  [[nodiscard]] LogIndex commit_index() const { return commit_; }
-  [[nodiscard]] LogIndex last_index() const {
-    return static_cast<LogIndex>(log_.size()) - 1;
+  [[nodiscard]] NodeId leader_hint() const override { return leader_; }
+  [[nodiscard]] LogIndex commit_index() const override {
+    return applier_.commit_index();
   }
-  [[nodiscard]] const Entry& entry_at(LogIndex i) const {
-    return log_[static_cast<size_t>(i)];
-  }
-  [[nodiscard]] NodeId id() const { return group_.self; }
+  [[nodiscard]] LogIndex last_index() const { return log_.last_index(); }
+  /// Bounds-checked access (PRAFT_CHECK on out-of-range indexes).
+  [[nodiscard]] const Entry& entry_at(LogIndex i) const { return log_.at(i); }
+  [[nodiscard]] NodeId id() const override { return group_.self; }
   [[nodiscard]] const consensus::Group& group() const { return group_; }
 
   /// The f+1'th largest replicated index (self included) — what the commit
@@ -95,7 +103,7 @@ class RaftStarNode {
     entry_observer_ = std::move(obs);
   }
 
-  void force_election() { start_election(); }
+  void force_election() override { start_election(); }
 
  private:
   void on_request_vote(const RequestVote& m);
@@ -103,16 +111,13 @@ class RaftStarNode {
   void on_append_entries(const AppendEntries& m);
   void on_append_reply(const AppendReply& m);
 
-  void arm_election_timer();
-  void arm_heartbeat(uint64_t epoch);
   void start_election();
   void become_leader();
   void step_down(Term t);
-  void schedule_flush();
   void replicate_to(NodeId peer, bool uncapped = false);
   void broadcast_append();
   void advance_commit();
-  void deliver_applies();
+  void commit_to(LogIndex target);
   [[nodiscard]] Term term_at(LogIndex i) const;
 
   consensus::Group group_;
@@ -121,17 +126,17 @@ class RaftStarNode {
 
   Term term_ = 0;
   NodeId voted_for_ = kNoNode;
-  std::vector<Entry> log_;
+  consensus::ContiguousLog<Entry> log_;
   Term log_bal_ = 0;  // uniform per-entry ballot (see Entry doc)
 
   Role role_ = Role::kFollower;
   NodeId leader_ = kNoNode;
-  LogIndex commit_ = 0;
-  LogIndex applied_ = 0;
-  Time last_heartbeat_ = 0;
-  uint64_t election_epoch_ = 0;
-  uint64_t heartbeat_epoch_ = 0;
-  bool flush_scheduled_ = false;
+
+  // Shared runtime machinery.
+  consensus::ElectionTimer election_;
+  consensus::PeriodicTimer heartbeat_;
+  consensus::Batcher batcher_;
+  consensus::Applier applier_;
 
   // Candidate state: vote tally plus collected extra entries per voter.
   consensus::QuorumTracker votes_;
@@ -146,13 +151,12 @@ class RaftStarNode {
   std::unordered_map<NodeId, LogIndex> next_index_;
   std::unordered_map<NodeId, LogIndex> match_index_;
 
-  consensus::ApplyFn apply_;
   CommitGate commit_gate_;
   AppendReplyObserver append_reply_observer_;
   ReplyDecorator reply_decorator_;
   EntryObserver entry_observer_;
 
-  void store_entry(Entry e);  // push_back + observer
+  void store_entry(Entry e);  // append + observer
 };
 
 }  // namespace praft::raftstar

@@ -21,7 +21,7 @@ consensus::Group group_of(NodeId self, std::initializer_list<NodeId> members) {
 mencius::Options revoke_options() {
   mencius::Options o;
   o.batch_delay = 0;
-  o.status_interval = msec(50);
+  o.heartbeat_interval = msec(50);
   o.revoke_timeout = msec(300);
   o.learn_after = msec(100);
   return o;

@@ -20,7 +20,7 @@ consensus::Group group_of(NodeId self, std::initializer_list<NodeId> members) {
 mencius::Options unit_options() {
   mencius::Options o;
   o.batch_delay = 0;
-  o.status_interval = msec(50);
+  o.heartbeat_interval = msec(50);
   o.revoke_timeout = msec(600);
   o.learn_after = msec(100);
   return o;
@@ -197,7 +197,7 @@ harness::Cluster::ServerFactory mencius_factory(
 mencius::Options lan_mencius_options() {
   mencius::Options o;
   o.batch_delay = msec(1);
-  o.status_interval = msec(40);
+  o.heartbeat_interval = msec(40);
   o.revoke_timeout = msec(800);
   o.learn_after = msec(150);
   return o;

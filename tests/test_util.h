@@ -78,7 +78,7 @@ harness::Cluster::ServerFactory make_factory(
   return [opt, record](harness::NodeHost& host, const consensus::Group& g) {
     harness::CostModel costs;
     costs.enabled = false;
-    auto server = std::make_unique<harness::LogServer<P>>(host, g, costs, opt);
+    auto server = std::make_unique<harness::TypedLogServer<P>>(host, g, costs, opt);
     if (record) {
       server->set_apply_probe(
           [record](NodeId n, consensus::LogIndex i, const kv::Command& c) {
