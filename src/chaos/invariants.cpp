@@ -1,0 +1,226 @@
+#include "chaos/invariants.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "harness/cluster.h"
+
+namespace praft::chaos {
+
+namespace {
+
+/// Client-op identity: (client, seq) packed for hashing. Sequence numbers
+/// are per-client counters, far below 2^40 in any bounded run.
+uint64_t op_key(const kv::Command& cmd) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cmd.client)) << 40) ^
+         cmd.seq;
+}
+
+}  // namespace
+
+std::string InvariantChecker::describe(const kv::Command& cmd) {
+  char buf[96];
+  if (cmd.is_noop()) {
+    std::snprintf(buf, sizeof(buf), "noop");
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s(k=%llu%s%llu, c=%d, s=%llu)",
+                  cmd.is_read() ? "get" : "put",
+                  static_cast<unsigned long long>(cmd.key),
+                  cmd.is_read() ? ", #" : ", v=",
+                  static_cast<unsigned long long>(cmd.value),
+                  cmd.client, static_cast<unsigned long long>(cmd.seq));
+  }
+  return buf;
+}
+
+void InvariantChecker::attach(harness::Cluster& cluster) {
+  cluster.install_apply_probe(
+      [this](NodeId r, consensus::LogIndex i, const kv::Command& c) {
+        on_apply(r, i, c);
+      });
+  cluster.install_watermark_probe(
+      [this](NodeId r, consensus::LogIndex commit,
+             consensus::LogIndex applied) { on_watermark(r, commit, applied); });
+  cluster.install_reply_probe(
+      [this](const kv::Command& cmd, uint64_t value, bool okay, Time, Time) {
+        on_reply(cmd, value, okay);
+      });
+}
+
+void InvariantChecker::note(std::string event) { record(std::move(event)); }
+
+void InvariantChecker::record(std::string event) {
+  if (trace_.size() >= trace_capacity_) trace_.pop_front();
+  trace_.push_back(std::move(event));
+}
+
+void InvariantChecker::violation(std::string what) {
+  // Bound the damage report: one bad seed can violate at every index.
+  if (violations_.size() < 8) violations_.push_back(what);
+  record("VIOLATION: " + std::move(what));
+}
+
+void InvariantChecker::on_apply(NodeId replica, consensus::LogIndex idx,
+                                const kv::Command& cmd) {
+  ReplicaState& st = replicas_[replica];
+  if (!st.seen) {
+    st.seen = true;
+    // First position is 1 for 1-based logs (Raft/Raft*/MultiPaxos) and 0
+    // for Mencius' 0-based slot space.
+    if (idx != 0 && idx != 1) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "replica %d first apply at index %lld (expected 0 or 1)",
+                    replica, static_cast<long long>(idx));
+      violation(buf);
+    }
+  } else if (idx != st.last_applied + 1) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "replica %d applied index %lld after %lld "
+                  "(non-contiguous / duplicate apply)",
+                  replica, static_cast<long long>(idx),
+                  static_cast<long long>(st.last_applied));
+    violation(buf);
+  }
+  st.last_applied = idx;
+  if (idx > max_applied_) max_applied_ = idx;
+
+  auto [it, inserted] = chosen_.try_emplace(idx, cmd);
+  if (!inserted && !(it->second == cmd)) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "agreement broken at index %lld: replica %d applied %s but "
+                  "%s was already applied there",
+                  static_cast<long long>(idx), replica,
+                  describe(cmd).c_str(), describe(it->second).c_str());
+    violation(buf);
+  }
+
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "apply r=%d idx=%lld %s", replica,
+                static_cast<long long>(idx), describe(cmd).c_str());
+  record(buf);
+}
+
+void InvariantChecker::on_watermark(NodeId replica, consensus::LogIndex commit,
+                                    consensus::LogIndex applied) {
+  ReplicaState& st = replicas_[replica];
+  if (st.wm_seen && commit < st.last_commit_wm) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "replica %d commit watermark regressed: %lld -> %lld",
+                  replica, static_cast<long long>(st.last_commit_wm),
+                  static_cast<long long>(commit));
+    violation(buf);
+  }
+  if (applied > commit) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "replica %d applied %lld past its commit watermark %lld",
+                  replica, static_cast<long long>(applied),
+                  static_cast<long long>(commit));
+    violation(buf);
+  }
+  st.wm_seen = true;
+  st.last_commit_wm = commit;
+}
+
+void InvariantChecker::on_reply(const kv::Command& cmd, uint64_t value,
+                                bool ok) {
+  replies_.push_back(Reply{cmd, value, ok});
+}
+
+void InvariantChecker::finalize(harness::Cluster& cluster) {
+  // ---- Replay the agreed log and derive the linearized KV history. -------
+  // Reads are logged by every baseline in the repo, so the agreed log IS the
+  // linearization order: the correct answer for a read is the latest write
+  // to its key at a smaller index.
+  std::unordered_map<uint64_t, uint64_t> model;          // key -> value token
+  std::unordered_set<uint64_t> writes_in_log;            // op_key of puts
+  std::unordered_map<uint64_t, std::vector<uint64_t>> expected_reads;
+  consensus::LogIndex expect = -2;
+  for (const auto& [idx, cmd] : chosen_) {
+    if (expect == -2) {
+      if (idx != 0 && idx != 1) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "agreed log starts at index %lld (expected 0 or 1)",
+                      static_cast<long long>(idx));
+        violation(buf);
+      }
+    } else if (idx != expect) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "hole in agreed log before index %lld",
+                    static_cast<long long>(idx));
+      violation(buf);
+    }
+    expect = idx + 1;
+    if (cmd.is_write()) {
+      model[cmd.key] = cmd.value;
+      writes_in_log.insert(op_key(cmd));
+    } else if (cmd.is_read()) {
+      const auto it = model.find(cmd.key);
+      expected_reads[op_key(cmd)].push_back(it == model.end() ? 0
+                                                              : it->second);
+    }
+  }
+
+  // ---- Client-visible history must be explained by the agreed log. -------
+  for (const Reply& r : replies_) {
+    if (!r.ok) continue;
+    if (r.cmd.is_write()) {
+      if (writes_in_log.count(op_key(r.cmd)) == 0) {
+        violation("acknowledged write " + describe(r.cmd) +
+                  " is missing from the agreed log (durability loss)");
+      }
+    } else if (r.cmd.is_read()) {
+      const auto it = expected_reads.find(op_key(r.cmd));
+      bool matched = false;
+      if (it != expected_reads.end()) {
+        for (uint64_t v : it->second) matched |= (v == r.value);
+      }
+      if (!matched) {
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "non-linearizable read %s returned %llu, not the "
+                      "latest agreed write to the key",
+                      describe(r.cmd).c_str(),
+                      static_cast<unsigned long long>(r.value));
+        violation(buf);
+      }
+    }
+  }
+
+  // ---- Convergence: after the fault-free tail, everyone caught up. -------
+  uint64_t fp0 = 0;
+  bool have_fp0 = false;
+  for (int i = 0; i < cluster.num_replicas(); ++i) {
+    const auto& server = cluster.server(i);
+    const auto st = replicas_.find(server.id());
+    const consensus::LogIndex applied =
+        st == replicas_.end() ? 0 : st->second.last_applied;
+    if (applied < max_applied_) {
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "replica %d stalled: applied %lld of %lld after quiesce "
+                    "(its committed prefix: %lld)",
+                    i, static_cast<long long>(applied),
+                    static_cast<long long>(max_applied_),
+                    static_cast<long long>(server.commit_index()));
+      violation(buf);
+    }
+    const uint64_t fp = server.store().fingerprint();
+    if (!have_fp0) {
+      fp0 = fp;
+      have_fp0 = true;
+    } else if (fp != fp0) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "replica %d store fingerprint diverges from replica 0", i);
+      violation(buf);
+    }
+  }
+}
+
+}  // namespace praft::chaos

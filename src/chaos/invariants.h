@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "consensus/types.h"
+#include "kv/command.h"
+
+namespace praft::harness {
+class Cluster;
+}
+
+namespace praft::chaos {
+
+/// Streaming cross-protocol invariant checker. The paper's structural-
+/// parallelism claim means every protocol in the repo must satisfy the same
+/// trace properties; this class states them once, protocol-agnostically:
+///
+///  * agreement       — at most one command is ever applied per log position
+///                      across all replicas (Election Safety / Log Matching
+///                      made observable at the apply boundary);
+///  * apply order     — each replica applies positions contiguously, exactly
+///                      once (the Applier contract, re-checked end to end);
+///  * watermarks      — per replica, the commit watermark never regresses
+///                      and applied never overtakes commit — across crash
+///                      windows too (committed-prefix durability);
+///  * linearizability — every client-visible read returns the value of the
+///                      latest write ordered before it in the agreed log
+///                      (reads are logged, so the log IS the linearization
+///                      order — the executable form of specs::kvlog's
+///                      "table[k] = latest logs[k]" refinement mapping), and
+///                      every acknowledged write survives in the agreed log;
+///  * convergence     — once faults stop and the cluster quiesces, all
+///                      replicas applied the same prefix and hold identical
+///                      stores.
+///
+/// Violations are recorded (not thrown) together with a bounded recent-event
+/// trace so a chaos runner can print seed + trace and keep scanning.
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(size_t trace_capacity = 48)
+      : trace_capacity_(trace_capacity) {}
+
+  /// Installs apply/watermark/reply probes on `cluster`. Call after
+  /// build_replicas (clients may be added later; the reply probe sticks).
+  void attach(harness::Cluster& cluster);
+
+  /// Annotates the trace (fault activations, phase markers).
+  void note(std::string event);
+
+  // Streaming observation points (normally fed via attach()).
+  void on_apply(NodeId replica, consensus::LogIndex idx,
+                const kv::Command& cmd);
+  void on_watermark(NodeId replica, consensus::LogIndex commit,
+                    consensus::LogIndex applied);
+  void on_reply(const kv::Command& cmd, uint64_t value, bool ok);
+
+  /// End-of-run checks: replica convergence and client-visible
+  /// linearizability of the whole KV history against the agreed log.
+  void finalize(harness::Cluster& cluster);
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::vector<std::string> trace() const {
+    return {trace_.begin(), trace_.end()};
+  }
+  /// Highest log position any replica applied (run-size diagnostics).
+  [[nodiscard]] consensus::LogIndex max_applied() const { return max_applied_; }
+  [[nodiscard]] uint64_t client_ops() const { return replies_.size(); }
+
+ private:
+  struct ReplicaState {
+    bool seen = false;
+    consensus::LogIndex last_applied = 0;
+    consensus::LogIndex last_commit_wm = 0;
+    bool wm_seen = false;
+  };
+  struct Reply {
+    kv::Command cmd;
+    uint64_t value = 0;
+    bool ok = true;
+  };
+
+  void violation(std::string what);
+  void record(std::string event);
+  static std::string describe(const kv::Command& cmd);
+
+  size_t trace_capacity_;
+  std::deque<std::string> trace_;
+  std::vector<std::string> violations_;
+
+  // Agreement: position -> first command applied there (by any replica).
+  std::map<consensus::LogIndex, kv::Command> chosen_;
+  std::unordered_map<NodeId, ReplicaState> replicas_;
+  std::vector<Reply> replies_;
+  consensus::LogIndex max_applied_ = 0;
+};
+
+}  // namespace praft::chaos

@@ -1,0 +1,171 @@
+#include "chaos/runner.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "chaos/invariants.h"
+#include "common/check.h"
+#include "harness/cluster.h"
+
+namespace praft::chaos {
+
+namespace {
+
+/// Current leader replica, or a deterministic fallback when nobody leads at
+/// this instant (leaderless protocols, mid-election windows).
+int resolve_leader(harness::Cluster& cluster, Time at) {
+  const int leader = cluster.leader_replica();
+  if (leader >= 0) return leader;
+  return static_cast<int>(static_cast<uint64_t>(at) %
+                          static_cast<uint64_t>(cluster.num_replicas()));
+}
+
+/// Installs one fault event. Node-targeted windows go straight into the
+/// FaultPlan; leader-targeted windows arm a simulator callback that resolves
+/// the victim when the window opens (falling back to a seed-determined
+/// replica when nobody leads at that instant).
+void arm_event(const FaultEvent& e, harness::Cluster& cluster,
+               InvariantChecker& chk) {
+  auto& faults = cluster.net().faults();
+  const auto replica_id = [&cluster](int r) {
+    return cluster.server(r).id();
+  };
+  switch (e.kind) {
+    case FaultEvent::Kind::kDropBurst:
+      faults.drop_burst(e.p, e.from, e.to);
+      return;
+    case FaultEvent::Kind::kPartitionPair:
+      faults.partition_pair(replica_id(e.a), replica_id(e.b), e.from, e.to);
+      return;
+    case FaultEvent::Kind::kIsolate:
+      faults.isolate(replica_id(e.a), e.from, e.to);
+      return;
+    case FaultEvent::Kind::kCrash:
+      faults.crash(replica_id(e.a), e.from, e.to);
+      return;
+    case FaultEvent::Kind::kLeaderCrash:
+    case FaultEvent::Kind::kLeaderIsolate: {
+      const bool is_crash = e.kind == FaultEvent::Kind::kLeaderCrash;
+      cluster.sim().at(e.from, [&cluster, &chk, e, is_crash] {
+        const int victim = resolve_leader(cluster, e.from);
+        const NodeId id = cluster.server(victim).id();
+        auto& plan = cluster.net().faults();
+        if (is_crash) {
+          plan.crash(id, e.from, e.to);
+        } else {
+          plan.isolate(id, e.from, e.to);
+        }
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "%s -> replica %d (%s)",
+                      is_crash ? "leader_crash" : "leader_isolate", victim,
+                      e.describe().c_str());
+        chk.note(buf);
+      });
+      return;
+    }
+    case FaultEvent::Kind::kLeaderMinority: {
+      cluster.sim().at(e.from, [&cluster, &chk, e] {
+        const int victim = resolve_leader(cluster, e.from);
+        const int n = cluster.num_replicas();
+        const int kept = (victim + 1) % n;
+        auto& plan = cluster.net().faults();
+        for (int p = 0; p < n; ++p) {
+          if (p == victim || p == kept) continue;
+          plan.partition_pair(cluster.server(victim).id(),
+                              cluster.server(p).id(), e.from, e.to);
+        }
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "leader_minority -> replica %d penned with %d (%s)",
+                      victim, kept, e.describe().c_str());
+        chk.note(buf);
+      });
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+RunResult run_one(const RunOptions& opt) {
+  RunResult res;
+  res.seed = opt.seed;
+  res.protocol = opt.protocol;
+
+  ScheduleLimits limits = opt.limits;
+  limits.num_replicas = opt.num_replicas;
+  if (opt.inject_quorum_bug) {
+    // Bug-hunting mode: guarantee the minority-pen scenario every seed so
+    // the buggy n/2 commit both fires and gets overwritten. Still a pure
+    // function of (seed, flags): the repro command carries the flag.
+    limits.add_minority_window = true;
+  }
+  const Schedule sched = generate_schedule(opt.seed, limits);
+  res.schedule = sched.describe();
+  {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "chaos_runner --protocol=%s --seed=%llu%s",
+                  opt.protocol.c_str(),
+                  static_cast<unsigned long long>(opt.seed),
+                  opt.inject_quorum_bug ? " --inject-quorum-bug" : "");
+    res.repro = buf;
+  }
+
+  harness::ClusterConfig cfg;
+  cfg.num_replicas = opt.num_replicas;
+  cfg.seed = opt.seed;
+  harness::Cluster cluster(cfg);
+
+  // LAN-ish timing so one run fits in milliseconds of wall clock while the
+  // schedule still spans many election timeouts and heartbeats.
+  consensus::TimingOptions timing;
+  timing.election_timeout_min = msec(300);
+  timing.election_timeout_max = msec(600);
+  timing.heartbeat_interval = msec(60);
+  if (opt.inject_quorum_bug) {
+    // The classic quorum off-by-one: n/2 acks "commit" (2 of 5). A leader
+    // on the minority side of a partition can then commit entries the next
+    // leader never saw — exactly what the invariants must catch.
+    timing.unsafe_commit_quorum = opt.num_replicas / 2;
+  }
+  cluster.build_replicas(opt.protocol, timing);
+
+  InvariantChecker chk;
+  chk.attach(cluster);
+
+  auto& faults = cluster.net().faults();
+  faults.set_drop_rate(sched.drop_rate);
+  faults.set_duplicate_rate(sched.duplicate_rate);
+  faults.set_reorder_rate(sched.reorder_rate);
+  for (const FaultEvent& e : sched.events) arm_event(e, cluster, chk);
+
+  // Warm-up: a stable leader (when the protocol has one) before the fault
+  // windows open, mirroring the paper's testbed runs.
+  if (!cluster.server(0).leaderless()) {
+    cluster.establish_leader(
+        static_cast<int>(opt.seed % static_cast<uint64_t>(opt.num_replicas)),
+        sec(10));
+  } else {
+    cluster.run_for(msec(500));
+  }
+  cluster.add_clients(sched.clients_per_region, sched.workload,
+                      cluster.sim().now());
+
+  // Chaos phase, then a fault-free tail: clients stop, replicas repair and
+  // re-converge, invariants are finalized on the quiesced cluster.
+  cluster.run_until(limits.faults_until + sec(1));
+  chk.note("faults over; draining clients");
+  cluster.stop_clients();
+  cluster.run_for(opt.quiesce);
+
+  chk.finalize(cluster);
+  res.ok = chk.ok();
+  res.violations = chk.violations();
+  res.trace = chk.trace();
+  res.log_length = chk.max_applied();
+  res.client_ops = chk.client_ops();
+  return res;
+}
+
+}  // namespace praft::chaos

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/schedule_gen.h"
+#include "common/types.h"
+
+namespace praft::chaos {
+
+/// One chaos run: a protocol name, a seed, and the knobs the CLI exposes.
+struct RunOptions {
+  std::string protocol = "raft";   // any consensus::ProtocolRegistry name
+  uint64_t seed = 1;
+  int num_replicas = 5;
+  /// Arms TimingOptions::unsafe_commit_quorum = n/2 (commit without a true
+  /// majority) to prove the invariant checker catches real violations.
+  bool inject_quorum_bug = false;
+  ScheduleLimits limits;
+  /// Fault-free tail after the last fault window: clients drain, replicas
+  /// re-converge, then invariants are finalized.
+  Duration quiesce = sec(10);
+};
+
+struct RunResult {
+  bool ok = true;
+  uint64_t seed = 0;
+  std::string protocol;
+  std::vector<std::string> violations;
+  std::vector<std::string> trace;      // recent events before the violation
+  std::string schedule;                // human-readable generated schedule
+  std::string repro;                   // exact CLI command to replay this run
+  int64_t log_length = 0;              // highest agreed index
+  uint64_t client_ops = 0;             // completed client operations
+};
+
+/// Builds a cluster for `opt.protocol`, generates the seed's fault schedule
+/// and workload, runs it, and checks all trace invariants. Deterministic:
+/// the same (protocol, seed, options) always yields the same result.
+[[nodiscard]] RunResult run_one(const RunOptions& opt);
+
+}  // namespace praft::chaos

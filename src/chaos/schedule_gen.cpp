@@ -1,0 +1,151 @@
+#include "chaos/schedule_gen.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace praft::chaos {
+
+namespace {
+
+const char* kind_name(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::kDropBurst: return "drop_burst";
+    case FaultEvent::Kind::kPartitionPair: return "partition_pair";
+    case FaultEvent::Kind::kIsolate: return "isolate";
+    case FaultEvent::Kind::kCrash: return "crash";
+    case FaultEvent::Kind::kLeaderCrash: return "leader_crash";
+    case FaultEvent::Kind::kLeaderIsolate: return "leader_isolate";
+    case FaultEvent::Kind::kLeaderMinority: return "leader_minority";
+  }
+  return "?";
+}
+
+std::string format(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+std::string FaultEvent::describe() const {
+  const double from_s = static_cast<double>(from) / 1e6;
+  const double to_s = static_cast<double>(to) / 1e6;
+  switch (kind) {
+    case Kind::kDropBurst:
+      return format("%s(p=%.2f, [%.2fs, %.2fs))", kind_name(kind), p, from_s,
+                    to_s);
+    case Kind::kPartitionPair:
+      return format("%s(%d <-> %d, [%.2fs, %.2fs))", kind_name(kind), a, b,
+                    from_s, to_s);
+    case Kind::kIsolate:
+    case Kind::kCrash:
+      return format("%s(%d, [%.2fs, %.2fs))", kind_name(kind), a, from_s,
+                    to_s);
+    case Kind::kLeaderCrash:
+    case Kind::kLeaderIsolate:
+    case Kind::kLeaderMinority:
+      return format("%s([%.2fs, %.2fs))", kind_name(kind), from_s, to_s);
+  }
+  return "?";
+}
+
+std::string Schedule::describe() const {
+  std::string out = format(
+      "seed=%llu drop=%.3f dup=%.3f reorder=%.3f clients=%d reads=%.0f%%",
+      static_cast<unsigned long long>(seed), drop_rate, duplicate_rate,
+      reorder_rate, clients_per_region, workload.read_fraction * 100.0);
+  for (const auto& e : events) {
+    out += "\n  " + e.describe();
+  }
+  return out;
+}
+
+Schedule generate_schedule(uint64_t seed, const ScheduleLimits& limits) {
+  PRAFT_CHECK(limits.num_replicas >= 2);
+  PRAFT_CHECK(limits.faults_until > limits.faults_from);
+  // Decorrelate from the cluster RNG (which is seeded with the same value);
+  // the constant is arbitrary but fixed so schedules stay reproducible.
+  Rng rng(seed ^ 0xc7a05e11a05c4edULL);
+  Schedule s;
+  s.seed = seed;
+
+  // Whole-run network chaos: each knob is on in roughly half the schedules,
+  // so clean-network and noisy-network behaviors both stay covered.
+  if (rng.chance(0.5)) s.drop_rate = rng.uniform() * limits.max_drop_rate;
+  if (rng.chance(0.5)) {
+    s.duplicate_rate = rng.uniform() * limits.max_duplicate_rate;
+  }
+  if (rng.chance(0.5)) s.reorder_rate = rng.uniform() * limits.max_reorder_rate;
+
+  // Client workload.
+  s.clients_per_region = static_cast<int>(rng.range(1, 2));
+  s.workload.read_fraction = 0.3 + rng.uniform() * 0.6;
+  s.workload.conflict_rate = rng.uniform() * 0.2;
+  s.workload.num_records = 64;  // small key space => frequent read/write races
+  s.workload.value_size = 8;
+
+  // Timed fault windows.
+  const int n = limits.num_replicas;
+  const int events = static_cast<int>(
+      rng.range(limits.min_events, limits.max_events));
+  for (int i = 0; i < events; ++i) {
+    FaultEvent e;
+    const Time span = limits.faults_until - limits.faults_from;
+    e.from = limits.faults_from + static_cast<Time>(rng.below(
+                 static_cast<uint64_t>(span)));
+    const Duration window_span = limits.max_window - limits.min_window;
+    const Duration window =
+        limits.min_window +
+        (window_span > 0
+             ? static_cast<Duration>(
+                   rng.below(static_cast<uint64_t>(window_span)))
+             : 0);
+    e.to = std::min<Time>(e.from + window, limits.faults_until);
+
+    // Leader-targeted faults are the paper's interesting regime (leader
+    // churn), so they get the biggest share; a crashed minority never
+    // blocks a majority from making progress.
+    const uint64_t die = rng.below(10);
+    if (die < 3) {
+      e.kind = FaultEvent::Kind::kLeaderIsolate;
+    } else if (die < 5) {
+      e.kind = FaultEvent::Kind::kLeaderCrash;
+    } else if (die < 7) {
+      e.kind = FaultEvent::Kind::kPartitionPair;
+      e.a = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+      e.b = static_cast<int>(rng.below(static_cast<uint64_t>(n - 1)));
+      if (e.b >= e.a) ++e.b;
+    } else if (die < 8) {
+      e.kind = FaultEvent::Kind::kIsolate;
+      e.a = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+    } else if (die < 9) {
+      e.kind = FaultEvent::Kind::kCrash;
+      e.a = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+    } else {
+      e.kind = FaultEvent::Kind::kDropBurst;
+      e.p = 0.1 + rng.uniform() * (limits.max_burst_drop - 0.1);
+    }
+    s.events.push_back(e);
+  }
+  if (limits.add_minority_window) {
+    // Long enough for every protocol's repair machinery to fire inside the
+    // window (Mencius revocation alone needs its 2.5s silence threshold
+    // plus two WAN round trips before it overwrites the penned slots).
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kLeaderMinority;
+    e.from = limits.faults_from + sec(1);
+    e.to = std::min<Time>(e.from + sec(6), limits.faults_until);
+    s.events.push_back(e);
+  }
+  return s;
+}
+
+}  // namespace praft::chaos

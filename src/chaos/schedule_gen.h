@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "kv/workload.h"
+
+namespace praft::chaos {
+
+/// One randomized fault in a schedule. Node-targeted kinds carry concrete
+/// replica indices decided at generation time; leader-targeted kinds resolve
+/// their victim when the window opens (whoever leads the cluster right then),
+/// which is still deterministic for a fixed seed.
+struct FaultEvent {
+  enum class Kind {
+    kDropBurst,       // raise the message drop probability to `p`
+    kPartitionPair,   // cut the link between replicas a and b
+    kIsolate,         // cut replica a off from everyone
+    kCrash,           // replica a neither sends nor receives
+    kLeaderCrash,     // crash whoever leads at `from`
+    kLeaderIsolate,   // isolate whoever leads at `from`
+    kLeaderMinority,  // pen the leader in with exactly one peer: the other
+                      // n-2 replicas form a majority and re-elect while the
+                      // penned pair can still talk — the canonical scenario
+                      // a "commit on n/2 acks" bug cannot survive
+  };
+
+  Kind kind = Kind::kDropBurst;
+  int a = -1;        // replica index (kPartitionPair/kIsolate/kCrash)
+  int b = -1;        // replica index (kPartitionPair)
+  double p = 0.0;    // drop probability (kDropBurst)
+  Time from = 0;     // window [from, to)
+  Time to = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Everything one uint64 seed determines about a chaos run besides the
+/// cluster itself: whole-run network chaos knobs, timed fault windows, and
+/// the client workload.
+struct Schedule {
+  uint64_t seed = 0;
+  double drop_rate = 0.0;        // whole-run background loss
+  double duplicate_rate = 0.0;   // whole-run duplication
+  double reorder_rate = 0.0;     // whole-run reordering
+  std::vector<FaultEvent> events;
+  kv::WorkloadConfig workload;
+  int clients_per_region = 1;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Bounds for schedule generation. Fault windows fall inside
+/// [faults_from, faults_until); everything after `faults_until` is
+/// fault-free so the cluster can re-converge before invariants are
+/// finalized.
+struct ScheduleLimits {
+  int num_replicas = 5;
+  Time faults_from = sec(2);
+  Time faults_until = sec(12);
+  int min_events = 2;
+  int max_events = 6;
+  Duration min_window = msec(300);
+  Duration max_window = sec(4);
+  double max_drop_rate = 0.03;
+  double max_duplicate_rate = 0.05;
+  double max_reorder_rate = 0.05;
+  double max_burst_drop = 0.5;
+  /// Adds one guaranteed kLeaderMinority window early in the fault phase
+  /// (the chaos runner sets this in bug-hunting mode so an injected quorum
+  /// bug is exercised on every seed, not only when the dice cooperate).
+  bool add_minority_window = false;
+};
+
+/// Expands `seed` into a full randomized schedule (pure function of
+/// (seed, limits)).
+[[nodiscard]] Schedule generate_schedule(uint64_t seed,
+                                         const ScheduleLimits& limits = {});
+
+}  // namespace praft::chaos

@@ -30,6 +30,10 @@ class Applier {
 
   void set_apply(ApplyFn fn) { apply_ = std::move(fn); }
 
+  /// Invariant observation point: called with the (commit, applied)
+  /// watermarks after every drain, including drains that delivered nothing.
+  void set_probe(WatermarkProbe probe) { probe_ = std::move(probe); }
+
   /// Highest position known committed/chosen-contiguously (inclusive).
   [[nodiscard]] LogIndex commit_index() const { return commit_; }
   /// Highest position delivered to the state machine (inclusive).
@@ -67,12 +71,14 @@ class Applier {
     }
     PRAFT_CHECK(applied_ <= commit_);
     draining_ = false;
+    if (probe_) probe_(commit_, applied_);
   }
 
   LogIndex commit_;
   LogIndex applied_;
   bool draining_ = false;
   ApplyFn apply_;
+  WatermarkProbe probe_;
 };
 
 }  // namespace praft::consensus

@@ -28,6 +28,11 @@ class NodeIface {
   /// Registers the in-order apply callback (exactly once per position).
   virtual void set_apply(ApplyFn fn) = 0;
 
+  /// Registers a watermark observer on the node's Applier: called with the
+  /// (commit, applied) watermarks after every advance. Used by invariant
+  /// checkers (src/chaos); default no-op for nodes without an Applier.
+  virtual void set_watermark_probe(WatermarkProbe probe) { (void)probe; }
+
   [[nodiscard]] virtual bool is_leader() const = 0;
   [[nodiscard]] virtual NodeId leader_hint() const = 0;
   /// True for protocols with no single elected leader (Mencius: every

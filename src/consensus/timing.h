@@ -36,6 +36,19 @@ struct TimingOptions {
   /// tick — deliberately smaller than the steady-state packetization cap so
   /// a healing partition does not flood the wire.
   size_t max_retransmit_entries = 512;
+  /// TEST-ONLY fault injection: when > 0, the *commit-counting* paths treat
+  /// this many acknowledgements as a quorum instead of a true majority
+  /// (elections and Prepare phases are untouched). n/2 on a 5-node group
+  /// recreates the classic "commit without majority" bug; the chaos harness
+  /// uses it to prove its invariant checker catches real violations.
+  /// Never set this outside tests.
+  int unsafe_commit_quorum = 0;
+
+  /// Quorum used by commit counting: the injected unsafe value when set,
+  /// otherwise `true_majority` (the group's real majority).
+  [[nodiscard]] int commit_quorum(int true_majority) const {
+    return unsafe_commit_quorum > 0 ? unsafe_commit_quorum : true_majority;
+  }
 };
 
 }  // namespace praft::consensus

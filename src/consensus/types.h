@@ -30,6 +30,11 @@ struct Ballot {
 /// is committed/chosen and all earlier positions have been delivered.
 using ApplyFn = std::function<void(LogIndex, const kv::Command&)>;
 
+/// Observes the Applier's (commit, applied) watermarks after every advance.
+/// Installed by invariant checkers (src/chaos) to assert monotonicity from
+/// outside the protocol.
+using WatermarkProbe = std::function<void(LogIndex commit, LogIndex applied)>;
+
 /// Modeled wire sizes (bytes) for bandwidth accounting.
 namespace wire {
 inline constexpr size_t kMsgHeader = 48;   // term/ballot/indexes/ids

@@ -51,6 +51,9 @@ void ClosedLoopClient::handle(const net::Packet& p) {
   ++completed_;
   metrics_.record(host_.now(), host_.site(), current_.is_read(),
                   host_.now() - sent_at_);
+  if (reply_probe_) {
+    reply_probe_(current_, reply->value, reply->ok, sent_at_, host_.now());
+  }
   issue_next();
 }
 

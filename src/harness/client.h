@@ -29,6 +29,12 @@ class ClosedLoopClient final : public PacketHandler {
   void stop() { stopped_ = true; }
   void handle(const net::Packet& p) override;
 
+  /// Trace hook: observes every accepted reply (the client-visible history —
+  /// linearizability checkers record (invocation, response) pairs here).
+  using ReplyProbe = std::function<void(const kv::Command& cmd, uint64_t value,
+                                        bool ok, Time sent_at, Time recv_at)>;
+  void set_reply_probe(ReplyProbe probe) { reply_probe_ = std::move(probe); }
+
   [[nodiscard]] uint64_t completed() const { return completed_; }
   [[nodiscard]] uint64_t retries() const { return retries_; }
 
@@ -50,6 +56,7 @@ class ClosedLoopClient final : public PacketHandler {
   uint64_t retries_ = 0;
   bool in_flight_ = false;
   bool stopped_ = false;
+  ReplyProbe reply_probe_;
 };
 
 }  // namespace praft::harness

@@ -63,9 +63,41 @@ void Cluster::add_clients(int per_region, const kv::WorkloadConfig& wl,
       copt.start_at = start_at;
       clients_.push_back(std::make_unique<ClosedLoopClient>(
           *client_hosts_.back(), target, std::move(gen), metrics_, copt));
+      if (reply_probe_) clients_.back()->set_reply_probe(reply_probe_);
       clients_.back()->start();
     }
   }
+}
+
+int Cluster::install_apply_probe(ApplyProbe probe) {
+  int hooked = 0;
+  for (auto& s : servers_) {
+    auto* ls = dynamic_cast<LogServer*>(s.get());
+    if (ls == nullptr) continue;
+    ls->set_apply_probe(probe);  // LogServer passes its own id as arg 0
+    ++hooked;
+  }
+  return hooked;
+}
+
+int Cluster::install_watermark_probe(WatermarkProbe probe) {
+  int hooked = 0;
+  for (auto& s : servers_) {
+    auto* ls = dynamic_cast<LogServer*>(s.get());
+    if (ls == nullptr) continue;
+    const NodeId id = ls->id();
+    ls->node_iface().set_watermark_probe(
+        [probe, id](consensus::LogIndex commit, consensus::LogIndex applied) {
+          probe(id, commit, applied);
+        });
+    ++hooked;
+  }
+  return hooked;
+}
+
+void Cluster::install_reply_probe(ClosedLoopClient::ReplyProbe probe) {
+  reply_probe_ = std::move(probe);
+  for (auto& c : clients_) c->set_reply_probe(reply_probe_);
 }
 
 int Cluster::establish_leader(int preferred, Duration deadline) {

@@ -69,6 +69,24 @@ class Cluster {
     for (auto& c : clients_) c->stop();
   }
 
+  // -- Trace hooks (chaos/invariant checking) ------------------------------
+  /// Observes every (replica, index, command) apply across the cluster.
+  /// Returns the number of servers hooked (only LogServer-based replicas
+  /// expose the probe). Call after build_replicas.
+  using ApplyProbe =
+      std::function<void(NodeId, consensus::LogIndex, const kv::Command&)>;
+  int install_apply_probe(ApplyProbe probe);
+
+  /// Observes every replica's (commit, applied) watermark advance.
+  using WatermarkProbe =
+      std::function<void(NodeId, consensus::LogIndex commit,
+                         consensus::LogIndex applied)>;
+  int install_watermark_probe(WatermarkProbe probe);
+
+  /// Observes every client-visible (invocation, response) pair: installed on
+  /// existing clients and on any client added later.
+  void install_reply_probe(ClosedLoopClient::ReplyProbe probe);
+
   [[nodiscard]] int leader_replica() const;
 
   sim::Simulator& sim() { return sim_; }
@@ -94,6 +112,7 @@ class Cluster {
   std::vector<std::unique_ptr<ReplicaServer>> servers_;
   std::vector<std::unique_ptr<NodeHost>> client_hosts_;
   std::vector<std::unique_ptr<ClosedLoopClient>> clients_;
+  ClosedLoopClient::ReplyProbe reply_probe_;
 };
 
 }  // namespace praft::harness

@@ -53,6 +53,9 @@ class LogServer : public ReplicaServer {
     return node_->leaderless();
   }
   void trigger_election() override { node_->force_election(); }
+  [[nodiscard]] consensus::LogIndex commit_index() const override {
+    return node_->commit_index();
+  }
 
   consensus::NodeIface& node_iface() { return *node_; }
   [[nodiscard]] const consensus::NodeIface& node_iface() const {

@@ -26,6 +26,9 @@ class ReplicaServer : public PacketHandler {
   [[nodiscard]] virtual bool leaderless() const { return false; }
   /// Kicks off an immediate election attempt (used to pin the leader site).
   virtual void trigger_election() {}
+  /// Highest position this replica knows committed (the replica's committed
+  /// prefix, exposed for chaos/invariant tracing). -1 when not applicable.
+  [[nodiscard]] virtual consensus::LogIndex commit_index() const { return -1; }
 
   [[nodiscard]] NodeId id() const { return host_.id(); }
   [[nodiscard]] SiteId site() const { return host_.site(); }

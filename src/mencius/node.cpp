@@ -48,6 +48,16 @@ const MenciusNode::Slot* MenciusNode::slot_if(LogIndex i) const {
   return slots_.find(i);
 }
 
+const kv::Command* MenciusNode::decided_at(LogIndex i) const {
+  const auto it = std::lower_bound(
+      decided_history_.begin(), decided_history_.end(), i,
+      [](const std::pair<LogIndex, kv::Command>& e, LogIndex key) {
+        return e.first < key;
+      });
+  if (it == decided_history_.end() || it->first != i) return nullptr;
+  return &it->second;
+}
+
 LogIndex MenciusNode::own_decided_floor() const {
   // Smallest own slot not known decided. Own slots below the apply floor
   // are decided by construction; walk the residue class from there.
@@ -67,6 +77,14 @@ LogIndex MenciusNode::own_decided_floor() const {
 // ---------------------------------------------------------------------------
 
 LogIndex MenciusNode::submit(const kv::Command& cmd) {
+  // A revocation may have consumed own slots we never proposed on (it
+  // sweeps the whole range, unused turns included) — without this skip a
+  // fresh proposal would stomp a decided slot and resurrect it at ballot 0.
+  while (next_own_ < afloor() ||
+         (slots_.find(next_own_) != nullptr &&
+          slots_.find(next_own_)->st != St::kEmpty)) {
+    next_own_ += n_;
+  }
   const LogIndex i = next_own_;
   next_own_ += n_;
   max_seen_ = std::max(max_seen_, i);
@@ -156,6 +174,14 @@ void MenciusNode::decide(LogIndex i, const kv::Command& cmd) {
   if (s.st == St::kValued) {
     // A revocation may decide a different value than the one we hold.
     if (!(s.cmd == cmd)) {
+      if (owner_of(i) == group_.self) {
+        // Our own slot was revoked from under us. Publish that before the
+        // decided floor can pass it: peers holding our stale ballot-0 value
+        // would otherwise treat "below the owner's decided floor" as
+        // authoritative and resurrect the dead value (the auto-decide rule
+        // in note_owner_watermark skips the zone below rev_floor).
+        own_rev_floor_ = std::max(own_rev_floor_, i);
+      }
       if (!s.cmd.is_noop()) {
         --unapplied_ops_[s.cmd.key];
         if (s.cmd.is_write()) --unapplied_writes_[s.cmd.key];
@@ -316,7 +342,21 @@ void MenciusNode::on_accept_own(const AcceptOwn& m) {
     max_seen_ = std::max(max_seen_, item.index);
     max_item = std::max(max_item, item.index);
     if (item.index < afloor()) {
-      ok.indexes.push_back(item.index);  // long since decided; re-ack
+      // Long since executed. Re-ack only when the decided value IS the
+      // owner's value (benign retransmission). A revoked slot was decided
+      // no-op: blindly re-acking would let an owner that missed the
+      // revocation assemble a majority for a value everyone else skipped —
+      // divergent state machines (found by the chaos harness). A slot aged
+      // out of the retained history is treated the same as a mismatch:
+      // acking a value we cannot confirm risks that divergence, while a
+      // reject merely sends the owner through its learn/re-propose path.
+      const kv::Command* decided = decided_at(item.index);
+      if (decided != nullptr && *decided == item.cmd) {
+        ok.indexes.push_back(item.index);
+      } else {
+        rej.indexes.push_back(item.index);
+        rej.jump_past = std::max(rej.jump_past, owner_rev_floor_[m.owner]);
+      }
       continue;
     }
     Slot& s = slot(item.index);
@@ -355,7 +395,8 @@ void MenciusNode::on_accept_own_ok(const AcceptOwnOk& m) {
     for (NodeId a : s->acks) dup |= (a == m.acceptor);
     if (dup) continue;
     s->acks.push_back(m.acceptor);
-    if (static_cast<int>(s->acks.size()) >= group_.majority()) {
+    if (static_cast<int>(s->acks.size()) >=
+        opt_.commit_quorum(group_.majority())) {
       decide(i, s->cmd);  // committed on a majority at ballot 0
     }
   }
@@ -371,6 +412,12 @@ void MenciusNode::on_accept_own_rej(const AcceptOwnRej& m) {
       const kv::Command lost = s->cmd;
       s->own_pending_ack = false;
       submit(lost);  // re-propose on a fresh slot
+    }
+    // Stop retransmitting the dead ballot-0 proposal; the slot's real
+    // decision (usually the revoker's no-op) arrives via RevAccept/
+    // LearnVals, or the stall path in maintenance() asks for it.
+    if (s->st == St::kValued && s->bal == Ballot{0, group_.self}) {
+      s->bal = Ballot{};
     }
   }
   while (next_own_ <= m.jump_past) next_own_ += n_;
@@ -394,20 +441,25 @@ void MenciusNode::on_status(const StatusBeat& m) {
   // A peer's slot consumption drags our unused turns forward even when we
   // never see its accepts directly (e.g. they raced past us).
   note_owner_watermark(m.from, m.decided_floor, m.rev_floor);
+  // Slots below the peer's decided floor certainly exist, even if we missed
+  // every accept for them (e.g. we were crashed): without this a replica
+  // that slept through the tail of the log never notices it is stalled and
+  // never asks to learn it.
+  max_seen_ = std::max(max_seen_, m.decided_floor - 1);
   advance_floors();
 }
 
 void MenciusNode::on_learn_req(const LearnReq& m) {
+  // Answer with every decided slot we know in the range, whether or not we
+  // own it: a decision is final, so anyone who holds it may teach it. (An
+  // owner whose slots were revoked while it was partitioned can only learn
+  // the no-op decisions from non-owners — the revoker may be down.)
   LearnVals lv;
   lv.from = group_.self;
   for (LogIndex i = m.lo; i < m.hi; ++i) {
-    if (owner_of(i) != group_.self) continue;
     if (i < afloor()) {
-      for (const auto& [idx, cmd] : decided_history_) {
-        if (idx == i) {
-          lv.slots.push_back(SlotInfo{i, cmd.is_noop(), cmd});
-          break;
-        }
+      if (const kv::Command* cmd = decided_at(i)) {
+        lv.slots.push_back(SlotInfo{i, cmd->is_noop(), *cmd});
       }
       continue;
     }
@@ -466,12 +518,9 @@ void MenciusNode::on_rev_prepare(const RevPrepare& m) {
     if (i < afloor()) {
       // Already executed: report the decided value at the top ballot so the
       // revoker cannot choose anything else.
-      for (const auto& [idx, cmd] : decided_history_) {
-        if (idx == i) {
-          ok.accepted.push_back(RevAccepted{i, Ballot{kDecidedBal, kNoNode},
-                                            true, cmd.is_noop(), cmd});
-          break;
-        }
+      if (const kv::Command* cmd = decided_at(i)) {
+        ok.accepted.push_back(RevAccepted{i, Ballot{kDecidedBal, kNoNode},
+                                          true, cmd->is_noop(), *cmd});
       }
       continue;
     }
@@ -550,6 +599,13 @@ void MenciusNode::on_rev_accept(const RevAccept& m) {
     Slot& s = slot(item.index);
     if (m.bal < s.promised) continue;
     s.promised = m.bal;
+    if (owner_of(item.index) == group_.self) {
+      // One of our own slots is being revoked (every RevAccept ballot is
+      // > 0). Record it before our decided floor passes the slot, so the
+      // published rev_floor keeps peers from auto-deciding whatever stale
+      // ballot-0 value of ours they still hold (see note_owner_watermark).
+      own_rev_floor_ = std::max(own_rev_floor_, item.index);
+    }
     if (s.st != St::kDecided) {
       if (s.st == St::kValued && !(s.cmd == item.cmd)) {
         if (!s.cmd.is_noop()) {
@@ -650,12 +706,21 @@ void MenciusNode::maintenance() {
   // Execution stalled on someone's slot?
   if (now - last_progress_ > opt_.learn_after && max_seen_ >= afloor()) {
     const NodeId blocker = owner_of(afloor());
+    const LogIndex hi = std::min(max_seen_ + 1, afloor() + 256);
     if (blocker != group_.self) {
-      const LogIndex hi = std::min(max_seen_ + 1, afloor() + 256);
       env_.send(blocker, Message{LearnReq{group_.self, afloor(), hi}},
                 consensus::wire::kSmallMsg);
       if (now - last_heard_[blocker] > opt_.revoke_timeout) {
         start_revocation(blocker, afloor(), max_seen_ + 1);
+      }
+    } else {
+      // Stalled on our OWN slot: it was revoked while we were partitioned
+      // and we missed the decision (we only learn no-op outcomes from
+      // others). Any peer that executed past it can teach us.
+      const Slot* s = slot_if(afloor());
+      if (s == nullptr || s->st != St::kValued ||
+          !(s->bal == Ballot{0, group_.self})) {
+        broadcast(Message{LearnReq{group_.self, afloor(), hi}});
       }
     }
   }

@@ -74,6 +74,10 @@ class MenciusNode : public consensus::NodeIface {
   using AckFn = std::function<void(const kv::Command&)>;
   void set_acked(AckFn fn) { acked_ = std::move(fn); }
 
+  void set_watermark_probe(consensus::WatermarkProbe probe) override {
+    applier_.set_probe(std::move(probe));
+  }
+
   /// Proposes a command on this node's next own slot. Always succeeds
   /// (every replica is a leader for its residue class). Returns the slot.
   LogIndex submit(const kv::Command& cmd) override;
@@ -142,6 +146,10 @@ class MenciusNode : public consensus::NodeIface {
   [[nodiscard]] bool commutes_below(LogIndex i, const kv::Command& cmd) const;
   Slot& slot(LogIndex i);
   [[nodiscard]] const Slot* slot_if(LogIndex i) const;
+  /// Executed slot's decided command from the retained history (nullptr when
+  /// the index predates the history window). O(log |history|): entries are
+  /// appended in slot order.
+  [[nodiscard]] const kv::Command* decided_at(LogIndex i) const;
   [[nodiscard]] LogIndex own_decided_floor() const;
   /// Exclusive execution floor: slots < afloor() are executed.
   [[nodiscard]] LogIndex afloor() const { return applier_.next_index(); }

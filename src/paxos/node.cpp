@@ -21,7 +21,7 @@ PaxosNode::PaxosNode(consensus::Group group, consensus::Env& env, Options opt)
   election_.set_handler([this](bool expired) {
     if (expired) {
       start_prepare();
-    } else if (!is_leader() && applier_.applied() < commit_floor()) {
+    } else if (applier_.applied() < commit_floor()) {
       request_missing(commit_floor());  // re-ask for lost LearnValues
     }
   });
@@ -255,7 +255,10 @@ void PaxosNode::on_accept_ok(const AcceptOkBatch& m) {
     Instance& in = inst(i);
     if (in.chosen || !in.has || in.bal != m.bal) continue;
     add_ack(in, m.bal, m.sender);
-    if (static_cast<int>(in.acks.size()) >= group_.majority()) mark_chosen(i);
+    if (static_cast<int>(in.acks.size()) >=
+        opt_.commit_quorum(group_.majority())) {
+      mark_chosen(i);
+    }
   }
 }
 
@@ -302,7 +305,6 @@ void PaxosNode::sync_to_floor(const Ballot& sender_bal, LogIndex floor) {
 }
 
 void PaxosNode::request_missing(LogIndex upto) {
-  if (leader_ == kNoNode || leader_ == group_.self) return;
   LogIndex from = 0;
   for (LogIndex i = applier_.applied() + 1; i <= upto; ++i) {
     const Instance* in = inst_if(i);
@@ -311,10 +313,22 @@ void PaxosNode::request_missing(LogIndex upto) {
       break;
     }
   }
-  if (from != 0) {
-    LearnRequest lr{group_.self, from, upto};
-    env_.send(leader_, Message{lr}, wire_size(lr));
+  if (from == 0) return;
+  // Ask the leader; a node that IS the leader rotates through its peers
+  // instead (it can win an election while still holding a hole below its
+  // commit floor — Prepare only covers instances above the floor), and any
+  // majority of them holds the chosen values.
+  NodeId target = leader_;
+  if (target == kNoNode || target == group_.self) {
+    const auto n = static_cast<size_t>(group_.n());
+    for (size_t k = 0; k < n; ++k) {
+      target = group_.members[learn_rr_++ % n];
+      if (target != group_.self) break;
+    }
+    if (target == group_.self) return;  // single-node group
   }
+  LearnRequest lr{group_.self, from, upto};
+  env_.send(target, Message{lr}, wire_size(lr));
 }
 
 void PaxosNode::on_reject(const Reject& m) {

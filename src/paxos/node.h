@@ -48,6 +48,10 @@ class PaxosNode : public consensus::NodeIface {
     applier_.set_apply(std::move(fn));
   }
 
+  void set_watermark_probe(consensus::WatermarkProbe probe) override {
+    applier_.set_probe(std::move(probe));
+  }
+
   [[nodiscard]] bool is_leader() const override {
     return phase1_succeeded_ && ballot_.node == group_.self;
   }
@@ -129,6 +133,10 @@ class PaxosNode : public consensus::NodeIface {
 
   // Pending client batch (leader).
   std::vector<kv::Command> pending_;
+
+  // Round-robin cursor for sub-floor gap repair when we have no one above
+  // us to ask (see request_missing).
+  size_t learn_rr_ = 0;
 };
 
 }  // namespace praft::paxos

@@ -235,7 +235,7 @@ void RaftNode::advance_commit() {
     for (const auto& [peer, match] : match_index_) {
       if (match >= n) ++count;
     }
-    if (count >= group_.majority()) {
+    if (count >= opt_.commit_quorum(group_.majority())) {
       commit_to(n);
       break;
     }

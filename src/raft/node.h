@@ -50,6 +50,10 @@ class RaftNode : public consensus::NodeIface {
     applier_.set_apply(std::move(fn));
   }
 
+  void set_watermark_probe(consensus::WatermarkProbe probe) override {
+    applier_.set_probe(std::move(probe));
+  }
+
   [[nodiscard]] Role role() const { return role_; }
   [[nodiscard]] bool is_leader() const override {
     return role_ == Role::kLeader;

@@ -304,7 +304,8 @@ LogIndex RaftStarNode::quorum_match_index() const {
   matches.push_back(last_index());  // self
   for (const auto& [peer, match] : match_index_) matches.push_back(match);
   std::sort(matches.begin(), matches.end(), std::greater<>());
-  return matches[static_cast<size_t>(group_.majority() - 1)];
+  return matches[static_cast<size_t>(
+      opt_.commit_quorum(group_.majority()) - 1)];
 }
 
 void RaftStarNode::advance_commit() {

@@ -50,6 +50,10 @@ class RaftStarNode : public consensus::NodeIface {
     applier_.set_apply(std::move(fn));
   }
 
+  void set_watermark_probe(consensus::WatermarkProbe probe) override {
+    applier_.set_probe(std::move(probe));
+  }
+
   /// Hook invoked when the leader learns a new commit index (used by the
   /// ported optimizations: Raft*-PQL gates commit on lease holders here).
   using CommitGate = std::function<bool(LogIndex)>;

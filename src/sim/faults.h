@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "common/types.h"
@@ -7,13 +8,43 @@
 namespace praft::sim {
 
 /// Declarative fault schedule applied by the Network: probabilistic message
-/// drops, timed bidirectional partitions, and timed node crashes. All faults
-/// are part of the deterministic plan so failure tests are reproducible.
+/// drops (uniform and windowed bursts), timed bidirectional partitions,
+/// timed node crashes, and probabilistic duplication/reordering. All faults
+/// are part of the deterministic plan — randomized ones draw from the
+/// simulation's seeded RNG — so failure tests are reproducible.
 class FaultPlan {
  public:
   /// Uniform probability that any WAN message is lost.
   void set_drop_rate(double p) { drop_rate_ = p; }
   [[nodiscard]] double drop_rate() const { return drop_rate_; }
+
+  /// Raises the drop probability to (at least) `p` during [from, to).
+  /// Overlapping bursts take the maximum, never accumulate past 1.
+  void drop_burst(double p, Time from, Time to) {
+    drop_bursts_.push_back({p, from, to});
+  }
+
+  /// Effective drop probability at instant `t`: the base rate or the
+  /// strongest active burst, whichever is larger.
+  [[nodiscard]] double drop_rate_at(Time t) const {
+    double p = drop_rate_;
+    for (const auto& b : drop_bursts_) {
+      if (t >= b.from && t < b.to) p = std::max(p, b.p);
+    }
+    return p;
+  }
+
+  /// Probability that a delivered message is delivered a second time (the
+  /// copy takes an independent latency draw and ignores FIFO ordering, like
+  /// a spurious retransmission). Default 0: off.
+  void set_duplicate_rate(double p) { duplicate_rate_ = p; }
+  [[nodiscard]] double duplicate_rate() const { return duplicate_rate_; }
+
+  /// Probability that a message skips the per-link FIFO clamp and may
+  /// overtake earlier traffic on the same link (UDP-like reordering).
+  /// Default 0: off, preserving the TCP stream semantics benches assume.
+  void set_reorder_rate(double p) { reorder_rate_ = p; }
+  [[nodiscard]] double reorder_rate() const { return reorder_rate_; }
 
   /// Blocks traffic in both directions between `a` and `b` during [from, to).
   void partition_pair(NodeId a, NodeId b, Time from, Time to) {
@@ -58,10 +89,18 @@ class FaultPlan {
     Time from;
     Time to;
   };
+  struct DropBurst {
+    double p;
+    Time from;
+    Time to;
+  };
 
   double drop_rate_ = 0.0;
+  double duplicate_rate_ = 0.0;
+  double reorder_rate_ = 0.0;
   std::vector<Partition> partitions_;
   std::vector<Crash> crashes_;
+  std::vector<DropBurst> drop_bursts_;
 };
 
 }  // namespace praft::sim

@@ -50,22 +50,41 @@ void Network::send(NodeId from, NodeId to, std::any payload, size_t bytes) {
   bytes_sent_ += bytes;
   if (!usable(from, now) || to < 0 || to >= num_nodes()) return;
   if (faults_.is_blocked(from, to, now)) return;
-  if (faults_.drop_rate() > 0.0 && sim_.rng().chance(faults_.drop_rate())) {
-    return;
-  }
+  const double drop = faults_.drop_rate_at(now);
+  if (drop > 0.0 && sim_.rng().chance(drop)) return;
 
   auto& src = nodes_[static_cast<size_t>(from)];
   const Time departure = src.egress.enqueue(now, bytes);
   const Duration flight = latency_.one_way(src.site, site_of(to), sim_.rng());
   Time arrival = departure + flight;
-  // FIFO per link: protocols in the paper's testbed ran over TCP streams.
-  const uint64_t link = (static_cast<uint64_t>(static_cast<uint32_t>(from))
-                         << 32) |
-                        static_cast<uint32_t>(to);
-  Time& last = last_arrival_[link];
-  if (arrival <= last) arrival = last + 1;
-  last = arrival;
+  // A reordered message skips the FIFO clamp below and may overtake earlier
+  // traffic on its link. The knobs guard every extra RNG draw so the default
+  // (all rates 0) consumes exactly the same stream as before they existed.
+  const bool reordered = faults_.reorder_rate() > 0.0 &&
+                         sim_.rng().chance(faults_.reorder_rate());
+  if (!reordered) {
+    // FIFO per link: protocols in the paper's testbed ran over TCP streams.
+    const uint64_t link = (static_cast<uint64_t>(static_cast<uint32_t>(from))
+                           << 32) |
+                          static_cast<uint32_t>(to);
+    Time& last = last_arrival_[link];
+    if (arrival <= last) arrival = last + 1;
+    last = arrival;
+  }
 
+  // A duplicated message is delivered twice: the copy models a spurious
+  // retransmission — independent latency draw, no FIFO coupling.
+  if (faults_.duplicate_rate() > 0.0 &&
+      sim_.rng().chance(faults_.duplicate_rate())) {
+    const Duration extra = latency_.one_way(src.site, site_of(to), sim_.rng());
+    schedule_delivery(from, to, std::any(payload), bytes, departure + extra);
+  }
+
+  schedule_delivery(from, to, std::move(payload), bytes, arrival);
+}
+
+void Network::schedule_delivery(NodeId from, NodeId to, std::any payload,
+                                size_t bytes, Time arrival) {
   // Payload is moved into the scheduled closure; delivery re-checks that the
   // destination is alive *at arrival time* (it may crash in flight).
   sim_.at(arrival, [this, from, to, bytes,

@@ -56,6 +56,8 @@ class Network {
   };
 
   [[nodiscard]] bool usable(NodeId n, Time t) const;
+  void schedule_delivery(NodeId from, NodeId to, std::any payload,
+                         size_t bytes, Time arrival);
 
   Simulator& sim_;
   LatencyMatrix latency_;

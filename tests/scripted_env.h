@@ -31,19 +31,24 @@ class ScriptedEnv final : public consensus::Env {
   }
 
   void schedule(Duration delay, std::function<void()> fn) override {
-    timers_.push_back({now_ + delay, std::move(fn)});
+    timers_.push_back({now_ + delay, next_timer_seq_++, std::move(fn)});
   }
 
   uint64_t random() override { return rng_.next(); }
 
-  /// Advances the clock, firing due timers in schedule order.
+  /// Advances the clock, firing due timers ordered by (deadline, creation):
+  /// equal deadlines fire in the order they were scheduled — including
+  /// timers created by a firing timer — matching sim::EventQueue's FIFO
+  /// tie-break so unit-level runs replay like full-simulator runs.
   void advance(Duration d) {
     const Time target = now_ + d;
     while (true) {
       size_t best = timers_.size();
       for (size_t i = 0; i < timers_.size(); ++i) {
-        if (timers_[i].at <= target &&
-            (best == timers_.size() || timers_[i].at < timers_[best].at)) {
+        if (timers_[i].at > target) continue;
+        if (best == timers_.size() || timers_[i].at < timers_[best].at ||
+            (timers_[i].at == timers_[best].at &&
+             timers_[i].seq < timers_[best].seq)) {
           best = i;
         }
       }
@@ -78,10 +83,12 @@ class ScriptedEnv final : public consensus::Env {
  private:
   struct Timer {
     Time at;
+    uint64_t seq;  // insertion order: the explicit tie-break for equal `at`
     std::function<void()> fn;
   };
   Time now_ = 0;
   Rng rng_;
+  uint64_t next_timer_seq_ = 0;
   std::vector<Timer> timers_;
 };
 

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scripted_env.h"
+
+namespace praft::test {
+namespace {
+
+TEST(ScriptedEnvTest, EqualDeadlinesFireInInsertionOrder) {
+  ScriptedEnv env;
+  std::vector<int> fired;
+  env.schedule(100, [&] { fired.push_back(0); });
+  env.schedule(100, [&] { fired.push_back(1); });
+  env.schedule(100, [&] { fired.push_back(2); });
+  env.advance(100);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(env.now(), 100);
+}
+
+TEST(ScriptedEnvTest, TieBreakSurvivesInterleavedEarlierTimer) {
+  // An earlier-deadline timer scheduled between two equal-deadline ones
+  // must not perturb their relative order (the old first-lowest scan relied
+  // on vector position; the seq tie-break makes the contract explicit).
+  ScriptedEnv env;
+  std::vector<int> fired;
+  env.schedule(200, [&] { fired.push_back(0); });
+  env.schedule(50, [&] { fired.push_back(9); });
+  env.schedule(200, [&] { fired.push_back(1); });
+  env.advance(300);
+  EXPECT_EQ(fired, (std::vector<int>{9, 0, 1}));
+}
+
+TEST(ScriptedEnvTest, TimerScheduledWhileFiringJoinsTheTail) {
+  // A timer created DURING a firing with the same deadline fires after all
+  // previously scheduled same-deadline timers (insertion order), in the
+  // same advance() call.
+  ScriptedEnv env;
+  std::vector<int> fired;
+  env.schedule(100, [&] {
+    fired.push_back(0);
+    env.schedule(0, [&] { fired.push_back(2); });  // deadline 100, newest
+  });
+  env.schedule(100, [&] { fired.push_back(1); });
+  env.advance(100);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ScriptedEnvTest, AdvanceStopsAtTarget) {
+  ScriptedEnv env;
+  int fired = 0;
+  env.schedule(100, [&] { ++fired; });
+  env.schedule(101, [&] { ++fired; });
+  env.advance(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(env.now(), 100);
+  env.advance(1);
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace praft::test

@@ -1,0 +1,167 @@
+// Seeded fault-schedule fuzzer for every registered consensus protocol.
+//
+//   chaos_runner --protocol=raft --seed=42          # replay one run
+//   chaos_runner --protocol=all --seeds=200         # fuzz the 4x matrix
+//   chaos_runner --protocol=raft --seeds=50 --inject-quorum-bug
+//
+// Each failure prints the seed, the generated schedule, the violated
+// invariants, the recent event trace, and the exact repro command. Exit
+// status is the number of failing (protocol, seed) runs, capped at 99.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chaos/runner.h"
+#include "consensus/registry.h"
+
+using namespace praft;
+
+namespace {
+
+struct CliOptions {
+  std::string protocol = "all";
+  uint64_t seed = 1;
+  int seeds = 1;
+  int replicas = 5;
+  bool inject_quorum_bug = false;
+  bool verbose = false;
+  bool stop_on_failure = false;
+  std::string failures_out;
+};
+
+bool parse_flag(const char* arg, const char* name, const char** value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--protocol=NAME|all] [--seed=N] [--seeds=K] [--replicas=N]\n"
+      "          [--inject-quorum-bug] [--verbose] [--stop-on-failure]\n"
+      "          [--failures-out=PATH]\n"
+      "protocols: all",
+      argv0);
+  for (const auto& name : consensus::protocol_names()) {
+    std::fprintf(stderr, ", %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+}
+
+void print_failure(const chaos::RunResult& r) {
+  std::printf("FAIL protocol=%s seed=%llu\n", r.protocol.c_str(),
+              static_cast<unsigned long long>(r.seed));
+  std::printf("  schedule: %s\n", r.schedule.c_str());
+  for (const auto& v : r.violations) {
+    std::printf("  invariant violated: %s\n", v.c_str());
+  }
+  std::printf("  trace (last %zu events):\n", r.trace.size());
+  for (const auto& t : r.trace) std::printf("    %s\n", t.c_str());
+  std::printf("  repro: %s\n", r.repro.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (parse_flag(argv[i], "--protocol", &v) && v != nullptr) {
+      cli.protocol = v;
+    } else if (parse_flag(argv[i], "--seed", &v) && v != nullptr) {
+      cli.seed = std::strtoull(v, nullptr, 10);
+    } else if (parse_flag(argv[i], "--seeds", &v) && v != nullptr) {
+      cli.seeds = std::atoi(v);
+    } else if (parse_flag(argv[i], "--replicas", &v) && v != nullptr) {
+      cli.replicas = std::atoi(v);
+    } else if (parse_flag(argv[i], "--inject-quorum-bug", &v)) {
+      cli.inject_quorum_bug = true;
+    } else if (parse_flag(argv[i], "--verbose", &v)) {
+      cli.verbose = true;
+    } else if (parse_flag(argv[i], "--stop-on-failure", &v)) {
+      cli.stop_on_failure = true;
+    } else if (parse_flag(argv[i], "--failures-out", &v) && v != nullptr) {
+      cli.failures_out = v;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<std::string> protocols;
+  if (cli.protocol == "all") {
+    protocols = consensus::protocol_names();
+  } else if (consensus::ProtocolRegistry::instance().contains(cli.protocol)) {
+    protocols.push_back(cli.protocol);
+  } else {
+    std::fprintf(stderr, "unknown protocol '%s'\n", cli.protocol.c_str());
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::FILE* failures_file = nullptr;
+  if (!cli.failures_out.empty()) {
+    failures_file = std::fopen(cli.failures_out.c_str(), "w");
+    if (failures_file == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", cli.failures_out.c_str());
+      return 2;
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  int failures = 0;
+  uint64_t runs = 0;
+  for (const auto& protocol : protocols) {
+    for (int k = 0; k < cli.seeds; ++k) {
+      chaos::RunOptions opt;
+      opt.protocol = protocol;
+      opt.seed = cli.seed + static_cast<uint64_t>(k);
+      opt.num_replicas = cli.replicas;
+      opt.inject_quorum_bug = cli.inject_quorum_bug;
+      const chaos::RunResult r = chaos::run_one(opt);
+      ++runs;
+      if (cli.verbose) {
+        std::printf("%s protocol=%s seed=%llu log=%lld client_ops=%llu\n",
+                    r.ok ? "ok  " : "FAIL", r.protocol.c_str(),
+                    static_cast<unsigned long long>(r.seed),
+                    static_cast<long long>(r.log_length),
+                    static_cast<unsigned long long>(r.client_ops));
+      }
+      if (!r.ok) {
+        ++failures;
+        print_failure(r);
+        if (failures_file != nullptr) {
+          std::fprintf(failures_file, "%s %llu  # repro: %s\n",
+                       r.protocol.c_str(),
+                       static_cast<unsigned long long>(r.seed),
+                       r.repro.c_str());
+          std::fflush(failures_file);
+        }
+        if (cli.stop_on_failure) goto done;
+      }
+    }
+  }
+done:
+  if (failures_file != nullptr) std::fclose(failures_file);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  std::printf("chaos: %llu runs (%zu protocol(s) x %d seed(s)) in %.1fs, "
+              "%d failure(s)\n",
+              static_cast<unsigned long long>(runs), protocols.size(),
+              cli.seeds, elapsed, failures);
+  return failures > 99 ? 99 : failures;
+}
