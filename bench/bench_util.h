@@ -1,11 +1,103 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
 
 namespace praft::bench {
+
+/// Machine-readable benchmark output. Every fig binary accepts
+/// `--json=<path>` (or bare `--json` for the default `BENCH_<name>.json`)
+/// and then mirrors each printed figure as one JSON row — per-system
+/// p50/p90/p99 latencies and throughputs — so perf trajectories can be
+/// tracked across commits without scraping stdout.
+///
+/// File shape:
+///   {"bench": "fig9a", "rows": [
+///     {"system": "Raft", "class": "Leader", "metric": "latency",
+///      "p50_ms": 69.1, "p90_ms": 71.0, "p99_ms": 75.2, "count": 123},
+///     {"system": "Raft", "label": "clients=50", "metric": "throughput",
+///      "ops_per_sec": 41230.0}]}
+class JsonEmitter {
+ public:
+  /// `default_path`: pass non-empty to emit even without a --json flag
+  /// (the catch-up bench always writes its BENCH_*.json).
+  JsonEmitter(std::string bench, int argc, char** argv,
+              std::string default_path = "")
+      : bench_(std::move(bench)), path_(std::move(default_path)) {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--json=", 7) == 0) {
+        path_ = a + 7;
+      } else if (std::strcmp(a, "--json") == 0) {
+        path_ = "BENCH_" + bench_ + ".json";
+      }
+    }
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void add_latency(const std::string& system, const std::string& cls,
+                   const harness::LatencySummary& s) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"system\": \"%s\", \"class\": \"%s\", "
+                  "\"metric\": \"latency\", \"p50_ms\": %.3f, "
+                  "\"p90_ms\": %.3f, \"p99_ms\": %.3f, \"count\": %lld}",
+                  system.c_str(), cls.c_str(), to_ms(s.p50), to_ms(s.p90),
+                  to_ms(s.p99), static_cast<long long>(s.count));
+    rows_.push_back(buf);
+  }
+
+  void add_throughput(const std::string& system, const std::string& label,
+                      double ops_per_sec) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"system\": \"%s\", \"label\": \"%s\", "
+                  "\"metric\": \"throughput\", \"ops_per_sec\": %.1f}",
+                  system.c_str(), label.c_str(), ops_per_sec);
+    rows_.push_back(buf);
+  }
+
+  /// Free-form scalar (the catch-up bench reports latencies, resident log
+  /// sizes and snapshot counts through this).
+  void add_value(const std::string& system, const std::string& label,
+                 const std::string& metric, double value) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"system\": \"%s\", \"label\": \"%s\", "
+                  "\"metric\": \"%s\", \"value\": %.3f}",
+                  system.c_str(), label.c_str(), metric.c_str(), value);
+    rows_.push_back(buf);
+  }
+
+  /// Writes the collected rows. Returns false (with a message on stderr)
+  /// when the path cannot be opened; no-op without --json.
+  bool write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", bench_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s", i == 0 ? "\n  " : ",\n  ", rows_[i].c_str());
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path_.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::string> rows_;
+};
 
 inline void print_header(const std::string& title, const std::string& paper) {
   std::printf("==============================================================\n");

@@ -25,7 +25,8 @@ double run_one(SystemKind sys, int clients, double conflict, int leader,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json("fig10a", argc, argv);
   bench::print_header("Fig 10a — Throughput vs clients/region, 8 B (CPU-bound)",
                       "Wang et al., PODC'19, Figure 10(a)");
   std::printf("%-16s", "clients/region");
@@ -47,11 +48,15 @@ int main() {
   for (const Config& c : configs) {
     std::printf("%-16s", c.name);
     for (int clients : {50, 200, 600, 1200, 2000}) {
-      std::printf("%10.0f",
-                  run_one(c.sys, clients, c.conflict, c.leader, 8, false));
+      const double tput = run_one(c.sys, clients, c.conflict, c.leader, 8,
+                                  false);
+      char label[32];
+      std::snprintf(label, sizeof(label), "clients=%d", clients);
+      json.add_throughput(c.name, label, tput);
+      std::printf("%10.0f", tput);
       std::fflush(stdout);
     }
     std::printf("\n");
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }

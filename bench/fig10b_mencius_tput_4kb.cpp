@@ -23,7 +23,8 @@ double run_one(SystemKind sys, int clients, double conflict, int leader) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json("fig10b", argc, argv);
   bench::print_header(
       "Fig 10b — Throughput vs clients/region, 4 KiB (network-bound)",
       "Wang et al., PODC'19, Figure 10(b)");
@@ -46,10 +47,14 @@ int main() {
   for (const Config& c : configs) {
     std::printf("%-16s", c.name);
     for (int clients : {25, 50, 100, 200, 400}) {
-      std::printf("%10.0f", run_one(c.sys, clients, c.conflict, c.leader));
+      const double tput = run_one(c.sys, clients, c.conflict, c.leader);
+      char label[32];
+      std::snprintf(label, sizeof(label), "clients=%d", clients);
+      json.add_throughput(c.name, label, tput);
+      std::printf("%10.0f", tput);
       std::fflush(stdout);
     }
     std::printf("\n");
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }

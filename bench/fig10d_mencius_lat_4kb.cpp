@@ -7,8 +7,8 @@ using harness::ExperimentConfig;
 using harness::SystemKind;
 
 namespace {
-void run_one(const char* name, SystemKind sys, double conflict, int leader,
-             uint64_t seed) {
+void run_one(bench::JsonEmitter& json, const char* name, SystemKind sys,
+             double conflict, int leader, uint64_t seed) {
   ExperimentConfig cfg;
   cfg.system = sys;
   cfg.workload = bench::fig10_workload(4096, conflict);
@@ -21,17 +21,20 @@ void run_one(const char* name, SystemKind sys, double conflict, int leader,
   const auto res = harness::run_experiment(cfg);
   bench::print_latency_row(name, "Leader", res.leader_writes);
   bench::print_latency_row(name, "Followers", res.follower_writes);
+  json.add_latency(name, "Leader", res.leader_writes);
+  json.add_latency(name, "Followers", res.follower_writes);
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json("fig10d", argc, argv);
   bench::print_header("Fig 10d — Latency, 4 KiB requests (50 clients/region)",
                       "Wang et al., PODC'19, Figure 10(d)");
-  run_one("Raft-Oregon", SystemKind::kRaft, 0.0, 0, 100401);
-  run_one("Raft*-Oregon", SystemKind::kRaftStar, 0.0, 0, 100402);
-  run_one("Raft-Seoul", SystemKind::kRaft, 0.0, 4, 100403);
-  run_one("Raft*-M-0%", SystemKind::kRaftStarMencius, 0.0, 0, 100404);
-  run_one("Raft*-M-100%", SystemKind::kRaftStarMencius, 1.0, 0, 100405);
+  run_one(json, "Raft-Oregon", SystemKind::kRaft, 0.0, 0, 100401);
+  run_one(json, "Raft*-Oregon", SystemKind::kRaftStar, 0.0, 0, 100402);
+  run_one(json, "Raft-Seoul", SystemKind::kRaft, 0.0, 4, 100403);
+  run_one(json, "Raft*-M-0%", SystemKind::kRaftStarMencius, 0.0, 0, 100404);
+  run_one(json, "Raft*-M-100%", SystemKind::kRaftStarMencius, 1.0, 0, 100405);
   std::printf("('Leader' = the Oregon site for the Mencius rows.)\n");
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -9,7 +9,8 @@ using namespace praft;
 using harness::ExperimentConfig;
 using harness::SystemKind;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json("fig9a", argc, argv);
   bench::print_header("Fig 9a — Read latency (leader vs followers)",
                       "Wang et al., PODC'19, Figure 9(a)");
   const SystemKind systems[] = {SystemKind::kRaftStarPql, SystemKind::kRaftStarLL,
@@ -28,6 +29,9 @@ int main() {
                              res.leader_reads);
     bench::print_latency_row(harness::system_name(sys), "Followers",
                              res.follower_reads);
+    json.add_latency(harness::system_name(sys), "Leader", res.leader_reads);
+    json.add_latency(harness::system_name(sys), "Followers",
+                     res.follower_reads);
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -7,7 +7,8 @@ using namespace praft;
 using harness::ExperimentConfig;
 using harness::SystemKind;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json("fig9b", argc, argv);
   bench::print_header("Fig 9b — Write latency (leader vs followers)",
                       "Wang et al., PODC'19, Figure 9(b)");
   const SystemKind systems[] = {SystemKind::kRaftStarPql, SystemKind::kRaftStarLL,
@@ -26,6 +27,9 @@ int main() {
                              res.leader_writes);
     bench::print_latency_row(harness::system_name(sys), "Followers",
                              res.follower_writes);
+    json.add_latency(harness::system_name(sys), "Leader", res.leader_writes);
+    json.add_latency(harness::system_name(sys), "Followers",
+                     res.follower_writes);
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }

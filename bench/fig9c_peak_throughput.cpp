@@ -8,7 +8,8 @@ using namespace praft;
 using harness::ExperimentConfig;
 using harness::SystemKind;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json("fig9c", argc, argv);
   bench::print_header("Fig 9c — Peak throughput vs read percentage",
                       "Wang et al., PODC'19, Figure 9(c)");
   const SystemKind systems[] = {SystemKind::kRaft, SystemKind::kRaftStar,
@@ -31,6 +32,10 @@ int main() {
       cfg.seed = 90003;
       const auto res = harness::run_experiment(cfg);
       if (sys == SystemKind::kRaft) raft_tput[col] = res.throughput_ops;
+      char label[32];
+      std::snprintf(label, sizeof(label), "reads=%.0f%%", rp * 100);
+      json.add_throughput(harness::system_name(sys), label,
+                          res.throughput_ops);
       std::printf("%-14s %7.0f%% %14.0f", harness::system_name(sys), rp * 100,
                   res.throughput_ops);
       if (sys == SystemKind::kRaftStarPql && raft_tput[col] > 0) {
@@ -40,5 +45,5 @@ int main() {
       ++col;
     }
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -23,7 +23,8 @@ double run_one(harness::SystemKind sys, double conflict) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json("fig9d", argc, argv);
   bench::print_header("Fig 9d — Raft*-PQL speedup over Raft* vs conflict rate",
                       "Wang et al., PODC'19, Figure 9(d)");
   std::printf("%8s %16s %16s %10s\n", "conflict", "Raft*-PQL", "Raft*",
@@ -31,8 +32,12 @@ int main() {
   for (double conflict : {0.50, 0.40, 0.30, 0.20, 0.10, 0.0}) {
     const double pql = run_one(SystemKind::kRaftStarPql, conflict);
     const double rs = run_one(SystemKind::kRaftStar, conflict);
+    char label[32];
+    std::snprintf(label, sizeof(label), "conflict=%.0f%%", conflict * 100);
+    json.add_throughput("Raft*-PQL", label, pql);
+    json.add_throughput("Raft*", label, rs);
     std::printf("%7.0f%% %16.0f %16.0f %9.0f%%\n", conflict * 100, pql, rs,
                 (pql / rs - 1.0) * 100.0);
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }

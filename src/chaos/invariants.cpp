@@ -1,9 +1,12 @@
 #include "chaos/invariants.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <unordered_set>
 
 #include "harness/cluster.h"
+#include "harness/log_server.h"
+#include "kv/store.h"
 
 namespace praft::chaos {
 
@@ -44,6 +47,10 @@ void InvariantChecker::attach(harness::Cluster& cluster) {
   cluster.install_reply_probe(
       [this](const kv::Command& cmd, uint64_t value, bool okay, Time, Time) {
         on_reply(cmd, value, okay);
+      });
+  cluster.install_snapshot_probe(
+      [this](NodeId r, consensus::LogIndex idx, uint64_t fp) {
+        on_snapshot_install(r, idx, fp);
       });
 }
 
@@ -131,7 +138,52 @@ void InvariantChecker::on_reply(const kv::Command& cmd, uint64_t value,
   replies_.push_back(Reply{cmd, value, ok});
 }
 
+void InvariantChecker::on_snapshot_install(NodeId replica,
+                                           consensus::LogIndex idx,
+                                           uint64_t store_fp) {
+  ReplicaState& st = replicas_[replica];
+  if (st.seen && idx <= st.last_applied) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "replica %d installed a snapshot @%lld at or below its "
+                  "applied index %lld (backward jump / duplicate apply)",
+                  replica, static_cast<long long>(idx),
+                  static_cast<long long>(st.last_applied));
+    violation(buf);
+  }
+  // The skipped positions were applied exactly once — by the snapshot's
+  // provider; this replica resumes contiguously after the jump.
+  st.seen = true;
+  st.last_applied = std::max(st.last_applied, idx);
+  if (idx > max_applied_) max_applied_ = idx;
+  installs_.push_back(Install{replica, idx, store_fp});
+
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "snapshot install r=%d idx=%lld", replica,
+                static_cast<long long>(idx));
+  record(buf);
+}
+
+void InvariantChecker::sample_memory(harness::Cluster& cluster) {
+  if (memory_cap_ == 0) return;
+  for (int i = 0; i < cluster.num_replicas(); ++i) {
+    auto* ls = dynamic_cast<harness::LogServer*>(&cluster.server(i));
+    if (ls == nullptr) continue;
+    const size_t compactable = ls->node_iface().compactable_entries();
+    if (compactable > memory_cap_) {
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "replica %d holds %zu applied-but-uncompacted entries, "
+                    "over the compaction cap %zu (unbounded memory)",
+                    i, compactable, memory_cap_);
+      violation(buf);
+    }
+  }
+}
+
 void InvariantChecker::finalize(harness::Cluster& cluster) {
+  sample_memory(cluster);  // one last bounded-memory check on the quiesced world
+
   // ---- Replay the agreed log and derive the linearized KV history. -------
   // Reads are logged by every baseline in the repo, so the agreed log IS the
   // linearization order: the correct answer for a read is the latest write
@@ -139,6 +191,13 @@ void InvariantChecker::finalize(harness::Cluster& cluster) {
   std::unordered_map<uint64_t, uint64_t> model;          // key -> value token
   std::unordered_set<uint64_t> writes_in_log;            // op_key of puts
   std::unordered_map<uint64_t, std::vector<uint64_t>> expected_reads;
+  // Snapshot soundness: the store state a replica installed must equal
+  // replaying the agreed log prefix the snapshot claims to cover.
+  std::vector<Install> installs = installs_;
+  std::sort(installs.begin(), installs.end(),
+            [](const Install& a, const Install& b) { return a.idx < b.idx; });
+  size_t next_install = 0;
+  kv::KvStore replay;
   consensus::LogIndex expect = -2;
   for (const auto& [idx, cmd] : chosen_) {
     if (expect == -2) {
@@ -164,6 +223,28 @@ void InvariantChecker::finalize(harness::Cluster& cluster) {
       expected_reads[op_key(cmd)].push_back(it == model.end() ? 0
                                                               : it->second);
     }
+    replay.apply(cmd);
+    for (; next_install < installs.size() && installs[next_install].idx == idx;
+         ++next_install) {
+      const Install& ins = installs[next_install];
+      if (ins.store_fp != replay.fingerprint()) {
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "replica %d's installed snapshot @%lld does not match "
+                      "a replay of the agreed log prefix",
+                      ins.replica, static_cast<long long>(ins.idx));
+        violation(buf);
+      }
+    }
+  }
+  for (; next_install < installs.size(); ++next_install) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "replica %d installed a snapshot @%lld outside the agreed "
+                  "log (no replica ever applied that prefix)",
+                  installs[next_install].replica,
+                  static_cast<long long>(installs[next_install].idx));
+    violation(buf);
   }
 
   // ---- Client-visible history must be explained by the agreed log. -------

@@ -35,6 +35,15 @@ namespace praft::chaos {
 ///                      order — the executable form of specs::kvlog's
 ///                      "table[k] = latest logs[k]" refinement mapping), and
 ///                      every acknowledged write survives in the agreed log;
+///  * snapshots       — a snapshot install only jumps a replica FORWARD, and
+///                      the installed store state equals replaying the
+///                      agreed log prefix it claims to cover (exactly-once
+///                      apply and linearizability hold ACROSS installs: the
+///                      skipped positions were applied once, by the
+///                      snapshot's provider);
+///  * bounded memory  — with compaction enabled, no replica's applied-but-
+///                      uncompacted log tail ever exceeds the configured cap
+///                      (sampled between events, where the trigger has run);
 ///  * convergence     — once faults stop and the cluster quiesces, all
 ///                      replicas applied the same prefix and hold identical
 ///                      stores.
@@ -59,6 +68,16 @@ class InvariantChecker {
   void on_watermark(NodeId replica, consensus::LogIndex commit,
                     consensus::LogIndex applied);
   void on_reply(const kv::Command& cmd, uint64_t value, bool ok);
+  void on_snapshot_install(NodeId replica, consensus::LogIndex idx,
+                           uint64_t store_fp);
+
+  /// Arms the bounded-memory invariant: each sample asserts every replica's
+  /// compactable (applied-but-uncompacted) entries stay at or below `cap`.
+  void set_memory_cap(size_t cap) { memory_cap_ = cap; }
+  /// Samples the bounded-memory invariant across `cluster` now (call from a
+  /// simulator callback, between events — the compaction trigger runs
+  /// synchronously with apply advances, so between events the cap holds).
+  void sample_memory(harness::Cluster& cluster);
 
   /// End-of-run checks: replica convergence and client-visible
   /// linearizability of the whole KV history against the agreed log.
@@ -74,6 +93,9 @@ class InvariantChecker {
   /// Highest log position any replica applied (run-size diagnostics).
   [[nodiscard]] consensus::LogIndex max_applied() const { return max_applied_; }
   [[nodiscard]] uint64_t client_ops() const { return replies_.size(); }
+  /// Snapshot installs observed across the run (catch-up via state
+  /// transfer rather than log replay).
+  [[nodiscard]] uint64_t snapshot_installs() const { return installs_.size(); }
 
  private:
   struct ReplicaState {
@@ -86,6 +108,11 @@ class InvariantChecker {
     kv::Command cmd;
     uint64_t value = 0;
     bool ok = true;
+  };
+  struct Install {
+    NodeId replica = kNoNode;
+    consensus::LogIndex idx = 0;
+    uint64_t store_fp = 0;
   };
 
   void violation(std::string what);
@@ -100,7 +127,9 @@ class InvariantChecker {
   std::map<consensus::LogIndex, kv::Command> chosen_;
   std::unordered_map<NodeId, ReplicaState> replicas_;
   std::vector<Reply> replies_;
+  std::vector<Install> installs_;
   consensus::LogIndex max_applied_ = 0;
+  size_t memory_cap_ = 0;  // 0 = bounded-memory invariant disarmed
 };
 
 }  // namespace praft::chaos

@@ -103,13 +103,18 @@ RunResult run_one(const RunOptions& opt) {
   const Schedule sched = generate_schedule(opt.seed, limits);
   res.schedule = sched.describe();
   {
-    char buf[160];
+    char buf[200];
     std::snprintf(buf, sizeof(buf),
                   "chaos_runner --protocol=%s --seed=%llu%s",
                   opt.protocol.c_str(),
                   static_cast<unsigned long long>(opt.seed),
                   opt.inject_quorum_bug ? " --inject-quorum-bug" : "");
     res.repro = buf;
+    if (opt.compaction_log_cap > 0) {
+      std::snprintf(buf, sizeof(buf), " --compaction-cap=%zu",
+                    opt.compaction_log_cap);
+      res.repro += buf;
+    }
   }
 
   harness::ClusterConfig cfg;
@@ -129,10 +134,21 @@ RunResult run_one(const RunOptions& opt) {
     // leader never saw — exactly what the invariants must catch.
     timing.unsafe_commit_quorum = opt.num_replicas / 2;
   }
+  timing.compaction_log_cap = opt.compaction_log_cap;
   cluster.build_replicas(opt.protocol, timing);
 
   InvariantChecker chk;
   chk.attach(cluster);
+  if (opt.compaction_log_cap > 0) {
+    // Bounded memory: sample each replica's compactable tail between events
+    // throughout the run (the trigger runs synchronously on apply paths, so
+    // the cap must hold whenever the simulator is between handlers).
+    chk.set_memory_cap(opt.compaction_log_cap);
+    const Time end = limits.faults_until + sec(1) + opt.quiesce;
+    for (Time t = msec(500); t < end; t += msec(500)) {
+      cluster.sim().at(t, [&cluster, &chk] { chk.sample_memory(cluster); });
+    }
+  }
 
   auto& faults = cluster.net().faults();
   faults.set_drop_rate(sched.drop_rate);
@@ -165,6 +181,7 @@ RunResult run_one(const RunOptions& opt) {
   res.trace = chk.trace();
   res.log_length = chk.max_applied();
   res.client_ops = chk.client_ops();
+  res.snapshot_installs = chk.snapshot_installs();
   return res;
 }
 

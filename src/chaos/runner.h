@@ -17,6 +17,12 @@ struct RunOptions {
   /// Arms TimingOptions::unsafe_commit_quorum = n/2 (commit without a true
   /// majority) to prove the invariant checker catches real violations.
   bool inject_quorum_bug = false;
+  /// When > 0, runs the cluster with checkpoint-driven log compaction
+  /// (TimingOptions::compaction_log_cap) and arms the bounded-memory
+  /// invariant at the same cap. Lagging replicas then catch up via snapshot
+  /// transfer, and the checker verifies exactly-once apply, linearizability
+  /// and snapshot soundness ACROSS installs.
+  size_t compaction_log_cap = 0;
   ScheduleLimits limits;
   /// Fault-free tail after the last fault window: clients drain, replicas
   /// re-converge, then invariants are finalized.
@@ -33,6 +39,7 @@ struct RunResult {
   std::string repro;                   // exact CLI command to replay this run
   int64_t log_length = 0;              // highest agreed index
   uint64_t client_ops = 0;             // completed client operations
+  uint64_t snapshot_installs = 0;      // catch-ups served by state transfer
 };
 
 /// Builds a cluster for `opt.protocol`, generates the seed's fault schedule

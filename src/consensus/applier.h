@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "consensus/snapshot.h"
 #include "consensus/types.h"
 
 namespace praft::consensus {
@@ -33,6 +34,41 @@ class Applier {
   /// Invariant observation point: called with the (commit, applied)
   /// watermarks after every drain, including drains that delivered nothing.
   void set_probe(WatermarkProbe probe) { probe_ = std::move(probe); }
+
+  /// Snapshot hooks (installed by the harness adapter owning the state
+  /// machine): `capture` serializes the store at the current applied
+  /// watermark, `restore` replaces it during a snapshot install. Protocols
+  /// that never see these hooks simply cannot compact.
+  void set_state_hooks(StateCapture capture, StateRestore restore) {
+    capture_ = std::move(capture);
+    restore_ = std::move(restore);
+  }
+
+  /// True once a capture hook is installed (compaction is possible).
+  [[nodiscard]] bool can_snapshot() const { return capture_ != nullptr; }
+
+  /// Serializes the state machine. Only meaningful at the applied watermark:
+  /// the caller stamps the returned image with applied() as the snapshot's
+  /// last_index.
+  [[nodiscard]] kv::StoreImage capture_state() const {
+    PRAFT_CHECK_MSG(capture_ != nullptr, "no snapshot capture hook installed");
+    return capture_();
+  }
+
+  /// Installs `snap` if it is ahead of the applied watermark: restores the
+  /// state machine and jumps both watermarks to snap.last_index (the skipped
+  /// positions were applied by the snapshot's provider — exactly-once is
+  /// preserved because this replica never applies them individually).
+  /// Returns false (no-op) for stale snapshots.
+  bool install_snapshot(const Snapshot& snap) {
+    if (snap.last_index <= applied_) return false;
+    PRAFT_CHECK_MSG(restore_ != nullptr, "no snapshot restore hook installed");
+    restore_(snap.state, snap.last_index);
+    applied_ = snap.last_index;
+    if (commit_ < applied_) commit_ = applied_;
+    if (probe_) probe_(commit_, applied_);
+    return true;
+  }
 
   /// Highest position known committed/chosen-contiguously (inclusive).
   [[nodiscard]] LogIndex commit_index() const { return commit_; }
@@ -79,6 +115,8 @@ class Applier {
   bool draining_ = false;
   ApplyFn apply_;
   WatermarkProbe probe_;
+  StateCapture capture_;
+  StateRestore restore_;
 };
 
 }  // namespace praft::consensus

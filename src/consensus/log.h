@@ -8,46 +8,85 @@
 
 namespace praft::consensus {
 
-/// Contiguous replicated-log storage (Raft / Raft*): a dense array with the
-/// index-0 sentinel entry, so AppendEntries prev-checks need no special
-/// cases. All access is bounds-checked via PRAFT_CHECK — out-of-range
-/// indexes are protocol bugs, never silent UB.
+/// Contiguous replicated-log storage (Raft / Raft*): a dense array behind a
+/// compactable prefix. `entries_[0]` is the *base sentinel* — the entry at
+/// `base_index()`, which is index 0 (term 0) on a fresh log and the last
+/// snapshot-covered entry after a compaction — so AppendEntries prev-checks
+/// need no special cases at either boundary. All access is bounds-checked
+/// via PRAFT_CHECK — out-of-range indexes (including reads into the
+/// compacted prefix) are protocol bugs, never silent UB.
 template <typename E>
 class ContiguousLog {
  public:
   ContiguousLog() { entries_.emplace_back(); }  // index 0 sentinel
 
+  /// Index of the sentinel: everything at or below it lives only in the
+  /// snapshot. 0 until the first compaction.
+  [[nodiscard]] LogIndex base_index() const { return base_; }
+  /// First readable real entry (base_index() + 1).
+  [[nodiscard]] LogIndex first_index() const { return base_ + 1; }
+
   [[nodiscard]] LogIndex last_index() const {
-    return static_cast<LogIndex>(entries_.size()) - 1;
+    return base_ + static_cast<LogIndex>(entries_.size()) - 1;
   }
 
+  /// Entries physically retained (excluding the sentinel) — what the
+  /// bounded-memory invariant measures.
+  [[nodiscard]] size_t resident_entries() const { return entries_.size() - 1; }
+
   [[nodiscard]] const E& at(LogIndex i) const {
-    PRAFT_CHECK(i >= 0 && i <= last_index());
-    return entries_[static_cast<size_t>(i)];
+    PRAFT_CHECK(i >= base_ && i <= last_index());
+    return entries_[static_cast<size_t>(i - base_)];
   }
 
   [[nodiscard]] E& at(LogIndex i) {
-    PRAFT_CHECK(i >= 0 && i <= last_index());
-    return entries_[static_cast<size_t>(i)];
+    PRAFT_CHECK(i >= base_ && i <= last_index());
+    return entries_[static_cast<size_t>(i - base_)];
   }
 
   void append(E e) { entries_.push_back(std::move(e)); }
 
   /// Erases everything after `last_kept` (conflict-suffix erasure in Raft,
-  /// full-suffix replacement in Raft*). Keeping the sentinel is mandatory.
+  /// full-suffix replacement in Raft*). Keeping the sentinel is mandatory,
+  /// and a compacted prefix can never be truncated into: entries at or
+  /// below base_index() are part of a committed, snapshotted prefix.
   void truncate_after(LogIndex last_kept) {
-    PRAFT_CHECK(last_kept >= 0 && last_kept <= last_index());
-    entries_.resize(static_cast<size_t>(last_kept) + 1);
+    PRAFT_CHECK(last_kept >= base_ && last_kept <= last_index());
+    entries_.resize(static_cast<size_t>(last_kept - base_) + 1);
+  }
+
+  /// Discards entries up to and including `new_base` (which must be
+  /// retained); the entry at `new_base` becomes the sentinel, so its term
+  /// keeps answering prev-checks at the snapshot boundary. The caller is
+  /// responsible for holding a snapshot covering [.., new_base] first.
+  void compact_to(LogIndex new_base) {
+    PRAFT_CHECK(new_base >= base_ && new_base <= last_index());
+    if (new_base == base_) return;
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<ptrdiff_t>(new_base - base_));
+    base_ = new_base;
+  }
+
+  /// Drops the whole log and restarts it at `base` with `sentinel` as the
+  /// boundary entry (snapshot install where the local log conflicts with or
+  /// falls short of the snapshot).
+  void reset_to(LogIndex base, E sentinel) {
+    PRAFT_CHECK(base >= 0);
+    entries_.clear();
+    entries_.push_back(std::move(sentinel));
+    base_ = base;
   }
 
  private:
+  LogIndex base_ = 0;
   std::vector<E> entries_;
 };
 
 /// Sparse instance/slot storage (MultiPaxos / Mencius): holes are real in
 /// Paxos-family protocols — instances commit out of order and execution
 /// waits at the first gap. Slots materialize on first touch and may be
-/// pruned once executed (Mencius).
+/// pruned once executed (Mencius), or wholesale below a checkpoint floor
+/// (compaction: slots at or below the floor live only in the snapshot).
 template <typename S>
 class SparseLog {
  public:
@@ -57,8 +96,12 @@ class SparseLog {
 
   /// Materializes (default-constructs) the slot on first touch — unlike
   /// ContiguousLog::at, which is a bounds-checked read. The distinct name
-  /// keeps a read-path caller from silently creating phantom slots.
-  [[nodiscard]] S& materialize(LogIndex i) { return slots_[i]; }
+  /// keeps a read-path caller from silently creating phantom slots, and the
+  /// floor check keeps one from resurrecting a compacted slot.
+  [[nodiscard]] S& materialize(LogIndex i) {
+    PRAFT_CHECK(i > floor_);
+    return slots_[i];
+  }
 
   [[nodiscard]] const S* find(LogIndex i) const {
     auto it = slots_.find(i);
@@ -73,6 +116,28 @@ class SparseLog {
   [[nodiscard]] iterator lookup(LogIndex i) { return slots_.find(i); }
   void erase(iterator it) { slots_.erase(it); }
 
+  /// Checkpoint floor: slots at or below it are pruned and may never be
+  /// re-materialized (their decisions live in the snapshot). Monotone.
+  [[nodiscard]] LogIndex floor() const { return floor_; }
+
+  /// Raises the floor and prunes every slot at or below it. `cleanup` is
+  /// invoked for each pruned (index, slot) before erasure — protocols
+  /// release per-slot bookkeeping (Mencius commutativity counters) there.
+  template <typename Cleanup>
+  void set_floor(LogIndex new_floor, Cleanup&& cleanup) {
+    if (new_floor <= floor_) return;
+    floor_ = new_floor;
+    auto it = slots_.begin();
+    while (it != slots_.end() && it->first <= floor_) {
+      cleanup(it->first, it->second);
+      it = slots_.erase(it);
+    }
+  }
+
+  void set_floor(LogIndex new_floor) {
+    set_floor(new_floor, [](LogIndex, const S&) {});
+  }
+
   [[nodiscard]] bool empty() const { return slots_.empty(); }
   [[nodiscard]] size_t size() const { return slots_.size(); }
   [[nodiscard]] iterator begin() { return slots_.begin(); }
@@ -82,6 +147,7 @@ class SparseLog {
 
  private:
   Map slots_;
+  LogIndex floor_ = -1;  // below any real position (0-based Mencius included)
 };
 
 }  // namespace praft::consensus

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "consensus/snapshot.h"
 #include "consensus/types.h"
 #include "net/packet.h"
 
@@ -33,6 +34,37 @@ class NodeIface {
   /// checkers (src/chaos); default no-op for nodes without an Applier.
   virtual void set_watermark_probe(WatermarkProbe probe) { (void)probe; }
 
+  /// Installs the snapshot capture/restore hooks on the node's Applier (the
+  /// harness adapter that owns the kv::Store calls this once). Without them
+  /// the node cannot compact or install snapshots; default no-op for nodes
+  /// without an Applier.
+  virtual void set_state_hooks(StateCapture capture, StateRestore restore) {
+    (void)capture;
+    (void)restore;
+  }
+
+  /// Compaction verb: checkpoint the state machine at the applied watermark
+  /// and discard the covered log prefix now, regardless of the
+  /// TimingOptions size/interval policy. No-op when state hooks are absent
+  /// or nothing is compactable.
+  virtual void compact() {}
+
+  /// Highest position discarded from in-memory log storage (snapshot
+  /// coverage). 0 / -1 before the first compaction, protocol start
+  /// dependent.
+  [[nodiscard]] virtual LogIndex compaction_floor() const { return 0; }
+
+  /// Applied-but-not-yet-compacted positions — what the compactor is
+  /// allowed to reclaim. The bounded-memory invariant caps this.
+  [[nodiscard]] virtual size_t compactable_entries() const { return 0; }
+
+  /// Log/slot entries physically resident in memory (diagnostics + bench).
+  [[nodiscard]] virtual size_t resident_log_entries() const { return 0; }
+
+  /// Snapshots this node installed from peers (catch-up via state transfer
+  /// instead of log replay).
+  [[nodiscard]] virtual int64_t snapshots_installed() const { return 0; }
+
   [[nodiscard]] virtual bool is_leader() const = 0;
   [[nodiscard]] virtual NodeId leader_hint() const = 0;
   /// True for protocols with no single elected leader (Mencius: every
@@ -41,6 +73,11 @@ class NodeIface {
   [[nodiscard]] virtual bool leaderless() const { return false; }
   /// Highest position known committed/chosen-contiguously.
   [[nodiscard]] virtual LogIndex commit_index() const = 0;
+  /// Highest position delivered to the state machine (== commit_index for
+  /// gap-free protocols; MultiPaxos/Mencius may trail while repairing).
+  [[nodiscard]] virtual LogIndex applied_index() const {
+    return commit_index();
+  }
   [[nodiscard]] virtual NodeId id() const = 0;
 
   /// Kicks off an immediate leadership attempt (no-op for leaderless

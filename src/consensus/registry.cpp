@@ -40,8 +40,17 @@ std::unique_ptr<NodeIface> ProtocolRegistry::make(
     const std::string& name, Group group, Env& env,
     const TimingOptions& timing) const {
   auto it = impl_->factories.find(name);
-  PRAFT_CHECK_MSG(it != impl_->factories.end(),
-                  "unknown protocol \"" + name + "\"");
+  if (it == impl_->factories.end()) {
+    // List what IS registered: "unknown protocol" alone sends the caller
+    // grepping for the registration site instead of fixing the typo.
+    std::string joined;
+    for (const std::string& n : names()) {
+      if (!joined.empty()) joined += ", ";
+      joined += n;
+    }
+    PRAFT_CHECK_MSG(false, "unknown protocol \"" + name +
+                               "\"; registered protocols: " + joined);
+  }
   return it->second(std::move(group), env, timing);
 }
 

@@ -36,6 +36,21 @@ struct TimingOptions {
   /// tick — deliberately smaller than the steady-state packetization cap so
   /// a healing partition does not flood the wire.
   size_t max_retransmit_entries = 512;
+  /// Log compaction trigger (size leg): when > 0, a node checkpoints the
+  /// state machine and discards the applied log prefix as soon as more than
+  /// this many applied-but-uncompacted entries are resident. 0 disables
+  /// size-triggered compaction. Requires snapshot state hooks (installed by
+  /// the harness adapter); protocols check after every apply advance, so the
+  /// retained applied prefix stays <= the cap between events.
+  size_t compaction_log_cap = 0;
+  /// Compaction trigger (interval leg): when > 0, also checkpoint whenever
+  /// this much time has passed since the last compaction and anything is
+  /// compactable — bounds staleness of the retained snapshot under light
+  /// load, where the size trigger alone may never fire (the first firing
+  /// comes one interval after node start, then one interval after each
+  /// compaction). Checked on the same apply/heartbeat paths as the size
+  /// leg. 0 disables.
+  Duration compaction_interval = 0;
   /// TEST-ONLY fault injection: when > 0, the *commit-counting* paths treat
   /// this many acknowledgements as a quorum instead of a true majority
   /// (elections and Prepare phases are untouched). n/2 on a 5-node group
@@ -49,6 +64,31 @@ struct TimingOptions {
   [[nodiscard]] int commit_quorum(int true_majority) const {
     return unsafe_commit_quorum > 0 ? unsafe_commit_quorum : true_majority;
   }
+};
+
+/// Per-node evaluation state for the compaction policy above: one instance
+/// per protocol node, consulted on every apply advance / maintenance tick so
+/// all four protocols share the exact trigger semantics.
+class CompactionTrigger {
+ public:
+  /// True when a compaction should run now. `compactable` is the node's
+  /// applied-but-uncompacted entry count; `force` is the NodeIface::compact
+  /// verb (still requires something to compact).
+  [[nodiscard]] bool due(const TimingOptions& opt, size_t compactable,
+                         Time now, bool force) const {
+    if (compactable == 0) return false;
+    if (force) return true;
+    if (opt.compaction_log_cap > 0 && compactable > opt.compaction_log_cap) {
+      return true;
+    }
+    return opt.compaction_interval > 0 &&
+           now - last_ >= opt.compaction_interval;
+  }
+
+  void fired(Time now) { last_ = now; }
+
+ private:
+  Time last_ = 0;
 };
 
 }  // namespace praft::consensus

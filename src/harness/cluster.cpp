@@ -41,6 +41,8 @@ void Cluster::build_replicas(const ServerFactory& factory) {
 
 void Cluster::build_replicas(const std::string& protocol,
                              const consensus::TimingOptions& timing) {
+  // An unknown name fails inside ProtocolRegistry::make with a message
+  // listing the registered protocols (no duplicate pre-check here).
   const CostModel costs = cfg_.costs;
   build_replicas([protocol, timing, costs](NodeHost& host,
                                            const consensus::Group& g) {
@@ -90,6 +92,17 @@ int Cluster::install_watermark_probe(WatermarkProbe probe) {
         [probe, id](consensus::LogIndex commit, consensus::LogIndex applied) {
           probe(id, commit, applied);
         });
+    ++hooked;
+  }
+  return hooked;
+}
+
+int Cluster::install_snapshot_probe(SnapshotProbe probe) {
+  int hooked = 0;
+  for (auto& s : servers_) {
+    auto* ls = dynamic_cast<LogServer*>(s.get());
+    if (ls == nullptr) continue;
+    ls->set_snapshot_probe(probe);  // LogServer passes its own id as arg 0
     ++hooked;
   }
   return hooked;

@@ -83,6 +83,13 @@ class Cluster {
                          consensus::LogIndex applied)>;
   int install_watermark_probe(WatermarkProbe probe);
 
+  /// Observes every snapshot install across the cluster: (replica, covered
+  /// last index, store fingerprint after the restore). Only LogServer-based
+  /// replicas expose it; returns the number hooked.
+  using SnapshotProbe =
+      std::function<void(NodeId, consensus::LogIndex, uint64_t store_fp)>;
+  int install_snapshot_probe(SnapshotProbe probe);
+
   /// Observes every client-visible (invocation, response) pair: installed on
   /// existing clients and on any client added later.
   void install_reply_probe(ClosedLoopClient::ReplyProbe probe);

@@ -42,6 +42,26 @@ class LogServer : public ReplicaServer {
     node_->set_apply([this](consensus::LogIndex i, const kv::Command& c) {
       on_apply(i, c);
     });
+    // Snapshot plumbing: the adapter owns the state machine, so it supplies
+    // the capture/restore halves of the ported Checkpoint action. Without
+    // these hooks the node can neither compact nor install snapshots.
+    node_->set_state_hooks(
+        [this] { return store_.image(); },
+        [this](const kv::StoreImage& img, consensus::LogIndex last_index) {
+          store_.restore(img);
+          // Replies pending at snapshot-covered indexes can never be served
+          // from an apply anymore; drop them (clients retry end-to-end).
+          for (auto it = pending_.begin(); it != pending_.end();) {
+            if (it->first <= last_index) {
+              it = pending_.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          if (snapshot_probe_) {
+            snapshot_probe_(id(), last_index, store_.fingerprint());
+          }
+        });
   }
 
   void start() override { node_->start(); }
@@ -66,6 +86,15 @@ class LogServer : public ReplicaServer {
   using ApplyProbe =
       std::function<void(NodeId, consensus::LogIndex, const kv::Command&)>;
   void set_apply_probe(ApplyProbe probe) { apply_probe_ = std::move(probe); }
+
+  /// Test probe: observes every snapshot install on this replica — the
+  /// covered last index plus the store fingerprint right after the restore
+  /// (chaos invariants verify it equals replaying the agreed prefix).
+  using SnapshotProbe =
+      std::function<void(NodeId, consensus::LogIndex, uint64_t store_fp)>;
+  void set_snapshot_probe(SnapshotProbe probe) {
+    snapshot_probe_ = std::move(probe);
+  }
 
   void handle(const net::Packet& p) override {
     if (const auto* hm = net::payload_as<Message>(p)) {
@@ -188,6 +217,7 @@ class LogServer : public ReplicaServer {
   ProtocolCost cost_;
   PendingMap pending_;
   ApplyProbe apply_probe_;
+  SnapshotProbe snapshot_probe_;
 };
 
 /// Typed wrapper for adapters (and tests) that need the concrete node type —

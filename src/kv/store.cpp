@@ -1,5 +1,7 @@
 #include "kv/store.h"
 
+#include <algorithm>
+
 namespace praft::kv {
 
 ApplyResult KvStore::apply(const Command& cmd) {
@@ -25,6 +27,29 @@ ApplyResult KvStore::apply(const Command& cmd) {
 uint64_t KvStore::read_local(uint64_t key) const {
   auto it = map_.find(key);
   return it == map_.end() ? 0 : it->second.value;
+}
+
+StoreImage KvStore::image() const {
+  StoreImage img;
+  img.cells.reserve(map_.size());
+  for (const auto& [k, cell] : map_) {
+    img.cells.push_back(StoreImage::Cell{k, cell.value, cell.version});
+  }
+  std::sort(img.cells.begin(), img.cells.end(),
+            [](const StoreImage::Cell& a, const StoreImage::Cell& b) {
+              return a.key < b.key;
+            });
+  img.applied_count = applied_;
+  return img;
+}
+
+void KvStore::restore(const StoreImage& img) {
+  map_.clear();
+  map_.reserve(img.cells.size());
+  for (const StoreImage::Cell& c : img.cells) {
+    map_[c.key] = Cell{c.value, c.version};
+  }
+  applied_ = img.applied_count;
 }
 
 uint64_t KvStore::fingerprint() const {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "kv/command.h"
 
@@ -11,6 +12,23 @@ namespace praft::kv {
 struct ApplyResult {
   uint64_t value = 0;   // for kGet: current value token (0 if absent)
   uint64_t version = 0; // store version of the key after the operation
+};
+
+/// Serialized state-machine image: the payload of a consensus snapshot
+/// (checkpoint-driven log compaction ships these instead of replaying the
+/// log). Cells are sorted by key so equal states serialize identically.
+struct StoreImage {
+  struct Cell {
+    uint64_t key = 0;
+    uint64_t value = 0;
+    uint64_t version = 0;
+  };
+  std::vector<Cell> cells;
+  uint64_t applied_count = 0;
+
+  /// Modeled wire size for bandwidth accounting (snapshot transfers are the
+  /// big messages compaction trades log replay for).
+  [[nodiscard]] size_t wire_bytes() const { return 16 + cells.size() * 24; }
 };
 
 /// The replicated state machine: a key -> (value token, version) map.
@@ -29,6 +47,14 @@ class KvStore {
 
   /// Order-insensitive fingerprint of the full state; equal states hash equal.
   [[nodiscard]] uint64_t fingerprint() const;
+
+  /// Serializes the full state (sorted by key — deterministic across
+  /// replicas holding equal states).
+  [[nodiscard]] StoreImage image() const;
+
+  /// Replaces the full state with `img` (snapshot install). The previous
+  /// contents are discarded: the image IS the state after the covered prefix.
+  void restore(const StoreImage& img);
 
  private:
   struct Cell {

@@ -3,6 +3,7 @@
 #include <variant>
 #include <vector>
 
+#include "consensus/snapshot.h"
 #include "consensus/types.h"
 #include "kv/command.h"
 
@@ -115,10 +116,20 @@ struct RevAcceptOk {
   std::vector<LogIndex> indexes;
 };
 
+/// Snapshot state transfer: the answer to a LearnReq (or a revocation
+/// prepare) whose range reaches below the sender's retained decision
+/// history. The stalled replica installs the state image and resumes slot
+/// execution above it — the Mencius face of Raft's InstallSnapshot, read
+/// through the refinement mapping like the rest of the port.
+struct SnapshotXfer {
+  NodeId from = kNoNode;
+  consensus::Snapshot snap;
+};
+
 using Message =
     std::variant<AcceptOwn, AcceptOwnOk, AcceptOwnRej, SkipRange, StatusBeat,
                  LearnReq, LearnVals, RevPrepare, RevPrepareOk, RevAccept,
-                 RevAcceptOk>;
+                 RevAcceptOk, SnapshotXfer>;
 
 inline size_t wire_size(const AcceptOwn& m) {
   size_t b = consensus::wire::kMsgHeader;
@@ -153,6 +164,7 @@ inline size_t wire_size(const RevAccept& m) {
 inline size_t wire_size(const RevAcceptOk& m) {
   return consensus::wire::kSmallMsg + 8 * m.indexes.size();
 }
+inline size_t wire_size(const SnapshotXfer& m) { return m.snap.wire_bytes(); }
 inline size_t wire_size(const Message& m) {
   return std::visit([](const auto& x) { return wire_size(x); }, m);
 }

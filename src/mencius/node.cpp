@@ -233,7 +233,89 @@ void MenciusNode::advance_floors_inner() {
   });
   if (afloor() > before) last_progress_ = env_.now();
   if (info_floor_ < afloor()) info_floor_ = afloor();
+  maybe_compact(/*force=*/false);
   try_ack_own();
+}
+
+size_t MenciusNode::history_above_floor() const {
+  const LogIndex floor = snap_.valid() ? snap_.last_index : -1;
+  const auto it = std::lower_bound(
+      decided_history_.begin(), decided_history_.end(), floor + 1,
+      [](const std::pair<LogIndex, kv::Command>& e, LogIndex key) {
+        return e.first < key;
+      });
+  return static_cast<size_t>(decided_history_.end() - it);
+}
+
+void MenciusNode::maybe_compact(bool force) {
+  if (!applier_.can_snapshot()) return;
+  if (!compaction_.due(opt_, history_above_floor(), env_.now(), force)) {
+    return;
+  }
+  // Checkpoint at the applied floor. Unlike the log-structured protocols,
+  // Mencius prunes slots at apply time already; what compaction bounds is
+  // the decided-value history retained for revocation prepares and learn
+  // requests. Keep a warm tail (half the cap) so recent slots are still
+  // answered cheaply; anything older is served as a snapshot.
+  snap_.last_index = applier_.applied();
+  snap_.last_term = 0;
+  snap_.state = applier_.capture_state();
+  // Under an interval-only policy (cap == 0) keep a fixed warm tail:
+  // emptying the history entirely would turn every learn/revocation touch
+  // of a recently executed slot into a full snapshot transfer.
+  constexpr size_t kIntervalWarmTail = 1024;
+  const size_t keep =
+      opt_.compaction_log_cap > 0 ? opt_.compaction_log_cap / 2
+                                  : kIntervalWarmTail;
+  while (decided_history_.size() > keep) decided_history_.pop_front();
+  compaction_.fired(env_.now());
+  PRAFT_LOG(kDebug) << "mencius " << group_.self << " checkpointed @"
+                    << snap_.last_index;
+}
+
+void MenciusNode::send_snapshot(NodeId to) {
+  if (!snap_.valid()) return;
+  SnapshotXfer sx{group_.self, snap_};
+  env_.send(to, Message{sx}, wire_size(sx));
+}
+
+bool MenciusNode::revocation_done() const {
+  const int orank = group_.rank_of(rev_.owner);
+  LogIndex i = rev_.lo + (((orank - rev_.lo) % n_) + n_) % n_;
+  for (; i < rev_.hi; i += n_) {
+    if (i < afloor()) continue;
+    const Slot* s = slot_if(i);
+    if (s == nullptr || s->st != St::kDecided) return false;
+  }
+  return true;
+}
+
+void MenciusNode::on_snapshot_xfer(const SnapshotXfer& m) {
+  last_heard_[m.from] = env_.now();
+  if (!applier_.install_snapshot(m.snap)) return;
+  ++snapshots_installed_;
+  if (m.snap.last_index > snap_.last_index) snap_ = m.snap;
+  // Our own slots below the jump may have been revoked while we were away;
+  // publishing the conservative rev floor keeps peers from auto-deciding a
+  // stale ballot-0 value of ours in that zone (explicit learns only).
+  own_rev_floor_ = std::max(own_rev_floor_, m.snap.last_index);
+  // Prune every covered slot, releasing commutativity counters and dropping
+  // un-acked own proposals (their slots were decided without us; the client
+  // retries through the server adapter).
+  slots_.set_floor(m.snap.last_index, [this](LogIndex, const Slot& s) {
+    if (s.st != St::kEmpty && !s.cmd.is_noop()) {
+      --unapplied_ops_[s.cmd.key];
+      if (s.cmd.is_write()) --unapplied_writes_[s.cmd.key];
+    }
+  });
+  max_seen_ = std::max(max_seen_, m.snap.last_index);
+  while (next_own_ < afloor()) next_own_ += n_;
+  if (info_floor_ < afloor()) info_floor_ = afloor();
+  last_progress_ = env_.now();
+  if (rev_.active && revocation_done()) rev_.active = false;
+  PRAFT_LOG(kInfo) << "mencius " << group_.self << " installed snapshot @"
+                   << m.snap.last_index;
+  advance_floors();
 }
 
 void MenciusNode::on_slot_applied(LogIndex i, const kv::Command& cmd) {
@@ -456,10 +538,14 @@ void MenciusNode::on_learn_req(const LearnReq& m) {
   // the no-op decisions from non-owners — the revoker may be down.)
   LearnVals lv;
   lv.from = group_.self;
+  bool aged_out = false;
   for (LogIndex i = m.lo; i < m.hi; ++i) {
     if (i < afloor()) {
       if (const kv::Command* cmd = decided_at(i)) {
         lv.slots.push_back(SlotInfo{i, cmd->is_noop(), *cmd});
+      } else if (i <= snap_.last_index) {
+        // Executed but aged out of the history: the checkpoint covers it.
+        aged_out = true;
       }
       continue;
     }
@@ -468,6 +554,7 @@ void MenciusNode::on_learn_req(const LearnReq& m) {
       lv.slots.push_back(SlotInfo{i, s->cmd.is_noop(), s->cmd});
     }
   }
+  if (aged_out) send_snapshot(m.from);
   if (!lv.slots.empty()) env_.send(m.from, Message{lv}, wire_size(lv));
 }
 
@@ -517,10 +604,17 @@ void MenciusNode::on_rev_prepare(const RevPrepare& m) {
   for (; i < m.hi; i += n_) {
     if (i < afloor()) {
       // Already executed: report the decided value at the top ballot so the
-      // revoker cannot choose anything else.
+      // revoker cannot choose anything else. If the decision aged out of
+      // the retained history we must NOT promise at all — an ok that omits
+      // an executed slot's value would let the revoker choose a no-op over
+      // it (P2c violation). Teach the revoker with the checkpoint instead;
+      // it is stalled far behind and installs its way past this range.
       if (const kv::Command* cmd = decided_at(i)) {
         ok.accepted.push_back(RevAccepted{i, Ballot{kDecidedBal, kNoNode},
                                           true, cmd->is_noop(), *cmd});
+      } else if (i <= snap_.last_index) {
+        send_snapshot(m.from);
+        return;
       }
       continue;
     }
@@ -591,9 +685,19 @@ void MenciusNode::on_rev_accept(const RevAccept& m) {
   RevAcceptOk ok;
   ok.from = group_.self;
   ok.bal = m.bal;
+  bool aged_out = false;
   for (const OwnItem& item : m.items) {
     if (item.index < afloor()) {
-      ok.indexes.push_back(item.index);
+      // Executed here. Ack only when the revoker's value IS the decided one
+      // (same rule as on_accept_own's re-ack path): acking an unverifiable
+      // value could hand a majority to a proposal that contradicts an
+      // applied decision. An aged-out slot gets the checkpoint instead.
+      const kv::Command* decided = decided_at(item.index);
+      if (decided != nullptr && *decided == item.cmd) {
+        ok.indexes.push_back(item.index);
+      } else if (decided == nullptr && item.index <= snap_.last_index) {
+        aged_out = true;
+      }
       continue;
     }
     Slot& s = slot(item.index);
@@ -632,6 +736,7 @@ void MenciusNode::on_rev_accept(const RevAccept& m) {
     ok.indexes.push_back(item.index);
     max_seen_ = std::max(max_seen_, item.index);
   }
+  if (aged_out) send_snapshot(m.from);
   if (!ok.indexes.empty()) env_.send(m.from, Message{ok}, wire_size(ok));
   advance_floors();
 }
@@ -659,18 +764,7 @@ void MenciusNode::on_rev_accept_ok(const RevAcceptOk& m) {
   }
   if (!lv.slots.empty()) broadcast(Message{lv});  // decide notice
   // Finished when every slot in range is decided locally.
-  bool done = true;
-  const int orank = group_.rank_of(rev_.owner);
-  LogIndex i = rev_.lo + (((orank - rev_.lo) % n_) + n_) % n_;
-  for (; i < rev_.hi; i += n_) {
-    if (i < afloor()) continue;
-    const Slot* s = slot_if(i);
-    if (s == nullptr || s->st != St::kDecided) {
-      done = false;
-      break;
-    }
-  }
-  if (done) rev_.active = false;
+  if (revocation_done()) rev_.active = false;
   advance_floors();
 }
 
@@ -755,8 +849,10 @@ void MenciusNode::on_packet(const net::Packet& p) {
           on_rev_prepare_ok(m);
         } else if constexpr (std::is_same_v<M, RevAccept>) {
           on_rev_accept(m);
-        } else {
+        } else if constexpr (std::is_same_v<M, RevAcceptOk>) {
           on_rev_accept_ok(m);
+        } else {
+          on_snapshot_xfer(m);
         }
       },
       *msg);

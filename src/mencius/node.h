@@ -78,6 +78,30 @@ class MenciusNode : public consensus::NodeIface {
     applier_.set_probe(std::move(probe));
   }
 
+  void set_state_hooks(consensus::StateCapture capture,
+                       consensus::StateRestore restore) override {
+    applier_.set_state_hooks(std::move(capture), std::move(restore));
+  }
+
+  /// Forces a checkpoint now (Mencius prunes slots at apply time; compaction
+  /// here checkpoints the store and trims the retained decision history).
+  void compact() override { maybe_compact(/*force=*/true); }
+  [[nodiscard]] LogIndex compaction_floor() const override {
+    return snap_.valid() ? snap_.last_index : -1;
+  }
+  [[nodiscard]] size_t compactable_entries() const override {
+    return history_above_floor();
+  }
+  [[nodiscard]] size_t resident_log_entries() const override {
+    return slots_.size() + decided_history_.size();
+  }
+  [[nodiscard]] int64_t snapshots_installed() const override {
+    return snapshots_installed_;
+  }
+  [[nodiscard]] LogIndex applied_index() const override {
+    return applier_.applied();
+  }
+
   /// Proposes a command on this node's next own slot. Always succeeds
   /// (every replica is a leader for its residue class). Returns the slot.
   LogIndex submit(const kv::Command& cmd) override;
@@ -129,6 +153,16 @@ class MenciusNode : public consensus::NodeIface {
   void on_rev_prepare_ok(const RevPrepareOk& m);
   void on_rev_accept(const RevAccept& m);
   void on_rev_accept_ok(const RevAcceptOk& m);
+  void on_snapshot_xfer(const SnapshotXfer& m);
+
+  void maybe_compact(bool force);
+  /// Decision-history entries above the checkpoint floor — what the next
+  /// checkpoint would absorb (the bounded-memory invariant caps this).
+  [[nodiscard]] size_t history_above_floor() const;
+  /// Ships our checkpoint to `to` (stalled learner / stale revoker).
+  void send_snapshot(NodeId to);
+  /// True when every slot of the active revocation is settled locally.
+  [[nodiscard]] bool revocation_done() const;
 
   void flush();
   void broadcast(Message m);
@@ -189,9 +223,15 @@ class MenciusNode : public consensus::NodeIface {
   std::vector<LogIndex> own_unacked_;
 
   // Decided values retained after execution so revocation prepares can still
-  // report them (bounded ring; see on_rev_prepare).
+  // report them (bounded ring; see on_rev_prepare). Compaction trims it
+  // against the checkpoint: aged-out ranges are served as snapshots.
   static constexpr size_t kHistoryCap = 65536;
   std::deque<std::pair<LogIndex, kv::Command>> decided_history_;
+
+  // Latest checkpoint (covers all slots <= snap_.last_index).
+  consensus::Snapshot snap_;
+  consensus::CompactionTrigger compaction_;
+  int64_t snapshots_installed_ = 0;
 
   // Active revocation this node is running (one at a time).
   struct Revocation {

@@ -3,6 +3,7 @@
 #include <variant>
 #include <vector>
 
+#include "consensus/snapshot.h"
 #include "consensus/types.h"
 #include "kv/command.h"
 
@@ -30,6 +31,13 @@ struct PrepareOk {
   Ballot bal;
   NodeId sender = kNoNode;
   std::vector<AcceptedVal> accepted;
+  /// Compaction: when the Prepare's from_index reaches below this
+  /// acceptor's checkpoint floor, the pruned instances cannot be reported
+  /// as accepted values — the checkpoint itself is shipped instead, and the
+  /// new leader installs it before re-proposing. Without this the leader
+  /// would fill chosen-and-compacted instances with no-ops.
+  bool has_snap = false;
+  consensus::Snapshot snap;
 };
 
 /// Phase2a, batched: values for consecutive instances [start, start+n).
@@ -77,8 +85,19 @@ struct LearnValues {
   std::vector<kv::Command> cmds;
 };
 
-using Message = std::variant<Prepare, PrepareOk, AcceptBatch, AcceptOkBatch,
-                             Reject, Heartbeat, LearnRequest, LearnValues>;
+/// Commit-floor snapshot learning: the answer to a LearnRequest whose range
+/// reaches below the teacher's checkpoint floor. The learner installs the
+/// state image and resumes instance-by-instance repair above it — the
+/// MultiPaxos face of Raft's InstallSnapshot, read through the paper's
+/// refinement mapping.
+struct SnapshotTransfer {
+  NodeId sender = kNoNode;
+  consensus::Snapshot snap;
+};
+
+using Message =
+    std::variant<Prepare, PrepareOk, AcceptBatch, AcceptOkBatch, Reject,
+                 Heartbeat, LearnRequest, LearnValues, SnapshotTransfer>;
 
 inline size_t wire_size(const Prepare&) { return consensus::wire::kSmallMsg; }
 inline size_t wire_size(const Reject&) { return consensus::wire::kSmallMsg; }
@@ -88,7 +107,11 @@ inline size_t wire_size(const AcceptOkBatch&) { return consensus::wire::kSmallMs
 inline size_t wire_size(const PrepareOk& m) {
   size_t b = consensus::wire::kMsgHeader;
   for (const auto& a : m.accepted) b += consensus::wire::entry_bytes(a.cmd) + 16;
+  if (m.has_snap) b += m.snap.wire_bytes();
   return b;
+}
+inline size_t wire_size(const SnapshotTransfer& m) {
+  return m.snap.wire_bytes();
 }
 inline size_t wire_size(const AcceptBatch& m) {
   size_t b = consensus::wire::kMsgHeader;

@@ -17,6 +17,7 @@ PaxosNode::PaxosNode(consensus::Group group, consensus::Env& env, Options opt)
       prepare_acks_(group_.majority()) {
   group_.validate();
   ballot_ = Ballot{0, kNoNode};
+  instances_.set_floor(0);  // instances are 1-based; nothing pruned yet
   election_.set_gate([this] { return !is_leader(); });
   election_.set_handler([this](bool expired) {
     if (expired) {
@@ -87,6 +88,14 @@ void PaxosNode::on_prepare(const Prepare& m) {
     PrepareOk ok;
     ok.bal = ballot_;
     ok.sender = group_.self;
+    // Compaction: instances at or below our checkpoint floor were chosen
+    // and pruned — they cannot be reported as accepted values, so ship the
+    // checkpoint itself. The candidate installs it before re-proposing,
+    // which keeps it from filling chosen instances with no-ops.
+    if (m.from_index <= instances_.floor() && snap_.valid()) {
+      ok.has_snap = true;
+      ok.snap = snap_;
+    }
     for (LogIndex i = m.from_index; i <= log_tail_; ++i) {
       if (const Instance* in = inst_if(i); in != nullptr && in->has) {
         ok.accepted.push_back(AcceptedVal{i, in->bal, in->cmd});
@@ -102,6 +111,10 @@ void PaxosNode::on_prepare(const Prepare& m) {
 void PaxosNode::on_prepare_ok(const PrepareOk& m) {
   if (!preparing_ || m.bal != ballot_) return;
   if (!prepare_acks_.add(m.sender)) return;
+  if (m.has_snap && applier_.install_snapshot(m.snap)) {
+    ++snapshots_installed_;
+    adopt_snapshot(m.snap);
+  }
   for (const AcceptedVal& a : m.accepted) {
     auto it = safe_vals_.find(a.index);
     if (it == safe_vals_.end() || a.bal > it->second.bal) {
@@ -139,6 +152,8 @@ void PaxosNode::heartbeat_tick() {
     if (peer == group_.self) continue;
     env_.send(peer, Message{hb}, wire_size(hb));
   }
+  // Interval-leg compaction on an idle leader (apply advances stopped).
+  maybe_compact(/*force=*/false);
 }
 
 void PaxosNode::retransmit_unchosen() {
@@ -233,6 +248,10 @@ void PaxosNode::on_accept(const AcceptBatch& m) {
   election_.touch();
   for (size_t k = 0; k < m.cmds.size(); ++k) {
     const LogIndex i = m.start + static_cast<LogIndex>(k);
+    // Pruned instances are chosen and inside our checkpoint: never
+    // re-materialize them (acking below is still safe — any correct
+    // higher-ballot proposal carries the chosen value).
+    if (i <= instances_.floor()) continue;
     Instance& in = inst(i);
     if (in.chosen) continue;  // never regress a locally-known chosen value
     in.bal = m.bal;
@@ -252,6 +271,7 @@ void PaxosNode::on_accept_ok(const AcceptOkBatch& m) {
   if (!is_leader() || m.bal != ballot_) return;
   for (LogIndex k = 0; k < m.count; ++k) {
     const LogIndex i = m.start + k;
+    if (i <= instances_.floor()) continue;  // chosen + compacted already
     Instance& in = inst(i);
     if (in.chosen || !in.has || in.bal != m.bal) continue;
     add_ack(in, m.bal, m.sender);
@@ -263,6 +283,7 @@ void PaxosNode::on_accept_ok(const AcceptOkBatch& m) {
 }
 
 void PaxosNode::mark_chosen(LogIndex i) {
+  if (i <= instances_.floor()) return;  // chosen + compacted already
   Instance& in = inst(i);
   if (in.chosen) return;
   PRAFT_CHECK_MSG(in.has, "chosen instance without a value");
@@ -290,6 +311,42 @@ void PaxosNode::commit_to(LogIndex floor) {
     const Instance* in = inst_if(i);
     return (in != nullptr && in->chosen) ? &in->cmd : nullptr;
   });
+  maybe_compact(/*force=*/false);
+}
+
+void PaxosNode::maybe_compact(bool force) {
+  if (!applier_.can_snapshot()) return;
+  const LogIndex target = applier_.applied();
+  const auto compactable = static_cast<size_t>(target - instances_.floor());
+  if (!compaction_.due(opt_, compactable, env_.now(), force)) return;
+  snap_.last_index = target;
+  snap_.last_term = 0;  // ballot-numbered protocol: no prev-term checks
+  snap_.state = applier_.capture_state();
+  instances_.set_floor(target);
+  compaction_.fired(env_.now());
+  PRAFT_LOG(kDebug) << "paxos " << group_.self
+                    << " compacted instances to " << target;
+}
+
+void PaxosNode::adopt_snapshot(const consensus::Snapshot& snap) {
+  // The Applier already restored the store and jumped the watermarks; align
+  // the instance storage: everything the snapshot covers is chosen and
+  // lives in the state image now.
+  if (snap.last_index > snap_.last_index) snap_ = snap;
+  instances_.set_floor(snap.last_index);
+  log_tail_ = std::max(log_tail_, snap.last_index);
+  PRAFT_LOG(kInfo) << "paxos " << group_.self << " installed snapshot @"
+                   << snap.last_index;
+  advance_floor();
+}
+
+void PaxosNode::on_snapshot_transfer(const SnapshotTransfer& m) {
+  if (!applier_.install_snapshot(m.snap)) return;
+  ++snapshots_installed_;
+  adopt_snapshot(m.snap);
+  // Gaps may remain between the snapshot and the cluster's floor; resume
+  // instance-by-instance repair above the jump.
+  request_missing(commit_floor());
 }
 
 void PaxosNode::sync_to_floor(const Ballot& sender_bal, LogIndex floor) {
@@ -349,10 +406,24 @@ void PaxosNode::on_heartbeat(const Heartbeat& m) {
   }
   leader_ = m.sender;
   election_.touch();
-  if (m.commit_floor > commit_floor()) sync_to_floor(m.bal, m.commit_floor);
+  if (m.commit_floor > commit_floor()) {
+    sync_to_floor(m.bal, m.commit_floor);
+  } else {
+    // Already caught up: still give the interval-leg compaction its tick
+    // (an idle follower otherwise never re-evaluates the trigger).
+    maybe_compact(/*force=*/false);
+  }
 }
 
 void PaxosNode::on_learn_request(const LearnRequest& m) {
+  // A learner asking below our checkpoint floor wants instances we pruned:
+  // ship the checkpoint instead of values (commit-floor snapshot learning —
+  // the MultiPaxos face of InstallSnapshot).
+  if (m.from <= instances_.floor() && snap_.valid()) {
+    SnapshotTransfer st{group_.self, snap_};
+    env_.send(m.sender, Message{st}, wire_size(st));
+    return;
+  }
   LearnValues lv;
   lv.sender = group_.self;
   lv.start = m.from;
@@ -370,6 +441,7 @@ void PaxosNode::on_learn_values(const LearnValues& m) {
   for (size_t k = 0; k < m.cmds.size(); ++k) {
     const LogIndex i = m.start + static_cast<LogIndex>(k);
     if (i > commit_floor()) break;
+    if (i <= instances_.floor()) continue;  // already inside our checkpoint
     Instance& in = inst(i);
     if (in.chosen) continue;
     in.cmd = m.cmds[k];
@@ -400,8 +472,10 @@ void PaxosNode::on_packet(const net::Packet& p) {
           on_heartbeat(m);
         } else if constexpr (std::is_same_v<M, LearnRequest>) {
           on_learn_request(m);
-        } else {
+        } else if constexpr (std::is_same_v<M, LearnValues>) {
           on_learn_values(m);
+        } else {
+          on_snapshot_transfer(m);
         }
       },
       *msg);

@@ -52,6 +52,26 @@ class PaxosNode : public consensus::NodeIface {
     applier_.set_probe(std::move(probe));
   }
 
+  void set_state_hooks(consensus::StateCapture capture,
+                       consensus::StateRestore restore) override {
+    applier_.set_state_hooks(std::move(capture), std::move(restore));
+  }
+
+  /// Forces a checkpoint + instance pruning at the applied floor now.
+  void compact() override { maybe_compact(/*force=*/true); }
+  [[nodiscard]] LogIndex compaction_floor() const override {
+    return instances_.floor();
+  }
+  [[nodiscard]] size_t compactable_entries() const override {
+    return static_cast<size_t>(applier_.applied() - instances_.floor());
+  }
+  [[nodiscard]] size_t resident_log_entries() const override {
+    return instances_.size();
+  }
+  [[nodiscard]] int64_t snapshots_installed() const override {
+    return snapshots_installed_;
+  }
+
   [[nodiscard]] bool is_leader() const override {
     return phase1_succeeded_ && ballot_.node == group_.self;
   }
@@ -64,7 +84,9 @@ class PaxosNode : public consensus::NodeIface {
   [[nodiscard]] LogIndex commit_index() const override {
     return commit_floor();
   }
-  [[nodiscard]] LogIndex applied_index() const { return applier_.applied(); }
+  [[nodiscard]] LogIndex applied_index() const override {
+    return applier_.applied();
+  }
   [[nodiscard]] NodeId id() const override { return group_.self; }
   [[nodiscard]] bool chosen_at(LogIndex i) const;
   [[nodiscard]] const kv::Command* value_at(LogIndex i) const;
@@ -90,6 +112,12 @@ class PaxosNode : public consensus::NodeIface {
   void on_heartbeat(const Heartbeat& m);
   void on_learn_request(const LearnRequest& m);
   void on_learn_values(const LearnValues& m);
+  void on_snapshot_transfer(const SnapshotTransfer& m);
+
+  void maybe_compact(bool force);
+  /// Adopts `snap` as local state after an Applier install: prunes covered
+  /// instances, raises the checkpoint floor, and resumes execution above.
+  void adopt_snapshot(const consensus::Snapshot& snap);
 
   void start_prepare();
   void finish_prepare();
@@ -119,6 +147,12 @@ class PaxosNode : public consensus::NodeIface {
   consensus::SparseLog<Instance> instances_;  // sparse: holes are real
   LogIndex next_propose_ = 1;   // leader's next unused instance id
   LogIndex log_tail_ = 0;       // largest instance id with an accepted value
+
+  // Latest checkpoint: covers exactly the pruned instances (snap_.last_index
+  // == instances_.floor() after the first compaction).
+  consensus::Snapshot snap_;
+  consensus::CompactionTrigger compaction_;
+  int64_t snapshots_installed_ = 0;
 
   // Shared runtime machinery.
   consensus::ElectionTimer election_;

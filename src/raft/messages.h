@@ -3,6 +3,7 @@
 #include <variant>
 #include <vector>
 
+#include "consensus/snapshot.h"
 #include "consensus/types.h"
 #include "kv/command.h"
 
@@ -46,11 +47,31 @@ struct AppendReply {
   LogIndex conflict_hint = 0;  // on failure: where the leader should back off
 };
 
-using Message = std::variant<RequestVote, VoteReply, AppendEntries, AppendReply>;
+/// Snapshot state transfer (Raft §7): the leader ships its retained
+/// checkpoint to a follower whose nextIndex fell behind the leader's
+/// compacted log prefix. Replaces replaying the discarded entries.
+struct InstallSnapshot {
+  Term term = 0;
+  NodeId leader = kNoNode;
+  consensus::Snapshot snap;
+};
+
+struct InstallSnapshotReply {
+  Term term = 0;
+  NodeId follower = kNoNode;
+  LogIndex last_index = 0;  // follower's applied watermark after the install
+};
+
+using Message = std::variant<RequestVote, VoteReply, AppendEntries, AppendReply,
+                             InstallSnapshot, InstallSnapshotReply>;
 
 inline size_t wire_size(const RequestVote&) { return consensus::wire::kSmallMsg; }
 inline size_t wire_size(const VoteReply&) { return consensus::wire::kSmallMsg; }
 inline size_t wire_size(const AppendReply&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const InstallSnapshot& m) { return m.snap.wire_bytes(); }
+inline size_t wire_size(const InstallSnapshotReply&) {
+  return consensus::wire::kSmallMsg;
+}
 inline size_t wire_size(const AppendEntries& m) {
   size_t b = consensus::wire::kMsgHeader;
   for (const auto& e : m.entries) b += consensus::wire::entry_bytes(e.cmd);

@@ -24,7 +24,12 @@ RaftNode::RaftNode(consensus::Group group, consensus::Env& env, Options opt)
     if (expired) start_election();
   });
   heartbeat_.set_gate([this] { return role_ == Role::kLeader; });
-  heartbeat_.set_handler([this] { broadcast_append(); });
+  heartbeat_.set_handler([this] {
+    broadcast_append();
+    // Interval-leg compaction must also fire on an idle leader (followers
+    // re-evaluate on the commit_to every heartbeat append triggers).
+    maybe_compact(/*force=*/false);
+  });
 }
 
 void RaftNode::start() { election_.start(); }
@@ -74,8 +79,12 @@ void RaftNode::on_packet(const net::Packet& p) {
           on_vote_reply(m);
         } else if constexpr (std::is_same_v<M, AppendEntries>) {
           on_append_entries(m);
-        } else {
+        } else if constexpr (std::is_same_v<M, AppendReply>) {
           on_append_reply(m);
+        } else if constexpr (std::is_same_v<M, InstallSnapshot>) {
+          on_install_snapshot(m);
+        } else {
+          on_install_reply(m);
         }
       },
       *msg);
@@ -147,6 +156,13 @@ void RaftNode::broadcast_append() {
 void RaftNode::replicate_to(NodeId peer) {
   const LogIndex next = next_index_[peer];
   PRAFT_CHECK(next >= 1);
+  if (next <= log_.base_index()) {
+    // The entries this follower needs were compacted away: catch it up with
+    // the checkpoint instead of log replay (the ported Checkpoint action's
+    // state-transfer half).
+    send_snapshot(peer);
+    return;
+  }
   const LogIndex prev = next - 1;
   AppendEntries ae;
   ae.term = term_;
@@ -177,8 +193,30 @@ void RaftNode::on_append_entries(const AppendEntries& m) {
   leader_ = m.leader;
   election_.touch();
 
-  if (m.prev_index > last_index() ||
-      term_at(m.prev_index) != m.prev_term) {
+  // A prev below our snapshot base points into the compacted prefix. That
+  // prefix is committed and applied here, and the leader's copy is identical
+  // (Leader Completeness), so clamp: skip the covered entries and resume the
+  // append at the base sentinel, whose term check the snapshot already
+  // settled.
+  LogIndex prev = m.prev_index;
+  size_t skip = 0;
+  if (prev < log_.base_index()) {
+    const LogIndex covered = std::min(
+        static_cast<LogIndex>(m.entries.size()), log_.base_index() - prev);
+    skip = static_cast<size_t>(covered);
+    prev += covered;
+    if (prev < log_.base_index()) {
+      // The whole append predates our snapshot: ack it as matched.
+      AppendReply reply{term_, group_.self, true,
+                        m.prev_index + static_cast<LogIndex>(m.entries.size()),
+                        0};
+      env_.send(m.leader, Message{reply}, wire_size(reply));
+      return;
+    }
+  }
+
+  if (skip == 0 &&
+      (m.prev_index > last_index() || term_at(m.prev_index) != m.prev_term)) {
     // Consistency check failed; hint the leader where to back off.
     const LogIndex hint = std::min(last_index() + 1, m.prev_index);
     AppendReply reply{term_, group_.self, false, 0, std::max<LogIndex>(1, hint)};
@@ -188,8 +226,9 @@ void RaftNode::on_append_entries(const AppendEntries& m) {
 
   // Append, erasing any conflicting suffix (the behaviour that prevents a
   // direct refinement mapping to Paxos — see paper §3).
-  LogIndex idx = m.prev_index;
-  for (const Entry& e : m.entries) {
+  LogIndex idx = prev;
+  for (size_t k = skip; k < m.entries.size(); ++k) {
+    const Entry& e = m.entries[k];
     ++idx;
     if (idx <= last_index()) {
       if (log_.at(idx).term != e.term) {
@@ -245,6 +284,71 @@ void RaftNode::advance_commit() {
 void RaftNode::commit_to(LogIndex target) {
   applier_.commit_to(target,
                      [this](LogIndex i) { return &log_.at(i).cmd; });
+  maybe_compact(/*force=*/false);
+}
+
+void RaftNode::maybe_compact(bool force) {
+  if (!applier_.can_snapshot()) return;
+  const LogIndex target = applier_.applied();
+  const auto compactable = static_cast<size_t>(target - log_.base_index());
+  if (!compaction_.due(opt_, compactable, env_.now(), force)) return;
+  snap_.last_index = target;
+  snap_.last_term = term_at(target);
+  snap_.state = applier_.capture_state();
+  log_.compact_to(target);
+  compaction_.fired(env_.now());
+  PRAFT_LOG(kDebug) << "raft " << group_.self << " compacted log to "
+                    << target;
+}
+
+void RaftNode::send_snapshot(NodeId peer) {
+  PRAFT_CHECK_MSG(snap_.valid() && snap_.last_index == log_.base_index(),
+                  "snapshot does not cover the compacted prefix");
+  InstallSnapshot is{term_, group_.self, snap_};
+  env_.send(peer, Message{is}, wire_size(is));
+  // Optimistic pipelining, like replicate_to: resume appends right after
+  // the snapshot; the reply (or a reject) corrects the window.
+  next_index_[peer] = snap_.last_index + 1;
+}
+
+void RaftNode::on_install_snapshot(const InstallSnapshot& m) {
+  if (m.term >= term_) {
+    step_down(m.term);
+    leader_ = m.leader;
+    election_.touch();
+    if (applier_.install_snapshot(m.snap)) {
+      ++snapshots_installed_;
+      if (m.snap.last_index <= last_index() &&
+          m.snap.last_index > log_.base_index() &&
+          term_at(m.snap.last_index) == m.snap.last_term) {
+        // Our log already holds the matching entry: keep the suffix and
+        // just move the base (Raft §7's retain-following-entries case).
+        log_.compact_to(m.snap.last_index);
+      } else {
+        // Short or conflicting log: anything we held beyond the snapshot
+        // conflicts with the committed prefix and is uncommitted — drop it.
+        log_.reset_to(m.snap.last_index, Entry{m.snap.last_term, {}});
+      }
+      snap_ = m.snap;
+      PRAFT_LOG(kInfo) << "raft " << group_.self << " installed snapshot @"
+                       << m.snap.last_index;
+    }
+  }
+  InstallSnapshotReply reply{term_, group_.self, applier_.applied()};
+  env_.send(m.leader, Message{reply}, wire_size(reply));
+}
+
+void RaftNode::on_install_reply(const InstallSnapshotReply& m) {
+  if (m.term > term_) {
+    step_down(m.term);
+    return;
+  }
+  if (role_ != Role::kLeader || m.term != term_) return;
+  match_index_[m.follower] = std::max(match_index_[m.follower], m.last_index);
+  next_index_[m.follower] =
+      std::max(next_index_[m.follower], m.last_index + 1);
+  advance_commit();
+  if (next_index_[m.follower] <= last_index()) replicate_to(m.follower);
 }
 
 }  // namespace praft::raft

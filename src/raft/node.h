@@ -54,6 +54,29 @@ class RaftNode : public consensus::NodeIface {
     applier_.set_probe(std::move(probe));
   }
 
+  void set_state_hooks(consensus::StateCapture capture,
+                       consensus::StateRestore restore) override {
+    applier_.set_state_hooks(std::move(capture), std::move(restore));
+  }
+
+  /// Forces a checkpoint + log compaction at the applied watermark now.
+  void compact() override { maybe_compact(/*force=*/true); }
+  [[nodiscard]] LogIndex compaction_floor() const override {
+    return log_.base_index();
+  }
+  [[nodiscard]] size_t compactable_entries() const override {
+    return static_cast<size_t>(applier_.applied() - log_.base_index());
+  }
+  [[nodiscard]] size_t resident_log_entries() const override {
+    return log_.resident_entries();
+  }
+  [[nodiscard]] int64_t snapshots_installed() const override {
+    return snapshots_installed_;
+  }
+  [[nodiscard]] LogIndex applied_index() const override {
+    return applier_.applied();
+  }
+
   [[nodiscard]] Role role() const { return role_; }
   [[nodiscard]] bool is_leader() const override {
     return role_ == Role::kLeader;
@@ -76,14 +99,18 @@ class RaftNode : public consensus::NodeIface {
   void on_vote_reply(const VoteReply& m);
   void on_append_entries(const AppendEntries& m);
   void on_append_reply(const AppendReply& m);
+  void on_install_snapshot(const InstallSnapshot& m);
+  void on_install_reply(const InstallSnapshotReply& m);
 
   void start_election();
   void become_leader();
   void step_down(Term t);
   void replicate_to(NodeId peer);
+  void send_snapshot(NodeId peer);
   void broadcast_append();
   void advance_commit();
   void commit_to(LogIndex target);
+  void maybe_compact(bool force);
   [[nodiscard]] Term term_at(LogIndex i) const;
 
   consensus::Group group_;
@@ -94,6 +121,13 @@ class RaftNode : public consensus::NodeIface {
   Term term_ = 0;
   NodeId voted_for_ = kNoNode;
   consensus::ContiguousLog<Entry> log_;
+
+  // Latest checkpoint: always covers exactly the log's compacted prefix
+  // (snap_.last_index == log_.base_index() after the first compaction), so
+  // any follower behind the base can be served a snapshot.
+  consensus::Snapshot snap_;
+  consensus::CompactionTrigger compaction_;
+  int64_t snapshots_installed_ = 0;
 
   // Volatile state.
   Role role_ = Role::kFollower;

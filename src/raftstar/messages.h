@@ -3,6 +3,7 @@
 #include <variant>
 #include <vector>
 
+#include "consensus/snapshot.h"
 #include "consensus/types.h"
 #include "kv/command.h"
 
@@ -38,6 +39,13 @@ struct VoteReply {
   Term log_bal = -1;
   LogIndex extra_from = 0;     // first index in `extras`
   std::vector<Entry> extras;   // voter's entries after candidate.last_index
+  /// Compaction: when the candidate's log ends below the voter's snapshot
+  /// base, the voter cannot ship those entries — it ships its checkpoint
+  /// instead (extras then start at the voter's base + 1). Without this a
+  /// winning candidate would fill committed, compacted-away indexes with
+  /// no-ops in BecomeLeader's safe-value selection.
+  bool has_snap = false;
+  consensus::Snapshot snap;
 };
 
 struct AppendEntries {
@@ -61,14 +69,34 @@ struct AppendReply {
   std::vector<NodeId> piggyback_ids;
 };
 
-using Message = std::variant<RequestVote, VoteReply, AppendEntries, AppendReply>;
+/// Snapshot state transfer: identical in shape to Raft's (the protocols are
+/// structurally parallel down to their catch-up path).
+struct InstallSnapshot {
+  Term term = 0;
+  NodeId leader = kNoNode;
+  consensus::Snapshot snap;
+};
+
+struct InstallSnapshotReply {
+  Term term = 0;
+  NodeId follower = kNoNode;
+  LogIndex last_index = 0;  // follower's applied watermark after the install
+};
+
+using Message = std::variant<RequestVote, VoteReply, AppendEntries, AppendReply,
+                             InstallSnapshot, InstallSnapshotReply>;
 
 inline size_t wire_size(const RequestVote&) { return consensus::wire::kSmallMsg; }
 inline size_t wire_size(const AppendReply&) { return consensus::wire::kSmallMsg; }
 inline size_t wire_size(const VoteReply& m) {
   size_t b = consensus::wire::kSmallMsg;
   for (const auto& e : m.extras) b += consensus::wire::entry_bytes(e.cmd);
+  if (m.has_snap) b += m.snap.wire_bytes();
   return b;
+}
+inline size_t wire_size(const InstallSnapshot& m) { return m.snap.wire_bytes(); }
+inline size_t wire_size(const InstallSnapshotReply&) {
+  return consensus::wire::kSmallMsg;
 }
 inline size_t wire_size(const AppendEntries& m) {
   size_t b = consensus::wire::kMsgHeader;

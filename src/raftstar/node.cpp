@@ -25,7 +25,12 @@ RaftStarNode::RaftStarNode(consensus::Group group, consensus::Env& env,
     if (expired) start_election();
   });
   heartbeat_.set_gate([this] { return role_ == Role::kLeader; });
-  heartbeat_.set_handler([this] { broadcast_append(); });
+  heartbeat_.set_handler([this] {
+    broadcast_append();
+    // Interval-leg compaction must also fire on an idle leader (followers
+    // re-evaluate on the commit_to every heartbeat append triggers).
+    maybe_compact(/*force=*/false);
+  });
 }
 
 void RaftStarNode::start() { election_.start(); }
@@ -45,6 +50,8 @@ void RaftStarNode::start_election() {
   votes_ = consensus::QuorumTracker(group_.majority());
   votes_.add(group_.self);
   extras_.clear();
+  election_snap_ = consensus::Snapshot{};  // a failed election's snapshot is
+                                           // no voter's word in this one
   election_last_index_ = last_index();
   election_.touch();
   PRAFT_LOG(kDebug) << "raft* " << group_.self << " starts election term "
@@ -82,8 +89,12 @@ void RaftStarNode::on_packet(const net::Packet& p) {
           on_vote_reply(m);
         } else if constexpr (std::is_same_v<M, AppendEntries>) {
           on_append_entries(m);
-        } else {
+        } else if constexpr (std::is_same_v<M, AppendReply>) {
           on_append_reply(m);
+        } else if constexpr (std::is_same_v<M, InstallSnapshot>) {
+          on_install_snapshot(m);
+        } else {
+          on_install_reply(m);
         }
       },
       *msg);
@@ -108,8 +119,16 @@ void RaftStarNode::on_request_vote(const RequestVote& m) {
       voted_for_ = m.candidate;
       election_.touch();
       reply.log_bal = log_bal_;
-      reply.extra_from = m.last_index + 1;
-      for (LogIndex i = m.last_index + 1; i <= last_index(); ++i) {
+      // A candidate whose log ends below our snapshot base cannot receive
+      // those entries as extras (they were compacted away): ship the
+      // checkpoint, and extras resume above it.
+      if (m.last_index < log_.base_index() && snap_.valid()) {
+        reply.has_snap = true;
+        reply.snap = snap_;
+      }
+      const LogIndex from = std::max(m.last_index, log_.base_index()) + 1;
+      reply.extra_from = from;
+      for (LogIndex i = from; i <= last_index(); ++i) {
         reply.extras.push_back(log_.at(i));
       }
     }
@@ -123,22 +142,54 @@ void RaftStarNode::on_vote_reply(const VoteReply& m) {
     return;
   }
   if (role_ != Role::kCandidate || m.term != term_ || !m.granted) return;
-  if (votes_.add(m.voter) && !m.extras.empty()) {
-    extras_.push_back(ExtraLog{m.log_bal, m.extra_from, m.extras});
+  if (votes_.add(m.voter)) {
+    if (!m.extras.empty()) {
+      extras_.push_back(ExtraLog{m.log_bal, m.extra_from, m.extras});
+    }
+    if (m.has_snap && m.snap.last_index > election_snap_.last_index) {
+      election_snap_ = m.snap;
+    }
   }
   if (votes_.reached()) become_leader();
 }
 
 void RaftStarNode::become_leader() {
+  // Compaction: a voter whose snapshot base is above our log shipped its
+  // checkpoint instead of the compacted entries. Install the newest one
+  // BEFORE safe-value selection, so the committed prefix it covers is never
+  // refilled with no-ops.
+  if (election_snap_.valid() && applier_.install_snapshot(election_snap_)) {
+    ++snapshots_installed_;
+    if (election_snap_.last_index <= last_index() &&
+        election_snap_.last_index > log_.base_index()) {
+      // Keep our accepted suffix (Raft* never erases accepted entries); the
+      // values it holds at committed indexes match the chosen ones by the
+      // ballot discipline (log_bal >= the choosing ballot).
+      log_.compact_to(election_snap_.last_index);
+    } else if (election_snap_.last_index > last_index()) {
+      // Everything we held is inside the committed checkpoint: superseded.
+      log_.reset_to(election_snap_.last_index,
+                    Entry{election_snap_.last_term, {}});
+    }
+    snap_ = election_snap_;
+    PRAFT_LOG(kInfo) << "raft* " << group_.self
+                     << " installed election snapshot @"
+                     << election_snap_.last_index;
+  }
+  election_snap_ = consensus::Snapshot{};
+
   // BecomeLeader (Fig. 2a lines 18-29): extend our log with the safe value
   // for every index past our last_index — the value from the reply with the
-  // highest log ballot — re-stamped at the current term.
-  LogIndex max_extra = election_last_index_;
+  // highest log ballot — re-stamped at the current term. Indexes at or
+  // below the (possibly just-installed) snapshot base are settled.
+  const LogIndex adopt_from =
+      std::max(election_last_index_, log_.base_index());
+  LogIndex max_extra = adopt_from;
   for (const auto& ex : extras_) {
     max_extra = std::max(
         max_extra, ex.from + static_cast<LogIndex>(ex.entries.size()) - 1);
   }
-  for (LogIndex i = election_last_index_ + 1; i <= max_extra; ++i) {
+  for (LogIndex i = adopt_from + 1; i <= max_extra; ++i) {
     Term best_bal = -1;
     const Entry* best = nullptr;
     for (const auto& ex : extras_) {
@@ -164,7 +215,10 @@ void RaftStarNode::become_leader() {
   match_index_.clear();
   for (NodeId peer : group_.members) {
     if (peer == group_.self) continue;
-    next_index_[peer] = 1;  // full-suffix replacement semantics: start from 1
+    // Full-suffix replacement semantics: start from the first retained
+    // entry (index 1 until the first compaction). Peers behind the base
+    // get a snapshot from replicate_to.
+    next_index_[peer] = log_.base_index() + 1;
     match_index_[peer] = 0;
   }
   PRAFT_LOG(kInfo) << "raft* " << group_.self << " leader at term " << term_;
@@ -192,6 +246,12 @@ void RaftStarNode::broadcast_append() {
 void RaftStarNode::replicate_to(NodeId peer, bool uncapped) {
   const LogIndex next = next_index_[peer];
   PRAFT_CHECK(next >= 1);
+  if (next <= log_.base_index()) {
+    // The follower is behind our compacted prefix: state transfer instead
+    // of log replay (same catch-up shape as Raft — see RaftNode).
+    send_snapshot(peer);
+    return;
+  }
   const LogIndex prev = next - 1;
   AppendEntries ae;
   ae.term = term_;
@@ -224,8 +284,34 @@ void RaftStarNode::on_append_entries(const AppendEntries& m) {
 
   const LogIndex coverage =
       m.prev_index + static_cast<LogIndex>(m.entries.size());
+
+  // Compaction clamp (see RaftNode::on_append_entries): entries at or below
+  // our snapshot base are committed and applied here; skip them and resume
+  // the suffix replacement at the base sentinel.
+  LogIndex prev = m.prev_index;
+  size_t skip = 0;
+  if (prev < log_.base_index()) {
+    const LogIndex covered = std::min(
+        static_cast<LogIndex>(m.entries.size()), log_.base_index() - prev);
+    skip = static_cast<size_t>(covered);
+    prev += covered;
+    if (prev < log_.base_index()) {
+      // The whole append predates our snapshot: ack it as matched.
+      AppendReply reply;
+      reply.term = term_;
+      reply.follower = group_.self;
+      reply.ok = true;
+      reply.match_index = coverage;
+      reply.follower_last = last_index();
+      if (reply_decorator_) reply.piggyback_ids = reply_decorator_();
+      env_.send(m.leader, Message{reply}, wire_size(reply));
+      return;
+    }
+  }
+
   const bool prev_ok =
-      m.prev_index <= last_index() && term_at(m.prev_index) == m.prev_term;
+      skip > 0 ||
+      (m.prev_index <= last_index() && term_at(m.prev_index) == m.prev_term);
   // Raft* difference #2: reject appends whose coverage is shorter than our
   // log instead of erasing our suffix (Appendix B.2 AcceptEntries requires
   // lIndex >= lastIndex).
@@ -247,8 +333,8 @@ void RaftStarNode::on_append_entries(const AppendEntries& m) {
 
   // Replace the whole suffix after prev with the leader's entries, and stamp
   // the covered log at the append's ballot (difference #3).
-  log_.truncate_after(m.prev_index);
-  for (const Entry& e : m.entries) store_entry(e);
+  log_.truncate_after(prev);
+  for (size_t k = skip; k < m.entries.size(); ++k) store_entry(m.entries[k]);
   log_bal_ = m.term;
 
   commit_to(std::min(m.commit, last_index()));
@@ -288,9 +374,9 @@ void RaftStarNode::on_append_reply(const AppendReply& m) {
       }
     }
     if (m.conflict_hint == 0) {
-      // Coverage was too short; resend the whole suffix (full-replacement
-      // semantics make prev=0 always valid).
-      next_index_[m.follower] = 1;
+      // Coverage was too short; resend the whole retained suffix
+      // (full-replacement semantics make prev = base always valid).
+      next_index_[m.follower] = log_.base_index() + 1;
     } else {
       next_index_[m.follower] = std::max<LogIndex>(
           1, std::min(next_index_[m.follower] - 1, m.conflict_hint));
@@ -325,6 +411,65 @@ void RaftStarNode::advance_commit() {
 void RaftStarNode::commit_to(LogIndex target) {
   applier_.commit_to(target,
                      [this](LogIndex i) { return &log_.at(i).cmd; });
+  maybe_compact(/*force=*/false);
+}
+
+void RaftStarNode::maybe_compact(bool force) {
+  if (!applier_.can_snapshot()) return;
+  const LogIndex target = applier_.applied();
+  const auto compactable = static_cast<size_t>(target - log_.base_index());
+  if (!compaction_.due(opt_, compactable, env_.now(), force)) return;
+  snap_.last_index = target;
+  snap_.last_term = term_at(target);
+  snap_.state = applier_.capture_state();
+  log_.compact_to(target);
+  compaction_.fired(env_.now());
+  PRAFT_LOG(kDebug) << "raft* " << group_.self << " compacted log to "
+                    << target;
+}
+
+void RaftStarNode::send_snapshot(NodeId peer) {
+  PRAFT_CHECK_MSG(snap_.valid() && snap_.last_index == log_.base_index(),
+                  "snapshot does not cover the compacted prefix");
+  InstallSnapshot is{term_, group_.self, snap_};
+  env_.send(peer, Message{is}, wire_size(is));
+  next_index_[peer] = snap_.last_index + 1;  // optimistic (see RaftNode)
+}
+
+void RaftStarNode::on_install_snapshot(const InstallSnapshot& m) {
+  if (m.term >= term_) {
+    step_down(m.term);
+    leader_ = m.leader;
+    election_.touch();
+    if (applier_.install_snapshot(m.snap)) {
+      ++snapshots_installed_;
+      if (m.snap.last_index <= last_index() &&
+          m.snap.last_index > log_.base_index() &&
+          term_at(m.snap.last_index) == m.snap.last_term) {
+        log_.compact_to(m.snap.last_index);  // retain the matching suffix
+      } else {
+        log_.reset_to(m.snap.last_index, Entry{m.snap.last_term, {}});
+      }
+      snap_ = m.snap;
+      PRAFT_LOG(kInfo) << "raft* " << group_.self << " installed snapshot @"
+                       << m.snap.last_index;
+    }
+  }
+  InstallSnapshotReply reply{term_, group_.self, applier_.applied()};
+  env_.send(m.leader, Message{reply}, wire_size(reply));
+}
+
+void RaftStarNode::on_install_reply(const InstallSnapshotReply& m) {
+  if (m.term > term_) {
+    step_down(m.term);
+    return;
+  }
+  if (role_ != Role::kLeader || m.term != term_) return;
+  match_index_[m.follower] = std::max(match_index_[m.follower], m.last_index);
+  next_index_[m.follower] =
+      std::max(next_index_[m.follower], m.last_index + 1);
+  advance_commit();
+  if (next_index_[m.follower] <= last_index()) replicate_to(m.follower);
 }
 
 }  // namespace praft::raftstar

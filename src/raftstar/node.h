@@ -54,6 +54,29 @@ class RaftStarNode : public consensus::NodeIface {
     applier_.set_probe(std::move(probe));
   }
 
+  void set_state_hooks(consensus::StateCapture capture,
+                       consensus::StateRestore restore) override {
+    applier_.set_state_hooks(std::move(capture), std::move(restore));
+  }
+
+  /// Forces a checkpoint + log compaction at the applied watermark now.
+  void compact() override { maybe_compact(/*force=*/true); }
+  [[nodiscard]] LogIndex compaction_floor() const override {
+    return log_.base_index();
+  }
+  [[nodiscard]] size_t compactable_entries() const override {
+    return static_cast<size_t>(applier_.applied() - log_.base_index());
+  }
+  [[nodiscard]] size_t resident_log_entries() const override {
+    return log_.resident_entries();
+  }
+  [[nodiscard]] int64_t snapshots_installed() const override {
+    return snapshots_installed_;
+  }
+  [[nodiscard]] LogIndex applied_index() const override {
+    return applier_.applied();
+  }
+
   /// Hook invoked when the leader learns a new commit index (used by the
   /// ported optimizations: Raft*-PQL gates commit on lease holders here).
   using CommitGate = std::function<bool(LogIndex)>;
@@ -114,14 +137,18 @@ class RaftStarNode : public consensus::NodeIface {
   void on_vote_reply(const VoteReply& m);
   void on_append_entries(const AppendEntries& m);
   void on_append_reply(const AppendReply& m);
+  void on_install_snapshot(const InstallSnapshot& m);
+  void on_install_reply(const InstallSnapshotReply& m);
 
   void start_election();
   void become_leader();
   void step_down(Term t);
   void replicate_to(NodeId peer, bool uncapped = false);
+  void send_snapshot(NodeId peer);
   void broadcast_append();
   void advance_commit();
   void commit_to(LogIndex target);
+  void maybe_compact(bool force);
   [[nodiscard]] Term term_at(LogIndex i) const;
 
   consensus::Group group_;
@@ -132,6 +159,11 @@ class RaftStarNode : public consensus::NodeIface {
   NodeId voted_for_ = kNoNode;
   consensus::ContiguousLog<Entry> log_;
   Term log_bal_ = 0;  // uniform per-entry ballot (see Entry doc)
+
+  // Latest checkpoint (covers exactly the compacted prefix; see RaftNode).
+  consensus::Snapshot snap_;
+  consensus::CompactionTrigger compaction_;
+  int64_t snapshots_installed_ = 0;
 
   Role role_ = Role::kFollower;
   NodeId leader_ = kNoNode;
@@ -151,6 +183,9 @@ class RaftStarNode : public consensus::NodeIface {
   };
   std::vector<ExtraLog> extras_;
   LogIndex election_last_index_ = 0;  // our last_index when we solicited votes
+  // Newest checkpoint shipped by a voter (see VoteReply::has_snap):
+  // installed in BecomeLeader before safe-value selection.
+  consensus::Snapshot election_snap_;
 
   std::unordered_map<NodeId, LogIndex> next_index_;
   std::unordered_map<NodeId, LogIndex> match_index_;

@@ -3,14 +3,28 @@
 //   chaos_runner --protocol=raft --seed=42          # replay one run
 //   chaos_runner --protocol=all --seeds=200         # fuzz the 4x matrix
 //   chaos_runner --protocol=raft --seeds=50 --inject-quorum-bug
+//   chaos_runner --protocol=all --seeds=50 --compaction-cap=64
+//   chaos_runner --seed-file=chaos_failures.txt     # replay saved seeds
 //
 // Each failure prints the seed, the generated schedule, the violated
 // invariants, the recent event trace, and the exact repro command. Exit
 // status is the number of failing (protocol, seed) runs, capped at 99.
+//
+// --seed-file replays an explicit list instead of a contiguous range: one
+// run per line, either "<seed>" (run under --protocol) or
+// "<protocol> <seed>", optionally followed by per-run flags
+// (--compaction-cap=N, --inject-quorum-bug) so a failure replays under the
+// exact configuration it was found with — --failures-out writes lines in
+// this format; '#' starts a comment. This is the stepping stone for
+// corpus-driven fuzzing — a future coverage-guided mutator only has to
+// persist interesting seeds in this format.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -27,9 +41,22 @@ struct CliOptions {
   int seeds = 1;
   int replicas = 5;
   bool inject_quorum_bug = false;
+  size_t compaction_cap = 0;
   bool verbose = false;
   bool stop_on_failure = false;
   std::string failures_out;
+  std::string seed_file;
+};
+
+/// One (protocol, seed) run resolved from the CLI flags or a seed file.
+/// Seed-file lines may carry per-run flag overrides (--compaction-cap=N,
+/// --inject-quorum-bug) so a saved failure replays under the exact
+/// configuration it was found with.
+struct PlannedRun {
+  std::string protocol;
+  uint64_t seed = 0;
+  size_t compaction_cap = 0;
+  bool inject_quorum_bug = false;
 };
 
 bool parse_flag(const char* arg, const char* name, const char** value) {
@@ -50,8 +77,8 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--protocol=NAME|all] [--seed=N] [--seeds=K] [--replicas=N]\n"
-      "          [--inject-quorum-bug] [--verbose] [--stop-on-failure]\n"
-      "          [--failures-out=PATH]\n"
+      "          [--inject-quorum-bug] [--compaction-cap=N] [--verbose]\n"
+      "          [--stop-on-failure] [--failures-out=PATH] [--seed-file=PATH]\n"
       "protocols: all",
       argv0);
   for (const auto& name : consensus::protocol_names()) {
@@ -88,6 +115,10 @@ int main(int argc, char** argv) {
       cli.replicas = std::atoi(v);
     } else if (parse_flag(argv[i], "--inject-quorum-bug", &v)) {
       cli.inject_quorum_bug = true;
+    } else if (parse_flag(argv[i], "--compaction-cap", &v) && v != nullptr) {
+      cli.compaction_cap = std::strtoull(v, nullptr, 10);
+    } else if (parse_flag(argv[i], "--seed-file", &v) && v != nullptr) {
+      cli.seed_file = v;
     } else if (parse_flag(argv[i], "--verbose", &v)) {
       cli.verbose = true;
     } else if (parse_flag(argv[i], "--stop-on-failure", &v)) {
@@ -111,6 +142,81 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Resolve the run list: either the contiguous --seed/--seeds range, or an
+  // explicit seed file (e.g. a saved --failures-out corpus).
+  std::vector<PlannedRun> planned;
+  if (!cli.seed_file.empty()) {
+    std::ifstream in(cli.seed_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read seed file %s\n", cli.seed_file.c_str());
+      return 2;
+    }
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (const size_t hash = line.find('#'); hash != std::string::npos) {
+        line.resize(hash);
+      }
+      std::istringstream ls(line);
+      std::string first;
+      if (!(ls >> first)) continue;  // blank / comment-only line
+      std::vector<PlannedRun> line_runs;
+      if (consensus::ProtocolRegistry::instance().contains(first)) {
+        uint64_t seed = 0;
+        if (!(ls >> seed)) {
+          std::fprintf(stderr, "%s:%d: protocol '%s' without a seed\n",
+                       cli.seed_file.c_str(), lineno, first.c_str());
+          return 2;
+        }
+        line_runs.push_back(
+            PlannedRun{first, seed, cli.compaction_cap, cli.inject_quorum_bug});
+      } else {
+        char* end = nullptr;
+        const uint64_t seed = std::strtoull(first.c_str(), &end, 10);
+        if (end == first.c_str() || *end != '\0') {
+          std::fprintf(stderr,
+                       "%s:%d: '%s' is neither a registered protocol nor a "
+                       "seed\n",
+                       cli.seed_file.c_str(), lineno, first.c_str());
+          return 2;
+        }
+        // Bare seed: run it under the --protocol selection.
+        for (const auto& protocol : protocols) {
+          line_runs.push_back(PlannedRun{protocol, seed, cli.compaction_cap,
+                                         cli.inject_quorum_bug});
+        }
+      }
+      // Per-line flag overrides (written by --failures-out): the seed must
+      // replay under the configuration it failed with.
+      std::string flag;
+      while (ls >> flag) {
+        const char* v = nullptr;
+        if (parse_flag(flag.c_str(), "--compaction-cap", &v) && v != nullptr) {
+          for (auto& r : line_runs) {
+            r.compaction_cap = std::strtoull(v, nullptr, 10);
+          }
+        } else if (parse_flag(flag.c_str(), "--inject-quorum-bug", &v)) {
+          for (auto& r : line_runs) r.inject_quorum_bug = true;
+        } else {
+          std::fprintf(stderr, "%s:%d: unknown per-run flag '%s'\n",
+                       cli.seed_file.c_str(), lineno, flag.c_str());
+          return 2;
+        }
+      }
+      planned.insert(planned.end(), line_runs.begin(), line_runs.end());
+    }
+  } else {
+    for (const auto& protocol : protocols) {
+      for (int k = 0; k < cli.seeds; ++k) {
+        planned.push_back(PlannedRun{protocol,
+                                     cli.seed + static_cast<uint64_t>(k),
+                                     cli.compaction_cap,
+                                     cli.inject_quorum_bug});
+      }
+    }
+  }
+
   std::FILE* failures_file = nullptr;
   if (!cli.failures_out.empty()) {
     failures_file = std::fopen(cli.failures_out.c_str(), "w");
@@ -123,45 +229,62 @@ int main(int argc, char** argv) {
   const auto wall_start = std::chrono::steady_clock::now();
   int failures = 0;
   uint64_t runs = 0;
-  for (const auto& protocol : protocols) {
-    for (int k = 0; k < cli.seeds; ++k) {
-      chaos::RunOptions opt;
-      opt.protocol = protocol;
-      opt.seed = cli.seed + static_cast<uint64_t>(k);
-      opt.num_replicas = cli.replicas;
-      opt.inject_quorum_bug = cli.inject_quorum_bug;
-      const chaos::RunResult r = chaos::run_one(opt);
-      ++runs;
-      if (cli.verbose) {
-        std::printf("%s protocol=%s seed=%llu log=%lld client_ops=%llu\n",
-                    r.ok ? "ok  " : "FAIL", r.protocol.c_str(),
-                    static_cast<unsigned long long>(r.seed),
-                    static_cast<long long>(r.log_length),
-                    static_cast<unsigned long long>(r.client_ops));
-      }
-      if (!r.ok) {
-        ++failures;
-        print_failure(r);
-        if (failures_file != nullptr) {
-          std::fprintf(failures_file, "%s %llu  # repro: %s\n",
-                       r.protocol.c_str(),
-                       static_cast<unsigned long long>(r.seed),
-                       r.repro.c_str());
-          std::fflush(failures_file);
+  for (const PlannedRun& pr : planned) {
+    chaos::RunOptions opt;
+    opt.protocol = pr.protocol;
+    opt.seed = pr.seed;
+    opt.num_replicas = cli.replicas;
+    opt.inject_quorum_bug = pr.inject_quorum_bug;
+    opt.compaction_log_cap = pr.compaction_cap;
+    const chaos::RunResult r = chaos::run_one(opt);
+    ++runs;
+    if (cli.verbose) {
+      std::printf(
+          "%s protocol=%s seed=%llu log=%lld client_ops=%llu snapshots=%llu\n",
+          r.ok ? "ok  " : "FAIL", r.protocol.c_str(),
+          static_cast<unsigned long long>(r.seed),
+          static_cast<long long>(r.log_length),
+          static_cast<unsigned long long>(r.client_ops),
+          static_cast<unsigned long long>(r.snapshot_installs));
+    }
+    if (!r.ok) {
+      ++failures;
+      print_failure(r);
+      if (failures_file != nullptr) {
+        // Flags before the comment so --seed-file replays the exact
+        // configuration the seed failed under.
+        std::string flags;
+        if (pr.compaction_cap > 0) {
+          char fb[48];
+          std::snprintf(fb, sizeof(fb), " --compaction-cap=%zu",
+                        pr.compaction_cap);
+          flags += fb;
         }
-        if (cli.stop_on_failure) goto done;
+        if (pr.inject_quorum_bug) flags += " --inject-quorum-bug";
+        std::fprintf(failures_file, "%s %llu%s  # repro: %s\n",
+                     r.protocol.c_str(),
+                     static_cast<unsigned long long>(r.seed), flags.c_str(),
+                     r.repro.c_str());
+        std::fflush(failures_file);
       }
+      if (cli.stop_on_failure) break;
     }
   }
-done:
   if (failures_file != nullptr) std::fclose(failures_file);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
-  std::printf("chaos: %llu runs (%zu protocol(s) x %d seed(s)) in %.1fs, "
-              "%d failure(s)\n",
-              static_cast<unsigned long long>(runs), protocols.size(),
-              cli.seeds, elapsed, failures);
+  // Count the protocols actually run (a seed file may name a different set
+  // than the --protocol selection).
+  std::vector<std::string> ran;
+  for (const PlannedRun& pr : planned) {
+    if (std::find(ran.begin(), ran.end(), pr.protocol) == ran.end()) {
+      ran.push_back(pr.protocol);
+    }
+  }
+  std::printf("chaos: %llu runs (%zu protocol(s)) in %.1fs, %d failure(s)\n",
+              static_cast<unsigned long long>(runs), ran.size(), elapsed,
+              failures);
   return failures > 99 ? 99 : failures;
 }
