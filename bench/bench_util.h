@@ -15,8 +15,10 @@ namespace praft::bench {
 /// p50/p90/p99 latencies and throughputs — so perf trajectories can be
 /// tracked across commits without scraping stdout.
 ///
-/// File shape:
-///   {"bench": "fig9a", "rows": [
+/// File shape (schema_version 2 adds the seed + version stamp so bench
+/// trajectories stay comparable across PRs — a row from an old file can be
+/// rejected or migrated instead of silently compared):
+///   {"bench": "fig9a", "schema_version": 2, "seed": 90001, "rows": [
 ///     {"system": "Raft", "class": "Leader", "metric": "latency",
 ///      "p50_ms": 69.1, "p90_ms": 71.0, "p99_ms": 75.2, "count": 123},
 ///     {"system": "Raft", "label": "clients=50", "metric": "throughput",
@@ -39,6 +41,12 @@ class JsonEmitter {
   }
 
   [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Stamps the emitted file with the simulation seed that produced it.
+  void set_seed(uint64_t seed) {
+    seed_ = seed;
+    has_seed_ = true;
+  }
 
   void add_latency(const std::string& system, const std::string& cls,
                    const harness::LatencySummary& s) {
@@ -83,7 +91,13 @@ class JsonEmitter {
       std::fprintf(stderr, "cannot write %s\n", path_.c_str());
       return false;
     }
-    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", bench_.c_str());
+    std::fprintf(f, "{\"bench\": \"%s\", \"schema_version\": %d",
+                 bench_.c_str(), kSchemaVersion);
+    if (has_seed_) {
+      std::fprintf(f, ", \"seed\": %llu",
+                   static_cast<unsigned long long>(seed_));
+    }
+    std::fprintf(f, ", \"rows\": [");
     for (size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(f, "%s%s", i == 0 ? "\n  " : ",\n  ", rows_[i].c_str());
     }
@@ -94,9 +108,15 @@ class JsonEmitter {
   }
 
  private:
+  /// Bump when the row shape or header changes incompatibly. v2: header
+  /// gained schema_version + seed.
+  static constexpr int kSchemaVersion = 2;
+
   std::string bench_;
   std::string path_;
   std::vector<std::string> rows_;
+  uint64_t seed_ = 0;
+  bool has_seed_ = false;
 };
 
 inline void print_header(const std::string& title, const std::string& paper) {

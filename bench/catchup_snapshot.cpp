@@ -97,6 +97,7 @@ Outcome run_one(const std::string& protocol, size_t compaction_cap) {
 int main(int argc, char** argv) {
   bench::JsonEmitter json("catchup_snapshot", argc, argv,
                           "BENCH_catchup_snapshot.json");
+  json.set_seed(777);
   bench::print_header(
       "Catch-up after an 8 s crash: snapshot transfer vs log replay",
       "runtime port of the paper's §2.2 Checkpoint optimization");

@@ -6,6 +6,10 @@
 #include "bench_util.h"
 
 using namespace praft;
+
+namespace {
+constexpr uint64_t kSeedBase = 100001;
+}  // namespace
 using harness::ExperimentConfig;
 using harness::SystemKind;
 
@@ -20,13 +24,16 @@ double run_one(SystemKind sys, int clients, double conflict, int leader,
   cfg.model_bandwidth = bandwidth;
   cfg.run = sec(4);
   cfg.warmup = sec(2);
-  cfg.seed = 100001 + static_cast<uint64_t>(clients);
+  // Stamped into the JSON header as the file base; each run offsets
+  // by its client count.
+  cfg.seed = kSeedBase + static_cast<uint64_t>(clients);
   return harness::run_experiment(cfg).throughput_ops;
 }
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::JsonEmitter json("fig10a", argc, argv);
+  json.set_seed(kSeedBase);
   bench::print_header("Fig 10a — Throughput vs clients/region, 8 B (CPU-bound)",
                       "Wang et al., PODC'19, Figure 10(a)");
   std::printf("%-16s", "clients/region");

@@ -7,6 +7,10 @@
 #include "bench_util.h"
 
 using namespace praft;
+
+namespace {
+constexpr uint64_t kSeedBase = 100301;
+}  // namespace
 using harness::ExperimentConfig;
 using harness::SystemKind;
 
@@ -33,16 +37,17 @@ void run_one(bench::JsonEmitter& json, const char* name, SystemKind sys,
 
 int main(int argc, char** argv) {
   bench::JsonEmitter json("fig10c", argc, argv);
+  json.set_seed(kSeedBase);
   bench::print_header("Fig 10c — Latency, 8 B requests (50 clients/region)",
                       "Wang et al., PODC'19, Figure 10(c)");
-  run_one(json, "Raft-Oregon", SystemKind::kRaft, 0.0, 0, 8, false, 100301);
+  run_one(json, "Raft-Oregon", SystemKind::kRaft, 0.0, 0, 8, false, kSeedBase + 0);
   run_one(json, "Raft*-Oregon", SystemKind::kRaftStar, 0.0, 0, 8, false,
-          100302);
-  run_one(json, "Raft-Seoul", SystemKind::kRaft, 0.0, 4, 8, false, 100303);
+          kSeedBase + 1);
+  run_one(json, "Raft-Seoul", SystemKind::kRaft, 0.0, 4, 8, false, kSeedBase + 2);
   run_one(json, "Raft*-M-0%", SystemKind::kRaftStarMencius, 0.0, 0, 8, false,
-          100304);
+          kSeedBase + 3);
   run_one(json, "Raft*-M-100%", SystemKind::kRaftStarMencius, 1.0, 0, 8, false,
-          100305);
+          kSeedBase + 4);
   std::printf("('Leader' = the Oregon site for the Mencius rows.)\n");
   return json.write() ? 0 : 1;
 }

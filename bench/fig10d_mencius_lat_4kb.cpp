@@ -3,6 +3,10 @@
 #include "bench_util.h"
 
 using namespace praft;
+
+namespace {
+constexpr uint64_t kSeedBase = 100401;
+}  // namespace
 using harness::ExperimentConfig;
 using harness::SystemKind;
 
@@ -28,13 +32,14 @@ void run_one(bench::JsonEmitter& json, const char* name, SystemKind sys,
 
 int main(int argc, char** argv) {
   bench::JsonEmitter json("fig10d", argc, argv);
+  json.set_seed(kSeedBase);
   bench::print_header("Fig 10d — Latency, 4 KiB requests (50 clients/region)",
                       "Wang et al., PODC'19, Figure 10(d)");
-  run_one(json, "Raft-Oregon", SystemKind::kRaft, 0.0, 0, 100401);
-  run_one(json, "Raft*-Oregon", SystemKind::kRaftStar, 0.0, 0, 100402);
-  run_one(json, "Raft-Seoul", SystemKind::kRaft, 0.0, 4, 100403);
-  run_one(json, "Raft*-M-0%", SystemKind::kRaftStarMencius, 0.0, 0, 100404);
-  run_one(json, "Raft*-M-100%", SystemKind::kRaftStarMencius, 1.0, 0, 100405);
+  run_one(json, "Raft-Oregon", SystemKind::kRaft, 0.0, 0, kSeedBase + 0);
+  run_one(json, "Raft*-Oregon", SystemKind::kRaftStar, 0.0, 0, kSeedBase + 1);
+  run_one(json, "Raft-Seoul", SystemKind::kRaft, 0.0, 4, kSeedBase + 2);
+  run_one(json, "Raft*-M-0%", SystemKind::kRaftStarMencius, 0.0, 0, kSeedBase + 3);
+  run_one(json, "Raft*-M-100%", SystemKind::kRaftStarMencius, 1.0, 0, kSeedBase + 4);
   std::printf("('Leader' = the Oregon site for the Mencius rows.)\n");
   return json.write() ? 0 : 1;
 }

@@ -6,11 +6,16 @@
 #include "bench_util.h"
 
 using namespace praft;
+
+namespace {
+constexpr uint64_t kSeed = 90001;
+}  // namespace
 using harness::ExperimentConfig;
 using harness::SystemKind;
 
 int main(int argc, char** argv) {
   bench::JsonEmitter json("fig9a", argc, argv);
+  json.set_seed(kSeed);
   bench::print_header("Fig 9a — Read latency (leader vs followers)",
                       "Wang et al., PODC'19, Figure 9(a)");
   const SystemKind systems[] = {SystemKind::kRaftStarPql, SystemKind::kRaftStarLL,
@@ -23,7 +28,7 @@ int main(int argc, char** argv) {
     cfg.leader_replica = 0;  // Oregon
     cfg.run = sec(8);
     cfg.warmup = sec(3);  // leases + steady state
-    cfg.seed = 90001;
+    cfg.seed = kSeed;
     const auto res = harness::run_experiment(cfg);
     bench::print_latency_row(harness::system_name(sys), "Leader",
                              res.leader_reads);

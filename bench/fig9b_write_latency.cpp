@@ -4,11 +4,16 @@
 #include "bench_util.h"
 
 using namespace praft;
+
+namespace {
+constexpr uint64_t kSeed = 90002;
+}  // namespace
 using harness::ExperimentConfig;
 using harness::SystemKind;
 
 int main(int argc, char** argv) {
   bench::JsonEmitter json("fig9b", argc, argv);
+  json.set_seed(kSeed);
   bench::print_header("Fig 9b — Write latency (leader vs followers)",
                       "Wang et al., PODC'19, Figure 9(b)");
   const SystemKind systems[] = {SystemKind::kRaftStarPql, SystemKind::kRaftStarLL,
@@ -21,7 +26,7 @@ int main(int argc, char** argv) {
     cfg.leader_replica = 0;
     cfg.run = sec(8);
     cfg.warmup = sec(3);
-    cfg.seed = 90002;
+    cfg.seed = kSeed;
     const auto res = harness::run_experiment(cfg);
     bench::print_latency_row(harness::system_name(sys), "Leader",
                              res.leader_writes);

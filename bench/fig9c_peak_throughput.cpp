@@ -5,11 +5,16 @@
 #include "bench_util.h"
 
 using namespace praft;
+
+namespace {
+constexpr uint64_t kSeed = 90003;
+}  // namespace
 using harness::ExperimentConfig;
 using harness::SystemKind;
 
 int main(int argc, char** argv) {
   bench::JsonEmitter json("fig9c", argc, argv);
+  json.set_seed(kSeed);
   bench::print_header("Fig 9c — Peak throughput vs read percentage",
                       "Wang et al., PODC'19, Figure 9(c)");
   const SystemKind systems[] = {SystemKind::kRaft, SystemKind::kRaftStar,
@@ -29,7 +34,7 @@ int main(int argc, char** argv) {
       cfg.leader_replica = 0;
       cfg.run = sec(4);
       cfg.warmup = sec(3);
-      cfg.seed = 90003;
+      cfg.seed = kSeed;
       const auto res = harness::run_experiment(cfg);
       if (sys == SystemKind::kRaft) raft_tput[col] = res.throughput_ops;
       char label[32];

@@ -52,6 +52,16 @@ void InvariantChecker::attach(harness::Cluster& cluster) {
       [this](NodeId r, consensus::LogIndex idx, uint64_t fp) {
         on_snapshot_install(r, idx, fp);
       });
+  cluster.install_hard_state_probe(
+      [this](NodeId r, const consensus::HardState& hs) {
+        on_sent_state(r, hs);
+      });
+  cluster.set_restart_probe(
+      [this](NodeId r, const consensus::HardState& recovered,
+             const storage::RecoveryStats& stats,
+             consensus::LogIndex applied) {
+        on_restart(r, recovered, stats, applied);
+      });
 }
 
 void InvariantChecker::note(std::string event) { record(std::move(event)); }
@@ -164,9 +174,103 @@ void InvariantChecker::on_snapshot_install(NodeId replica,
   record(buf);
 }
 
+void InvariantChecker::on_sent_state(NodeId replica,
+                                     const consensus::HardState& hs) {
+  ReplicaState& st = replicas_[replica];
+  if (!st.sent_seen) {
+    st.sent = hs;
+    st.sent_seen = true;
+    return;
+  }
+  // (term, vote) is a ballot: merge lexicographically. The other fields are
+  // independent monotone counters.
+  if (hs.term > st.sent.term ||
+      (hs.term == st.sent.term && hs.vote > st.sent.vote)) {
+    st.sent.term = hs.term;
+    st.sent.vote = hs.vote;
+  }
+  st.sent.floor = std::max(st.sent.floor, hs.floor);
+  st.sent.aux = std::max(st.sent.aux, hs.aux);
+  st.sent.tail = std::max(st.sent.tail, hs.tail);
+}
+
+void InvariantChecker::on_restart(NodeId replica,
+                                  const consensus::HardState& recovered,
+                                  const storage::RecoveryStats& stats,
+                                  consensus::LogIndex applied) {
+  ++restarts_;
+  ReplicaState& st = replicas_[replica];
+  {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "restart r=%d recovered term=%lld floor=%lld applied=%lld "
+                  "(replayed %zu above snap %lld)",
+                  replica, static_cast<long long>(recovered.term),
+                  static_cast<long long>(recovered.floor),
+                  static_cast<long long>(applied), stats.replayed,
+                  static_cast<long long>(stats.snapshot_floor));
+    record(buf);
+  }
+  if (st.sent_seen) {
+    // No externally-visible hard state may be forgotten: every message this
+    // replica ever sent waited (or should have waited) for the state it
+    // depended on to reach disk.
+    // (term, vote) is a ballot, ordered lexicographically — the same order
+    // on_sent_state merges with. A same-term vote ADVANCE (MultiPaxos
+    // adopting a higher same-round ballot) is legal; only a strictly
+    // smaller recovered ballot (including vote lost to kNoNode) convicts.
+    const bool ballot_regressed =
+        recovered.term < st.sent.term ||
+        (recovered.term == st.sent.term && recovered.vote < st.sent.vote);
+    if (ballot_regressed || recovered.floor < st.sent.floor ||
+        recovered.aux < st.sent.aux || recovered.tail < st.sent.tail) {
+      char buf[256];
+      std::snprintf(
+          buf, sizeof(buf),
+          "replica %d recovered hard state (term=%lld vote=%d floor=%lld "
+          "aux=%lld tail=%lld) regresses what its sent messages depended on "
+          "(term=%lld vote=%d floor=%lld aux=%lld tail=%lld) — missing "
+          "fsync before send",
+          replica, static_cast<long long>(recovered.term), recovered.vote,
+          static_cast<long long>(recovered.floor),
+          static_cast<long long>(recovered.aux),
+          static_cast<long long>(recovered.tail),
+          static_cast<long long>(st.sent.term), st.sent.vote,
+          static_cast<long long>(st.sent.floor),
+          static_cast<long long>(st.sent.aux),
+          static_cast<long long>(st.sent.tail));
+      violation(buf);
+    }
+  }
+  // Snapshots must bound replay: recovery work is at most the WAL suffix.
+  const auto bound = static_cast<size_t>(
+      std::max<consensus::LogIndex>(0, stats.wal_tail - stats.snapshot_floor));
+  if (stats.recovered && stats.replayed > bound) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "replica %d replayed %zu entries on recovery, over the "
+                  "(wal tail %lld - snapshot floor %lld) bound",
+                  replica, stats.replayed,
+                  static_cast<long long>(stats.wal_tail),
+                  static_cast<long long>(stats.snapshot_floor));
+    violation(buf);
+  }
+  // The node restarts with a fresh incarnation: its applied prefix regressed
+  // to the recovered position (re-applies get re-checked against the agreed
+  // log through the apply probe), and its watermark baseline resets.
+  st.seen = true;
+  st.last_applied = applied;
+  st.wm_seen = false;
+  st.last_commit_wm = 0;
+  // Hard state can only have moved forward through recovery's own replay —
+  // keep the sent-state maximum as-is; the recovered state already passed
+  // the regression check above.
+}
+
 void InvariantChecker::sample_memory(harness::Cluster& cluster) {
   if (memory_cap_ == 0) return;
   for (int i = 0; i < cluster.num_replicas(); ++i) {
+    if (!cluster.replica_up(i)) continue;  // crashed, awaiting restart
     auto* ls = dynamic_cast<harness::LogServer*>(&cluster.server(i));
     if (ls == nullptr) continue;
     const size_t compactable = ls->node_iface().compactable_entries();
@@ -277,6 +381,14 @@ void InvariantChecker::finalize(harness::Cluster& cluster) {
   uint64_t fp0 = 0;
   bool have_fp0 = false;
   for (int i = 0; i < cluster.num_replicas(); ++i) {
+    if (!cluster.replica_up(i)) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "replica %d still down after quiesce (restart never ran)",
+                    i);
+      violation(buf);
+      continue;
+    }
     const auto& server = cluster.server(i);
     const auto st = replicas_.find(server.id());
     const consensus::LogIndex applied =

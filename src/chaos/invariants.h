@@ -10,6 +10,7 @@
 #include "common/types.h"
 #include "consensus/types.h"
 #include "kv/command.h"
+#include "storage/wal.h"
 
 namespace praft::harness {
 class Cluster;
@@ -35,6 +36,12 @@ namespace praft::chaos {
 ///                      order — the executable form of specs::kvlog's
 ///                      "table[k] = latest logs[k]" refinement mapping), and
 ///                      every acknowledged write survives in the agreed log;
+///  * crash recovery  — a restarted replica's recovered hard state is never
+///                      OLDER than the hard state any message it sent
+///                      depended on (no term/ballot/vote regression — the
+///                      observable form of "fsync before the reply leaves"),
+///                      and recovery replays at most (wal tail − snapshot
+///                      floor) entries (snapshots really bound replay);
 ///  * snapshots       — a snapshot install only jumps a replica FORWARD, and
 ///                      the installed store state equals replaying the
 ///                      agreed log prefix it claims to cover (exactly-once
@@ -70,6 +77,13 @@ class InvariantChecker {
   void on_reply(const kv::Command& cmd, uint64_t value, bool ok);
   void on_snapshot_install(NodeId replica, consensus::LogIndex idx,
                            uint64_t store_fp);
+  /// Hard state a message depended on, at the moment it left `replica`.
+  void on_sent_state(NodeId replica, const consensus::HardState& hs);
+  /// A replica finished a crash-restart with `recovered` hard state, having
+  /// replayed per `stats`; its applied index is now `applied`.
+  void on_restart(NodeId replica, const consensus::HardState& recovered,
+                  const storage::RecoveryStats& stats,
+                  consensus::LogIndex applied);
 
   /// Arms the bounded-memory invariant: each sample asserts every replica's
   /// compactable (applied-but-uncompacted) entries stay at or below `cap`.
@@ -96,6 +110,8 @@ class InvariantChecker {
   /// Snapshot installs observed across the run (catch-up via state
   /// transfer rather than log replay).
   [[nodiscard]] uint64_t snapshot_installs() const { return installs_.size(); }
+  /// Crash-restarts observed across the run.
+  [[nodiscard]] uint64_t restarts() const { return restarts_; }
 
  private:
   struct ReplicaState {
@@ -103,6 +119,10 @@ class InvariantChecker {
     consensus::LogIndex last_applied = 0;
     consensus::LogIndex last_commit_wm = 0;
     bool wm_seen = false;
+    // Max hard state any sent message depended on ((term, vote) merged
+    // lexicographically — a Paxos ballot; floor/aux/tail as plain maxima).
+    consensus::HardState sent;
+    bool sent_seen = false;
   };
   struct Reply {
     kv::Command cmd;
@@ -128,6 +148,7 @@ class InvariantChecker {
   std::unordered_map<NodeId, ReplicaState> replicas_;
   std::vector<Reply> replies_;
   std::vector<Install> installs_;
+  uint64_t restarts_ = 0;
   consensus::LogIndex max_applied_ = 0;
   size_t memory_cap_ = 0;  // 0 = bounded-memory invariant disarmed
 };

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "chaos/invariants.h"
 #include "common/check.h"
 #include "harness/cluster.h"
+#include "harness/log_server.h"
 
 namespace praft::chaos {
 
@@ -27,9 +29,9 @@ int resolve_leader(harness::Cluster& cluster, Time at) {
 void arm_event(const FaultEvent& e, harness::Cluster& cluster,
                InvariantChecker& chk) {
   auto& faults = cluster.net().faults();
-  const auto replica_id = [&cluster](int r) {
-    return cluster.server(r).id();
-  };
+  // Host-based id lookup: valid even while the replica is crash-destroyed
+  // (cluster.server(r) would be null inside a kCrashRestart window).
+  const auto replica_id = [&cluster](int r) { return cluster.replica_id(r); };
   switch (e.kind) {
     case FaultEvent::Kind::kDropBurst:
       faults.drop_burst(e.p, e.from, e.to);
@@ -43,12 +45,28 @@ void arm_event(const FaultEvent& e, harness::Cluster& cluster,
     case FaultEvent::Kind::kCrash:
       faults.crash(replica_id(e.a), e.from, e.to);
       return;
+    case FaultEvent::Kind::kCrashRestart: {
+      // Real crash-recover: the node object dies at `from` (unsynced durable
+      // writes lost with it) and is rebuilt from its durable image at `to`.
+      cluster.sim().at(e.from, [&cluster, &chk, e] {
+        if (!cluster.replica_up(e.a)) return;  // overlapping window
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "crash (destroy) -> replica %d (%s)",
+                      e.a, e.describe().c_str());
+        chk.note(buf);
+        cluster.crash_replica(e.a);
+      });
+      cluster.sim().at(e.to, [&cluster, e] {
+        if (!cluster.replica_up(e.a)) cluster.restart_replica(e.a);
+      });
+      return;
+    }
     case FaultEvent::Kind::kLeaderCrash:
     case FaultEvent::Kind::kLeaderIsolate: {
       const bool is_crash = e.kind == FaultEvent::Kind::kLeaderCrash;
       cluster.sim().at(e.from, [&cluster, &chk, e, is_crash] {
         const int victim = resolve_leader(cluster, e.from);
-        const NodeId id = cluster.server(victim).id();
+        const NodeId id = cluster.replica_id(victim);
         auto& plan = cluster.net().faults();
         if (is_crash) {
           plan.crash(id, e.from, e.to);
@@ -71,8 +89,8 @@ void arm_event(const FaultEvent& e, harness::Cluster& cluster,
         auto& plan = cluster.net().faults();
         for (int p = 0; p < n; ++p) {
           if (p == victim || p == kept) continue;
-          plan.partition_pair(cluster.server(victim).id(),
-                              cluster.server(p).id(), e.from, e.to);
+          plan.partition_pair(cluster.replica_id(victim),
+                              cluster.replica_id(p), e.from, e.to);
         }
         char buf[128];
         std::snprintf(buf, sizeof(buf),
@@ -94,6 +112,13 @@ RunResult run_one(const RunOptions& opt) {
 
   ScheduleLimits limits = opt.limits;
   limits.num_replicas = opt.num_replicas;
+  const bool durability_armed = opt.crash_restarts || opt.inject_persistence_bug;
+  if (durability_armed) limits.crash_restart = true;
+  if (opt.inject_persistence_bug) {
+    // Guarantee election churn with a crash-restart landing inside it, so
+    // the unsynced-vote window is exercised on every seed.
+    limits.forced_crash_restarts = 2;
+  }
   if (opt.inject_quorum_bug) {
     // Bug-hunting mode: guarantee the minority-pen scenario every seed so
     // the buggy n/2 commit both fires and gets overwritten. Still a pure
@@ -115,6 +140,8 @@ RunResult run_one(const RunOptions& opt) {
                     opt.compaction_log_cap);
       res.repro += buf;
     }
+    if (opt.crash_restarts) res.repro += " --restarts";
+    if (opt.inject_persistence_bug) res.repro += " --inject-persistence-bug";
   }
 
   harness::ClusterConfig cfg;
@@ -135,6 +162,13 @@ RunResult run_one(const RunOptions& opt) {
     timing.unsafe_commit_quorum = opt.num_replicas / 2;
   }
   timing.compaction_log_cap = opt.compaction_log_cap;
+  if (durability_armed) {
+    // Real fsync costs open a genuine staged-but-unsynced window; group
+    // commit keeps the run fast the same way production systems do.
+    timing.fsync_duration = opt.fsync;
+    timing.sync_batch_delay = opt.sync_batch;
+  }
+  if (opt.inject_persistence_bug) timing.unsafe_skip_vote_fsync = true;
   cluster.build_replicas(opt.protocol, timing);
 
   InvariantChecker chk;
@@ -147,6 +181,22 @@ RunResult run_one(const RunOptions& opt) {
     const Time end = limits.faults_until + sec(1) + opt.quiesce;
     for (Time t = msec(500); t < end; t += msec(500)) {
       cluster.sim().at(t, [&cluster, &chk] { chk.sample_memory(cluster); });
+    }
+  }
+
+  // Coverage signal: count leadership handoffs by sampling between events.
+  uint64_t leader_changes = 0;
+  if (!cluster.server(0).leaderless()) {
+    auto last_leader = std::make_shared<int>(-1);
+    const Time end = limits.faults_until + sec(1) + opt.quiesce;
+    for (Time t = msec(100); t < end; t += msec(100)) {
+      cluster.sim().at(t, [&cluster, &leader_changes, last_leader] {
+        const int now_leader = cluster.leader_replica();
+        if (now_leader >= 0 && now_leader != *last_leader) {
+          if (*last_leader >= 0) ++leader_changes;
+          *last_leader = now_leader;
+        }
+      });
     }
   }
 
@@ -182,6 +232,17 @@ RunResult run_one(const RunOptions& opt) {
   res.log_length = chk.max_applied();
   res.client_ops = chk.client_ops();
   res.snapshot_installs = chk.snapshot_installs();
+  res.restarts = chk.restarts();
+  res.leader_changes = leader_changes;
+  res.revocations = static_cast<uint64_t>(cluster.retired_revocations());
+  for (int i = 0; i < cluster.num_replicas(); ++i) {
+    if (!cluster.replica_up(i)) continue;
+    auto* ls = dynamic_cast<harness::LogServer*>(&cluster.server(i));
+    if (ls != nullptr) {
+      res.revocations +=
+          static_cast<uint64_t>(ls->node_iface().revocations_started());
+    }
+  }
   return res;
 }
 

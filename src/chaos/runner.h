@@ -23,6 +23,22 @@ struct RunOptions {
   /// transfer, and the checker verifies exactly-once apply, linearizability
   /// and snapshot soundness ACROSS installs.
   size_t compaction_log_cap = 0;
+  /// Enables kCrashRestart faults: replicas are destroyed mid-run and
+  /// rebuilt purely from their durable stores, with the recovery invariants
+  /// (no hard-state regression, bounded replay) checked on every restart.
+  /// Also arms real fsync costs (see fsync/sync_batch below) so there is a
+  /// genuine unsynced window for crashes to bite.
+  bool crash_restarts = false;
+  /// Arms TimingOptions::unsafe_skip_vote_fsync (the vote reply leaves
+  /// before its promise hits disk) plus guaranteed election-churn +
+  /// crash-restart windows, to prove the checker convicts the classic
+  /// missing-fsync bug. Implies crash_restarts.
+  bool inject_persistence_bug = false;
+  /// Modeled fsync cost / group-commit window used when crash_restarts or
+  /// inject_persistence_bug is set (0/0 otherwise keeps trajectories
+  /// bit-identical to the pre-durability harness).
+  Duration fsync = msec(2);
+  Duration sync_batch = msec(1);
   ScheduleLimits limits;
   /// Fault-free tail after the last fault window: clients drain, replicas
   /// re-converge, then invariants are finalized.
@@ -40,6 +56,9 @@ struct RunResult {
   int64_t log_length = 0;              // highest agreed index
   uint64_t client_ops = 0;             // completed client operations
   uint64_t snapshot_installs = 0;      // catch-ups served by state transfer
+  uint64_t restarts = 0;               // crash-restarts performed
+  uint64_t leader_changes = 0;         // leadership handoffs observed
+  uint64_t revocations = 0;            // Mencius revocations started
 };
 
 /// Builds a cluster for `opt.protocol`, generates the seed's fault schedule

@@ -20,6 +20,7 @@ const char* kind_name(FaultEvent::Kind k) {
     case FaultEvent::Kind::kLeaderCrash: return "leader_crash";
     case FaultEvent::Kind::kLeaderIsolate: return "leader_isolate";
     case FaultEvent::Kind::kLeaderMinority: return "leader_minority";
+    case FaultEvent::Kind::kCrashRestart: return "crash_restart";
   }
   return "?";
 }
@@ -47,6 +48,7 @@ std::string FaultEvent::describe() const {
                     from_s, to_s);
     case Kind::kIsolate:
     case Kind::kCrash:
+    case Kind::kCrashRestart:
       return format("%s(%d, [%.2fs, %.2fs))", kind_name(kind), a, from_s,
                     to_s);
     case Kind::kLeaderCrash:
@@ -112,9 +114,19 @@ Schedule generate_schedule(uint64_t seed, const ScheduleLimits& limits) {
 
     // Leader-targeted faults are the paper's interesting regime (leader
     // churn), so they get the biggest share; a crashed minority never
-    // blocks a majority from making progress.
-    const uint64_t die = rng.below(10);
-    if (die < 3) {
+    // blocks a majority from making progress. With the durability layer
+    // armed, two extra faces of the die destroy-and-recover a replica.
+    const uint64_t die = rng.below(limits.crash_restart ? 12 : 10);
+    if (die >= 10) {
+      e.kind = FaultEvent::Kind::kCrashRestart;
+      e.a = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+      // Short downtime: the interesting races are losing unsynced state and
+      // rejoining mid-election, not sitting out the whole run.
+      e.to = std::min<Time>(e.from + msec(100) +
+                                static_cast<Duration>(rng.below(
+                                    static_cast<uint64_t>(sec(2)))),
+                            limits.faults_until);
+    } else if (die < 3) {
       e.kind = FaultEvent::Kind::kLeaderIsolate;
     } else if (die < 5) {
       e.kind = FaultEvent::Kind::kLeaderCrash;
@@ -134,6 +146,27 @@ Schedule generate_schedule(uint64_t seed, const ScheduleLimits& limits) {
       e.p = 0.1 + rng.uniform() * (limits.max_burst_drop - 0.1);
     }
     s.events.push_back(e);
+  }
+  for (int k = 0; k < limits.forced_crash_restarts; ++k) {
+    // A leader crash forces an election; a crash-restart lands on a random
+    // replica while the vote traffic is in flight.
+    FaultEvent lc;
+    lc.kind = FaultEvent::Kind::kLeaderCrash;
+    lc.from = limits.faults_from + sec(3) * k +
+              static_cast<Duration>(rng.below(static_cast<uint64_t>(sec(1))));
+    lc.to = std::min<Time>(lc.from + msec(800), limits.faults_until);
+    s.events.push_back(lc);
+    FaultEvent cr;
+    cr.kind = FaultEvent::Kind::kCrashRestart;
+    cr.a = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
+    cr.from = lc.from + msec(100) +
+              static_cast<Duration>(
+                  rng.below(static_cast<uint64_t>(msec(1500))));
+    cr.to = std::min<Time>(cr.from + msec(100) +
+                               static_cast<Duration>(rng.below(
+                                   static_cast<uint64_t>(msec(500)))),
+                           limits.faults_until);
+    if (cr.to > cr.from) s.events.push_back(cr);
   }
   if (limits.add_minority_window) {
     // Long enough for every protocol's repair machinery to fire inside the

@@ -25,6 +25,11 @@ struct FaultEvent {
                       // n-2 replicas form a majority and re-elect while the
                       // penned pair can still talk — the canonical scenario
                       // a "commit on n/2 acks" bug cannot survive
+    kCrashRestart,    // destroy replica a's node object at `from` (volatile
+                      // state gone, unsynced durable writes lost) and rebuild
+                      // it from its durable image at `to` — the classic
+                      // crash/recover failure mode, unreachable by kCrash's
+                      // fail-silent window
   };
 
   Kind kind = Kind::kDropBurst;
@@ -72,6 +77,14 @@ struct ScheduleLimits {
   /// (the chaos runner sets this in bug-hunting mode so an injected quorum
   /// bug is exercised on every seed, not only when the dice cooperate).
   bool add_minority_window = false;
+  /// Enables kCrashRestart events in the random mix (off by default so
+  /// schedules generated before the durability layer stay bit-identical).
+  bool crash_restart = false;
+  /// Adds this many guaranteed (leader-crash, crash-restart) pairs: the
+  /// leader crash forces an election, and a random replica crash-restarts
+  /// mid-churn — prime territory for missing-fsync-before-vote bugs (the
+  /// unsafe_skip_vote_fsync hunt arms this so every seed exercises it).
+  int forced_crash_restarts = 0;
 };
 
 /// Expands `seed` into a full randomized schedule (pure function of

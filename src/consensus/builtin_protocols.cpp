@@ -25,26 +25,32 @@ Opt options_from(const TimingOptions& timing) {
 }  // namespace
 
 void register_builtin_protocols(ProtocolRegistry& reg) {
-  reg.add("raft", [](Group g, Env& env, const TimingOptions& t) {
+  reg.add("raft", [](Group g, Env& env, const TimingOptions& t,
+                     storage::DurableStore* store) {
     return std::make_unique<raft::RaftNode>(std::move(g), env,
-                                            options_from<raft::Options>(t));
+                                            options_from<raft::Options>(t),
+                                            store);
   });
-  reg.add("raftstar", [](Group g, Env& env, const TimingOptions& t) {
+  reg.add("raftstar", [](Group g, Env& env, const TimingOptions& t,
+                         storage::DurableStore* store) {
     return std::make_unique<raftstar::RaftStarNode>(
-        std::move(g), env, options_from<raftstar::Options>(t));
+        std::move(g), env, options_from<raftstar::Options>(t), store);
   });
-  reg.add("multipaxos", [](Group g, Env& env, const TimingOptions& t) {
+  reg.add("multipaxos", [](Group g, Env& env, const TimingOptions& t,
+                           storage::DurableStore* store) {
     return std::make_unique<paxos::PaxosNode>(std::move(g), env,
-                                              options_from<paxos::Options>(t));
+                                              options_from<paxos::Options>(t),
+                                              store);
   });
   // Registry-selected Mencius runs behind the generic LogServer, which
   // replies at apply time only — the early-ack (commit + commutativity)
   // optimization and revocation-aware reply tracking need the dedicated
   // mencius::MenciusServer adapter (SystemKind::kRaftStarMencius). Safe and
   // convergent either way; measurement-grade numbers come from the latter.
-  reg.add("mencius", [](Group g, Env& env, const TimingOptions& t) {
+  reg.add("mencius", [](Group g, Env& env, const TimingOptions& t,
+                        storage::DurableStore* store) {
     return std::make_unique<mencius::MenciusNode>(
-        std::move(g), env, options_from<mencius::Options>(t));
+        std::move(g), env, options_from<mencius::Options>(t), store);
   });
 }
 

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -19,6 +21,19 @@ template <typename E>
 class ContiguousLog {
  public:
   ContiguousLog() { entries_.emplace_back(); }  // index 0 sentinel
+
+  /// Persistence hooks (src/storage): every mutation of the retained log is
+  /// mirrored into the node's write-ahead log through these. `append` fires
+  /// per appended entry, `truncate` per suffix erasure (both conflict
+  /// erasure and snapshot-install resets), so the durable log can never be
+  /// AHEAD of the in-memory one — the write-ahead ordering is: stage via
+  /// hook, then gate the dependent message on the fsync (storage::Persister).
+  using AppendHook = std::function<void(LogIndex, const E&)>;
+  using TruncateHook = std::function<void(LogIndex last_kept)>;
+  void set_persistence(AppendHook append, TruncateHook truncate) {
+    on_append_ = std::move(append);
+    on_truncate_ = std::move(truncate);
+  }
 
   /// Index of the sentinel: everything at or below it lives only in the
   /// snapshot. 0 until the first compaction.
@@ -44,7 +59,10 @@ class ContiguousLog {
     return entries_[static_cast<size_t>(i - base_)];
   }
 
-  void append(E e) { entries_.push_back(std::move(e)); }
+  void append(E e) {
+    entries_.push_back(std::move(e));
+    if (on_append_) on_append_(last_index(), entries_.back());
+  }
 
   /// Erases everything after `last_kept` (conflict-suffix erasure in Raft,
   /// full-suffix replacement in Raft*). Keeping the sentinel is mandatory,
@@ -52,7 +70,9 @@ class ContiguousLog {
   /// below base_index() are part of a committed, snapshotted prefix.
   void truncate_after(LogIndex last_kept) {
     PRAFT_CHECK(last_kept >= base_ && last_kept <= last_index());
+    if (last_kept == last_index()) return;
     entries_.resize(static_cast<size_t>(last_kept - base_) + 1);
+    if (on_truncate_) on_truncate_(last_kept);
   }
 
   /// Discards entries up to and including `new_base` (which must be
@@ -75,11 +95,16 @@ class ContiguousLog {
     entries_.clear();
     entries_.push_back(std::move(sentinel));
     base_ = base;
+    // Durably: anything beyond the new base conflicts with the snapshot
+    // being installed (the caller persists the snapshot itself).
+    if (on_truncate_) on_truncate_(base);
   }
 
  private:
   LogIndex base_ = 0;
   std::vector<E> entries_;
+  AppendHook on_append_;
+  TruncateHook on_truncate_;
 };
 
 /// Sparse instance/slot storage (MultiPaxos / Mencius): holes are real in
@@ -93,6 +118,24 @@ class SparseLog {
   using Map = std::map<LogIndex, S>;
   using iterator = typename Map::iterator;
   using const_iterator = typename Map::const_iterator;
+
+  /// Persistence hook (src/storage): sparse protocols mutate slot fields in
+  /// place, so the container cannot observe every change — instead the
+  /// protocol calls persist(i) after each mutation block and the hook
+  /// mirrors the slot's full durable state into the write-ahead log (one
+  /// coalescing record per slot). Floor pruning needs no hook of its own:
+  /// the caller durably stages the covering snapshot, which truncates the
+  /// WAL prefix the pruned slots lived in.
+  using UpdateHook = std::function<void(LogIndex, const S&)>;
+  void set_persistence(UpdateHook update) { on_update_ = std::move(update); }
+
+  /// Mirrors slot `i`'s current state through the update hook. No-op when
+  /// the slot does not exist (e.g. already pruned) or no hook is installed.
+  void persist(LogIndex i) {
+    if (!on_update_) return;
+    auto it = slots_.find(i);
+    if (it != slots_.end()) on_update_(i, it->second);
+  }
 
   /// Materializes (default-constructs) the slot on first touch — unlike
   /// ContiguousLog::at, which is a bounds-checked read. The distinct name
@@ -148,6 +191,7 @@ class SparseLog {
  private:
   Map slots_;
   LogIndex floor_ = -1;  // below any real position (0-based Mencius included)
+  UpdateHook on_update_;
 };
 
 }  // namespace praft::consensus

@@ -3,6 +3,7 @@
 #include "consensus/snapshot.h"
 #include "consensus/types.h"
 #include "net/packet.h"
+#include "storage/wal.h"
 
 namespace praft::consensus {
 
@@ -64,6 +65,35 @@ class NodeIface {
   /// Snapshots this node installed from peers (catch-up via state transfer
   /// instead of log replay).
   [[nodiscard]] virtual int64_t snapshots_installed() const { return 0; }
+
+  /// The node's current in-memory hard state mapped onto the shared shape
+  /// (see consensus::HardState for the per-protocol field table). Default:
+  /// an all-defaults state (protocols without durable state).
+  [[nodiscard]] virtual HardState hard_state() const { return {}; }
+
+  /// Stages the current hard state into the node's durable store now (the
+  /// next fsync barrier covers it). No-op for diskless nodes.
+  virtual void persist_hard_state() {}
+
+  /// Observes the hard state each outgoing message depended on, at the
+  /// moment the message actually leaves the node (after its fsync barrier —
+  /// or without one, for the injected persistence bug). Installed by the
+  /// chaos checker; default no-op for diskless nodes.
+  virtual void set_hard_state_probe(HardStateProbe probe) { (void)probe; }
+
+  /// Rebuilds this node's protocol state purely from its durable image:
+  /// hard state, newest snapshot (installed through the Applier's state
+  /// hooks, which must already be set), and a WAL replay of everything above
+  /// the snapshot floor. Called once, after set_apply/set_state_hooks and
+  /// before start(). Default: diskless node, nothing to recover.
+  virtual storage::RecoveryStats recover(const storage::DurableImage& img) {
+    (void)img;
+    return {};
+  }
+
+  /// Revocations this node started (Mencius; 0 elsewhere). A chaos coverage
+  /// signal — schedules that trigger revocations explore the rare paths.
+  [[nodiscard]] virtual int64_t revocations_started() const { return 0; }
 
   [[nodiscard]] virtual bool is_leader() const = 0;
   [[nodiscard]] virtual NodeId leader_hint() const = 0;

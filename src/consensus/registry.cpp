@@ -37,8 +37,8 @@ std::vector<std::string> ProtocolRegistry::names() const {
 }
 
 std::unique_ptr<NodeIface> ProtocolRegistry::make(
-    const std::string& name, Group group, Env& env,
-    const TimingOptions& timing) const {
+    const std::string& name, Group group, Env& env, const TimingOptions& timing,
+    storage::DurableStore* store) const {
   auto it = impl_->factories.find(name);
   if (it == impl_->factories.end()) {
     // List what IS registered: "unknown protocol" alone sends the caller
@@ -51,13 +51,14 @@ std::unique_ptr<NodeIface> ProtocolRegistry::make(
     PRAFT_CHECK_MSG(false, "unknown protocol \"" + name +
                                "\"; registered protocols: " + joined);
   }
-  return it->second(std::move(group), env, timing);
+  return it->second(std::move(group), env, timing, store);
 }
 
 std::unique_ptr<NodeIface> make_node(const std::string& name, Group group,
-                                     Env& env, const TimingOptions& timing) {
+                                     Env& env, const TimingOptions& timing,
+                                     storage::DurableStore* store) {
   return ProtocolRegistry::instance().make(name, std::move(group), env,
-                                           timing);
+                                           timing, store);
 }
 
 std::vector<std::string> protocol_names() {

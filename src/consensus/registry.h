@@ -13,10 +13,13 @@
 namespace praft::consensus {
 
 /// Builds a protocol node for `group` talking through `env`, tuned by the
-/// shared timing knobs. Protocol-specific options beyond TimingOptions keep
-/// their defaults; callers needing them construct the concrete node type.
+/// shared timing knobs and persisting through `store` (nullptr = diskless —
+/// unit-test nodes that never crash-restart). Protocol-specific options
+/// beyond TimingOptions keep their defaults; callers needing them construct
+/// the concrete node type.
 using NodeFactory = std::function<std::unique_ptr<NodeIface>(
-    Group group, Env& env, const TimingOptions& timing)>;
+    Group group, Env& env, const TimingOptions& timing,
+    storage::DurableStore* store)>;
 
 /// String-keyed protocol registry: the runtime seam that lets harness
 /// servers, clusters and bench binaries select a protocol by name. Names are
@@ -36,7 +39,8 @@ class ProtocolRegistry {
   /// Instantiates `name`; PRAFT_CHECK-fails on unknown names.
   [[nodiscard]] std::unique_ptr<NodeIface> make(
       const std::string& name, Group group, Env& env,
-      const TimingOptions& timing = {}) const;
+      const TimingOptions& timing = {},
+      storage::DurableStore* store = nullptr) const;
 
  private:
   ProtocolRegistry();
@@ -47,7 +51,8 @@ class ProtocolRegistry {
 /// Convenience wrappers over ProtocolRegistry::instance().
 std::unique_ptr<NodeIface> make_node(const std::string& name, Group group,
                                      Env& env,
-                                     const TimingOptions& timing = {});
+                                     const TimingOptions& timing = {},
+                                     storage::DurableStore* store = nullptr);
 std::vector<std::string> protocol_names();
 
 namespace detail {

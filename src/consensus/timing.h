@@ -51,6 +51,26 @@ struct TimingOptions {
   /// compaction). Checked on the same apply/heartbeat paths as the size
   /// leg. 0 disables.
   Duration compaction_interval = 0;
+  /// Modeled fsync duration for the durable store (src/storage): every
+  /// write a node makes to its hard state file / write-ahead log becomes
+  /// durable only when a sync of this duration completes on the node's disk
+  /// resource. 0 models free, instantaneous fsyncs — writes commit
+  /// synchronously and event trajectories match a diskless run exactly
+  /// (the tier-1 default), while the durable image still accumulates so
+  /// crash-restart works.
+  Duration fsync_duration = 0;
+  /// Group-commit window: syncs demanded within this delay coalesce into one
+  /// fsync (the storage::Persister reuses the Batcher's arm-once scheduling
+  /// discipline). 0 = sync immediately on each demand. Only meaningful with
+  /// fsync_duration > 0.
+  Duration sync_batch_delay = 0;
+  /// TEST-ONLY fault injection: skip the hard-state fsync barrier before the
+  /// phase-1 "vote" reply (Raft/Raft* VoteReply, MultiPaxos PrepareOk,
+  /// Mencius RevPrepareOk). The reply leaves the node while the promise it
+  /// depends on is still volatile — the classic missing-fsync durability
+  /// bug. The chaos checker must convict it within 50 seeds (crash-restart
+  /// faults enabled). Never set this outside tests.
+  bool unsafe_skip_vote_fsync = false;
   /// TEST-ONLY fault injection: when > 0, the *commit-counting* paths treat
   /// this many acknowledgements as a quorum instead of a true majority
   /// (elections and Prepare phases are untouched). n/2 on a 5-node group

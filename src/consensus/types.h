@@ -26,6 +26,39 @@ struct Ballot {
   [[nodiscard]] bool valid() const { return round >= 0; }
 };
 
+/// The protocol-agnostic shape of a node's *hard state* — the part of its
+/// state that must survive a crash because some message it sent depended on
+/// it (Raft §5: currentTerm/votedFor; Paxos: the promise). Each protocol maps
+/// its own fields onto the five scalars; every field a protocol uses is
+/// MONOTONE over any single execution, which is what lets the chaos checker
+/// state crash-recovery safety generically: a recovered node's hard state may
+/// never be older than the hard state any message it sent depended on.
+///
+///   field  | Raft       | Raft*      | MultiPaxos      | Mencius
+///   -------+------------+------------+-----------------+--------------------
+///   term   | currentTerm| currentTerm| promised round   | max promised round
+///   vote   | votedFor   | votedFor   | promised node    | (unused)
+///   floor  | (unused)   | (unused)   | (unused)         | next own slot
+///   aux    | (unused)   | log ballot | (unused)         | revocation round
+///   tail   | (unused)   | (unused)   | accepted tail    | own revoked floor
+///
+/// (term, vote) order lexicographically (a Paxos ballot); floor/aux/tail are
+/// plain monotone counters. -1 / kNoNode mean "not tracked by this protocol".
+struct HardState {
+  Term term = 0;
+  NodeId vote = kNoNode;
+  LogIndex floor = -1;
+  Term aux = 0;
+  LogIndex tail = -1;
+
+  friend bool operator==(const HardState&, const HardState&) = default;
+};
+
+/// Observes the hard state a message depended on, fired when the message
+/// actually leaves the node (see storage::Persister). The chaos checker uses
+/// it to assert recovered nodes never regress below externally-visible state.
+using HardStateProbe = std::function<void(const HardState&)>;
+
 /// Delivered exactly once per log position, in log order, once the position
 /// is committed/chosen and all earlier positions have been delivered.
 using ApplyFn = std::function<void(LogIndex, const kv::Command&)>;

@@ -17,9 +17,7 @@ Cluster::Cluster(ClusterConfig cfg)
   PRAFT_CHECK(static_cast<int>(cfg_.replica_sites.size()) == cfg_.num_replicas);
 }
 
-void Cluster::build_replicas(const ServerFactory& factory) {
-  PRAFT_CHECK_MSG(servers_.empty(), "build_replicas called twice");
-  // First pass: create hosts so every replica knows all member ids.
+void Cluster::build_hosts() {
   for (int i = 0; i < cfg_.num_replicas; ++i) {
     const SiteId site = cfg_.replica_sites[static_cast<size_t>(i)];
     double egress = 0.0;
@@ -31,6 +29,12 @@ void Cluster::build_replicas(const ServerFactory& factory) {
     group_template_.members.push_back(replica_hosts_.back()->id());
   }
   group_template_.self = kNoNode;
+}
+
+void Cluster::build_replicas(const ServerFactory& factory) {
+  PRAFT_CHECK_MSG(servers_.empty(), "build_replicas called twice");
+  // First pass: create hosts so every replica knows all member ids.
+  build_hosts();
   for (int i = 0; i < cfg_.num_replicas; ++i) {
     consensus::Group g = group_template_;
     g.self = replica_hosts_[static_cast<size_t>(i)]->id();
@@ -39,15 +43,87 @@ void Cluster::build_replicas(const ServerFactory& factory) {
   }
 }
 
+std::unique_ptr<ReplicaServer> Cluster::make_named_server(int i) {
+  consensus::Group g = group_template_;
+  g.self = replica_hosts_[static_cast<size_t>(i)]->id();
+  return std::make_unique<LogServer>(*replica_hosts_[static_cast<size_t>(i)],
+                                     std::move(g), cfg_.costs, protocol_,
+                                     timing_,
+                                     stores_[static_cast<size_t>(i)].get());
+}
+
 void Cluster::build_replicas(const std::string& protocol,
                              const consensus::TimingOptions& timing) {
   // An unknown name fails inside ProtocolRegistry::make with a message
   // listing the registered protocols (no duplicate pre-check here).
-  const CostModel costs = cfg_.costs;
-  build_replicas([protocol, timing, costs](NodeHost& host,
-                                           const consensus::Group& g) {
-    return std::make_unique<LogServer>(host, g, costs, protocol, timing);
-  });
+  PRAFT_CHECK_MSG(servers_.empty(), "build_replicas called twice");
+  protocol_ = protocol;
+  timing_ = timing;
+  build_hosts();
+  for (int i = 0; i < cfg_.num_replicas; ++i) {
+    stores_.push_back(std::make_unique<storage::DurableStore>());
+  }
+  for (int i = 0; i < cfg_.num_replicas; ++i) {
+    servers_.push_back(make_named_server(i));
+    servers_.back()->start();
+  }
+}
+
+void Cluster::crash_replica(int i) {
+  PRAFT_CHECK(i >= 0 && i < num_replicas());
+  PRAFT_CHECK_MSG(!protocol_.empty(),
+                  "crash/restart requires name-built replicas (durable store)");
+  auto& server = servers_[static_cast<size_t>(i)];
+  if (server == nullptr) return;  // already down
+  if (auto* ls = dynamic_cast<LogServer*>(server.get())) {
+    // The incarnation's coverage counters die with it; bank them first.
+    retired_revocations_ += ls->node_iface().revocations_started();
+  }
+  NodeHost& host = *replica_hosts_[static_cast<size_t>(i)];
+  // Order matters: first make every pending timer/fsync callback a no-op and
+  // unbind in-flight deliveries, THEN free the node they capture.
+  host.invalidate_scheduled();
+  host.detach();
+  server.reset();
+  // A power cut loses every staged write no completed fsync covered.
+  stores_[static_cast<size_t>(i)]->drop_unsynced();
+}
+
+void Cluster::install_probes_on(int i) {
+  auto* ls = dynamic_cast<LogServer*>(servers_[static_cast<size_t>(i)].get());
+  if (ls == nullptr) return;
+  if (apply_probe_) ls->set_apply_probe(apply_probe_);
+  if (snapshot_probe_) ls->set_snapshot_probe(snapshot_probe_);
+  const NodeId id = ls->id();
+  if (watermark_probe_) {
+    ls->node_iface().set_watermark_probe(
+        [probe = watermark_probe_, id](consensus::LogIndex commit,
+                                       consensus::LogIndex applied) {
+          probe(id, commit, applied);
+        });
+  }
+  if (hard_state_probe_) {
+    ls->node_iface().set_hard_state_probe(
+        [probe = hard_state_probe_, id](const consensus::HardState& hs) {
+          probe(id, hs);
+        });
+  }
+}
+
+void Cluster::restart_replica(int i) {
+  PRAFT_CHECK(i >= 0 && i < num_replicas());
+  if (replica_up(i)) crash_replica(i);
+  servers_[static_cast<size_t>(i)] = make_named_server(i);
+  install_probes_on(i);
+  servers_[static_cast<size_t>(i)]->start();
+  ++restarts_;
+  if (restart_probe_) {
+    auto* ls =
+        dynamic_cast<LogServer*>(servers_[static_cast<size_t>(i)].get());
+    PRAFT_CHECK(ls != nullptr);
+    restart_probe_(ls->id(), ls->node_iface().hard_state(), ls->recovery(),
+                   ls->node_iface().applied_index());
+  }
 }
 
 void Cluster::add_clients(int per_region, const kv::WorkloadConfig& wl,
@@ -57,7 +133,7 @@ void Cluster::add_clients(int per_region, const kv::WorkloadConfig& wl,
   cfg.num_partitions = cfg_.num_replicas;
   for (int r = 0; r < cfg_.num_replicas; ++r) {
     const SiteId site = cfg_.replica_sites[static_cast<size_t>(r)];
-    const NodeId target = servers_[static_cast<size_t>(r)]->id();
+    const NodeId target = replica_id(r);
     for (int c = 0; c < per_region; ++c) {
       client_hosts_.push_back(std::make_unique<NodeHost>(sim_, net_, site));
       kv::WorkloadGenerator gen(cfg, r, sim_.rng().split());
@@ -71,41 +147,38 @@ void Cluster::add_clients(int per_region, const kv::WorkloadConfig& wl,
   }
 }
 
-int Cluster::install_apply_probe(ApplyProbe probe) {
+int Cluster::reinstall_probes() {
   int hooked = 0;
-  for (auto& s : servers_) {
-    auto* ls = dynamic_cast<LogServer*>(s.get());
-    if (ls == nullptr) continue;
-    ls->set_apply_probe(probe);  // LogServer passes its own id as arg 0
+  for (int i = 0; i < num_replicas(); ++i) {
+    if (!replica_up(i)) continue;
+    if (dynamic_cast<LogServer*>(servers_[static_cast<size_t>(i)].get()) ==
+        nullptr) {
+      continue;
+    }
+    install_probes_on(i);
     ++hooked;
   }
   return hooked;
+}
+
+int Cluster::install_apply_probe(ApplyProbe probe) {
+  apply_probe_ = std::move(probe);
+  return reinstall_probes();
 }
 
 int Cluster::install_watermark_probe(WatermarkProbe probe) {
-  int hooked = 0;
-  for (auto& s : servers_) {
-    auto* ls = dynamic_cast<LogServer*>(s.get());
-    if (ls == nullptr) continue;
-    const NodeId id = ls->id();
-    ls->node_iface().set_watermark_probe(
-        [probe, id](consensus::LogIndex commit, consensus::LogIndex applied) {
-          probe(id, commit, applied);
-        });
-    ++hooked;
-  }
-  return hooked;
+  watermark_probe_ = std::move(probe);
+  return reinstall_probes();
 }
 
 int Cluster::install_snapshot_probe(SnapshotProbe probe) {
-  int hooked = 0;
-  for (auto& s : servers_) {
-    auto* ls = dynamic_cast<LogServer*>(s.get());
-    if (ls == nullptr) continue;
-    ls->set_snapshot_probe(probe);  // LogServer passes its own id as arg 0
-    ++hooked;
-  }
-  return hooked;
+  snapshot_probe_ = std::move(probe);
+  return reinstall_probes();
+}
+
+int Cluster::install_hard_state_probe(HardStateProbe probe) {
+  hard_state_probe_ = std::move(probe);
+  return reinstall_probes();
 }
 
 void Cluster::install_reply_probe(ClosedLoopClient::ReplyProbe probe) {
@@ -117,7 +190,9 @@ int Cluster::establish_leader(int preferred, Duration deadline) {
   PRAFT_CHECK(preferred >= 0 && preferred < num_replicas());
   // Give the preferred replica a head start on everyone's election timers.
   sim_.after(msec(1), [this, preferred] {
-    servers_[static_cast<size_t>(preferred)]->trigger_election();
+    if (replica_up(preferred)) {
+      servers_[static_cast<size_t>(preferred)]->trigger_election();
+    }
   });
   const Time limit = sim_.now() + deadline;
   while (sim_.now() < limit) {
@@ -130,6 +205,7 @@ int Cluster::establish_leader(int preferred, Duration deadline) {
 
 int Cluster::leader_replica() const {
   for (size_t i = 0; i < servers_.size(); ++i) {
+    if (servers_[i] == nullptr) continue;  // crashed (awaiting restart)
     const NodeId id = servers_[i]->id();
     // A crashed replica may still believe it leads; it does not count.
     if (!net_.node_up(id) || net_.faults().is_down(id, sim_.now())) continue;

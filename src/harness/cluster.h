@@ -15,6 +15,7 @@
 #include "kv/workload.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "storage/wal.h"
 
 namespace praft::harness {
 
@@ -44,9 +45,48 @@ class Cluster {
 
   /// Same, selecting the consensus protocol by registry name at runtime
   /// ("raft", "raftstar", "multipaxos", "mencius", or anything registered
-  /// later) behind the generic LogServer adapter.
+  /// later) behind the generic LogServer adapter. Name-built replicas get a
+  /// per-replica storage::DurableStore (owned by the cluster, so it survives
+  /// node destruction) and support crash_replica/restart_replica.
   void build_replicas(const std::string& protocol,
                       const consensus::TimingOptions& timing = {});
+
+  // -- Crash-restart (name-built replicas only) ----------------------------
+  /// Destroys replica `i`'s server and protocol node NOW: scheduled
+  /// callbacks are invalidated, in-flight deliveries drop, and every staged
+  /// write that no completed fsync covered is lost — exactly a power cut.
+  /// The durable store survives.
+  void crash_replica(int i);
+  /// Rebuilds replica `i` purely from its durable image (hard state +
+  /// snapshot + WAL replay) and starts it. Crashes it first if still up.
+  void restart_replica(int i);
+  /// False while a replica is crashed (between crash_ and restart_).
+  [[nodiscard]] bool replica_up(int i) const {
+    return servers_[static_cast<size_t>(i)] != nullptr;
+  }
+  /// Stable node id of replica `i` (valid even while it is down).
+  [[nodiscard]] NodeId replica_id(int i) const {
+    return replica_hosts_[static_cast<size_t>(i)]->id();
+  }
+  [[nodiscard]] storage::DurableStore& store_of(int i) {
+    return *stores_[static_cast<size_t>(i)];
+  }
+  [[nodiscard]] int64_t restarts() const { return restarts_; }
+  /// Revocation counters of destroyed node incarnations, accumulated at
+  /// crash time so restart-heavy runs keep their full coverage signal
+  /// (a rebuilt node's own counter restarts at zero).
+  [[nodiscard]] int64_t retired_revocations() const {
+    return retired_revocations_;
+  }
+
+  /// Observes every completed restart: the recovered hard state, what the
+  /// recovery replayed, and the applied index right after it.
+  using RestartProbe = std::function<void(
+      NodeId, const consensus::HardState& recovered,
+      const storage::RecoveryStats& stats, consensus::LogIndex applied)>;
+  void set_restart_probe(RestartProbe probe) {
+    restart_probe_ = std::move(probe);
+  }
 
   /// Adds `per_region` clients next to every replica, starting at `start_at`.
   void add_clients(int per_region, const kv::WorkloadConfig& wl, Time start_at);
@@ -90,6 +130,14 @@ class Cluster {
       std::function<void(NodeId, consensus::LogIndex, uint64_t store_fp)>;
   int install_snapshot_probe(SnapshotProbe probe);
 
+  /// Observes the hard state each protocol message depended on, at the
+  /// moment the message leaves its replica (see storage::Persister). The
+  /// chaos checker pairs it with the restart probe to assert recovered
+  /// nodes never regress externally-visible term/ballot/vote state.
+  using HardStateProbe =
+      std::function<void(NodeId, const consensus::HardState&)>;
+  int install_hard_state_probe(HardStateProbe probe);
+
   /// Observes every client-visible (invocation, response) pair: installed on
   /// existing clients and on any client added later.
   void install_reply_probe(ClosedLoopClient::ReplyProbe probe);
@@ -110,6 +158,14 @@ class Cluster {
   [[nodiscard]] uint64_t client_retries() const;
 
  private:
+  void build_hosts();
+  std::unique_ptr<ReplicaServer> make_named_server(int i);
+  /// Applies every stored probe to replica `i` (idempotent overwrites) —
+  /// the ONE wrapper implementation, shared by install_*_probe on live
+  /// replicas and restart_replica on rebuilt ones.
+  void install_probes_on(int i);
+  int reinstall_probes();
+
   ClusterConfig cfg_;
   sim::Simulator sim_;
   sim::Network net_;
@@ -117,9 +173,22 @@ class Cluster {
   consensus::Group group_template_;  // self = kNoNode; members = replica ids
   std::vector<std::unique_ptr<NodeHost>> replica_hosts_;
   std::vector<std::unique_ptr<ReplicaServer>> servers_;
+  std::vector<std::unique_ptr<storage::DurableStore>> stores_;
   std::vector<std::unique_ptr<NodeHost>> client_hosts_;
   std::vector<std::unique_ptr<ClosedLoopClient>> clients_;
   ClosedLoopClient::ReplyProbe reply_probe_;
+
+  // Name-built configuration, retained so restart_replica can rebuild, plus
+  // installed probes, re-applied to every restarted incarnation.
+  std::string protocol_;
+  consensus::TimingOptions timing_;
+  ApplyProbe apply_probe_;
+  WatermarkProbe watermark_probe_;
+  SnapshotProbe snapshot_probe_;
+  HardStateProbe hard_state_probe_;
+  RestartProbe restart_probe_;
+  int64_t restarts_ = 0;
+  int64_t retired_revocations_ = 0;
 };
 
 }  // namespace praft::harness

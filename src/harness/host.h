@@ -32,6 +32,14 @@ class NodeHost final : public consensus::Env {
            double egress_bytes_per_us = 0.0);
 
   void attach(PacketHandler* handler) { handler_ = handler; }
+  /// Unbinds the handler (packets in flight are dropped, like a crash).
+  void detach() { handler_ = nullptr; }
+
+  /// Crash support: invalidates every callback scheduled through this Env so
+  /// far — they become no-ops when the simulator fires them. Called by
+  /// Cluster::crash_replica before destroying the node object, so timer and
+  /// fsync-completion closures can never touch freed protocol state.
+  void invalidate_scheduled() { ++sched_epoch_; }
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] SiteId site() const { return site_; }
@@ -43,7 +51,9 @@ class NodeHost final : public consensus::Env {
     net_.send(id_, to, std::move(payload), bytes);
   }
   void schedule(Duration delay, std::function<void()> fn) override {
-    sim_.after(delay, std::move(fn));
+    sim_.after(delay, [this, epoch = sched_epoch_, fn = std::move(fn)] {
+      if (epoch == sched_epoch_) fn();
+    });
   }
   uint64_t random() override { return rng_.next(); }
 
@@ -57,6 +67,7 @@ class NodeHost final : public consensus::Env {
   Rng rng_;
   sim::SerialResource cpu_;
   PacketHandler* handler_ = nullptr;
+  uint64_t sched_epoch_ = 0;
 };
 
 }  // namespace praft::harness

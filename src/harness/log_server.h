@@ -24,18 +24,23 @@ namespace praft::harness {
 class LogServer : public ReplicaServer {
  public:
   /// Selects the protocol by registry name ("raft", "raftstar",
-  /// "multipaxos", "mencius", or anything registered later).
+  /// "multipaxos", "mencius", or anything registered later). `store`
+  /// (nullable) is the replica's stable storage; when it already holds
+  /// durable state the node is rebuilt from it (crash-restart recovery)
+  /// before start().
   LogServer(NodeHost& host, consensus::Group group, CostModel costs,
             const std::string& protocol,
-            const consensus::TimingOptions& timing = {})
+            const consensus::TimingOptions& timing = {},
+            storage::DurableStore* store = nullptr)
       : LogServer(host, costs,
                   consensus::make_node(protocol, std::move(group), host,
-                                       timing),
-                  protocol_cost(protocol)) {}
+                                       timing, store),
+                  protocol_cost(protocol), store) {}
 
   /// Wraps an already-constructed node (typed adapters, tests).
   LogServer(NodeHost& host, CostModel costs,
-            std::unique_ptr<consensus::NodeIface> node, ProtocolCost cost)
+            std::unique_ptr<consensus::NodeIface> node, ProtocolCost cost,
+            storage::DurableStore* store = nullptr)
       : ReplicaServer(host, costs), node_(std::move(node)),
         cost_(std::move(cost)) {
     PRAFT_CHECK_MSG(node_ != nullptr, "LogServer needs a protocol node");
@@ -62,6 +67,13 @@ class LogServer : public ReplicaServer {
             snapshot_probe_(id(), last_index, store_.fingerprint());
           }
         });
+    // Crash-restart recovery: a store that already holds durable state means
+    // this server replaces a crashed incarnation — rebuild the node from it
+    // (state hooks above are live, so the snapshot restores and the WAL
+    // suffix re-applies into the fresh kv store).
+    if (store != nullptr && store->has_state()) {
+      recovery_ = node_->recover(store->image());
+    }
   }
 
   void start() override { node_->start(); }
@@ -80,6 +92,12 @@ class LogServer : public ReplicaServer {
   consensus::NodeIface& node_iface() { return *node_; }
   [[nodiscard]] const consensus::NodeIface& node_iface() const {
     return *node_;
+  }
+
+  /// What recovery did when this server was rebuilt from a durable store
+  /// (recovered == false for a fresh start).
+  [[nodiscard]] const storage::RecoveryStats& recovery() const {
+    return recovery_;
   }
 
   /// Test probe: observes every (index, command) this replica applies.
@@ -218,6 +236,7 @@ class LogServer : public ReplicaServer {
   PendingMap pending_;
   ApplyProbe apply_probe_;
   SnapshotProbe snapshot_probe_;
+  storage::RecoveryStats recovery_;
 };
 
 /// Typed wrapper for adapters (and tests) that need the concrete node type —

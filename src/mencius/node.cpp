@@ -12,10 +12,12 @@ constexpr consensus::Term kDecidedBal = std::numeric_limits<consensus::Term>::ma
 }
 
 MenciusNode::MenciusNode(consensus::Group group, consensus::Env& env,
-                         Options opt)
+                         Options opt, storage::DurableStore* store)
     : group_(std::move(group)),
       env_(env),
       opt_(opt),
+      persister_(env, store, opt_.fsync_duration, opt_.sync_batch_delay,
+                 [this] { return hard_state(); }),
       status_(env),
       batcher_(env, opt_.batch_delay, [this] { flush(); }),
       applier_(/*start=*/-1) {
@@ -28,6 +30,22 @@ MenciusNode::MenciusNode(consensus::Group group, consensus::Env& env,
     owner_rev_floor_[m] = -1;
     last_heard_[m] = 0;
   }
+  // Write-ahead mirroring: persist_slot() routes a slot's full durable
+  // state (value ballot, revocation promise, decided flag) through this hook
+  // into one coalescing WAL record per slot.
+  slots_.set_persistence(
+      [this](LogIndex i, const Slot& sl) {
+        storage::WalRecord r;
+        r.index = i;
+        r.term = sl.bal.round;
+        r.vnode = sl.bal.node;
+        r.promised = sl.promised.round;
+        r.pnode = sl.promised.node;
+        r.decided = sl.st == St::kDecided;
+        r.has_value = sl.st != St::kEmpty;
+        r.cmd = sl.cmd;
+        persister_.record(std::move(r));
+      });
   status_.set_handler([this] { maintenance(); });
   applier_.set_apply([this](LogIndex i, const kv::Command& cmd) {
     on_slot_applied(i, cmd);
@@ -92,11 +110,30 @@ LogIndex MenciusNode::submit(const kv::Command& cmd) {
   s.st = St::kValued;
   s.cmd = cmd;
   s.bal = Ballot{0, group_.self};
-  s.acks = {group_.self};
+  s.acks.clear();  // self joins via the fsync barrier below
   s.proposed_at = env_.now();
   s.own_pending_ack = true;
   own_unacked_.push_back(i);
   slot_got_value(i, s);
+  persist_slot(i);
+  persister_.hard_state();  // next_own_ moved: never reuse this slot
+  // The owner's implicit self-accept counts toward the ballot-0 quorum only
+  // once the value is durable (same rule as the Paxos proposer).
+  persister_.barrier([this, i] {
+    Slot* sl = slots_.find(i);
+    if (sl == nullptr || sl->st != St::kValued ||
+        !(sl->bal == Ballot{0, group_.self})) {
+      return;
+    }
+    bool dup = false;
+    for (NodeId a : sl->acks) dup |= (a == group_.self);
+    if (!dup) sl->acks.push_back(group_.self);
+    if (static_cast<int>(sl->acks.size()) >=
+        opt_.commit_quorum(group_.majority())) {
+      decide(i, sl->cmd);
+      advance_floors();
+    }
+  });
   pending_.push_back(OwnItem{i, cmd});
   batcher_.poke();
   advance_floors();
@@ -123,7 +160,7 @@ void MenciusNode::broadcast(Message m) {
   const size_t bytes = wire_size(m);
   for (NodeId peer : group_.members) {
     if (peer == group_.self) continue;
-    env_.send(peer, m, bytes);
+    persister_.send(peer, m, bytes);
   }
 }
 
@@ -148,11 +185,13 @@ void MenciusNode::skip_own_upto(LogIndex boundary) {
         s.cmd = kv::noop_command();
         s.bal = Ballot{0, group_.self};
         s.proposed_at = kTimeMax / 2;
+        persist_slot(i);
       }
     }
     ++slots_skipped_;
     last = i;
   }
+  persister_.hard_state();  // next_own_ jumped past the skipped turns
   pending_skips_.emplace_back(first, last + 1);
   batcher_.poke();
 }
@@ -181,6 +220,7 @@ void MenciusNode::decide(LogIndex i, const kv::Command& cmd) {
         // authoritative and resurrect the dead value (the auto-decide rule
         // in note_owner_watermark skips the zone below rev_floor).
         own_rev_floor_ = std::max(own_rev_floor_, i);
+        persister_.hard_state();
       }
       if (!s.cmd.is_noop()) {
         --unapplied_ops_[s.cmd.key];
@@ -207,6 +247,7 @@ void MenciusNode::decide(LogIndex i, const kv::Command& cmd) {
   s.st = St::kDecided;
   s.bal = Ballot{kDecidedBal, kNoNode};
   max_seen_ = std::max(max_seen_, i);
+  persist_slot(i);
 }
 
 void MenciusNode::advance_floors() {
@@ -248,7 +289,7 @@ size_t MenciusNode::history_above_floor() const {
 }
 
 void MenciusNode::maybe_compact(bool force) {
-  if (!applier_.can_snapshot()) return;
+  if (recovering_ || !applier_.can_snapshot()) return;
   if (!compaction_.due(opt_, history_above_floor(), env_.now(), force)) {
     return;
   }
@@ -268,6 +309,7 @@ void MenciusNode::maybe_compact(bool force) {
       opt_.compaction_log_cap > 0 ? opt_.compaction_log_cap / 2
                                   : kIntervalWarmTail;
   while (decided_history_.size() > keep) decided_history_.pop_front();
+  persister_.snapshot(snap_);
   compaction_.fired(env_.now());
   PRAFT_LOG(kDebug) << "mencius " << group_.self << " checkpointed @"
                     << snap_.last_index;
@@ -276,7 +318,7 @@ void MenciusNode::maybe_compact(bool force) {
 void MenciusNode::send_snapshot(NodeId to) {
   if (!snap_.valid()) return;
   SnapshotXfer sx{group_.self, snap_};
-  env_.send(to, Message{sx}, wire_size(sx));
+  persister_.send(to, Message{sx}, wire_size(sx));
 }
 
 bool MenciusNode::revocation_done() const {
@@ -295,10 +337,12 @@ void MenciusNode::on_snapshot_xfer(const SnapshotXfer& m) {
   if (!applier_.install_snapshot(m.snap)) return;
   ++snapshots_installed_;
   if (m.snap.last_index > snap_.last_index) snap_ = m.snap;
+  persister_.snapshot(m.snap);
   // Our own slots below the jump may have been revoked while we were away;
   // publishing the conservative rev floor keeps peers from auto-deciding a
   // stale ballot-0 value of ours in that zone (explicit learns only).
   own_rev_floor_ = std::max(own_rev_floor_, m.snap.last_index);
+  persister_.hard_state();
   // Prune every covered slot, releasing commutativity counters and dropping
   // un-acked own proposals (their slots were decided without us; the client
   // retries through the server adapter).
@@ -452,6 +496,7 @@ void MenciusNode::on_accept_own(const AcceptOwn& m) {
       s.cmd = item.cmd;
       s.bal = Ballot{0, m.owner};
       slot_got_value(item.index, s);
+      persist_slot(item.index);
     }
     ok.indexes.push_back(item.index);
   }
@@ -460,10 +505,20 @@ void MenciusNode::on_accept_own(const AcceptOwn& m) {
   if (max_item >= 0) skip_own_upto(max_item);
   note_owner_watermark(m.owner, m.decided_floor, m.rev_floor);
   if (!ok.indexes.empty()) {
-    env_.send(m.owner, Message{ok}, wire_size(ok));
+    // The ok is what the owner counts toward its ballot-0 quorum: it leaves
+    // only after the accepted values above are durable.
+    if (opt_.unsafe_skip_vote_fsync) {
+      // TEST-ONLY injected bug: Mencius's Phase2b ack is its everyday vote
+      // analog (RevPrepareOk, the literal vote, is too rare to convict the
+      // bug within the seed budget) — let it leave before the accepted
+      // values and the jumped own-slot cursor hit disk.
+      persister_.send_unsynced(m.owner, Message{ok}, wire_size(ok));
+    } else {
+      persister_.send(m.owner, Message{ok}, wire_size(ok));
+    }
   }
   if (!rej.indexes.empty()) {
-    env_.send(m.owner, Message{rej}, wire_size(rej));
+    persister_.send(m.owner, Message{rej}, wire_size(rej));
   }
   advance_floors();
 }
@@ -500,9 +555,11 @@ void MenciusNode::on_accept_own_rej(const AcceptOwnRej& m) {
     // LearnVals, or the stall path in maintenance() asks for it.
     if (s->st == St::kValued && s->bal == Ballot{0, group_.self}) {
       s->bal = Ballot{};
+      persist_slot(i);
     }
   }
   while (next_own_ <= m.jump_past) next_own_ += n_;
+  persister_.hard_state();  // own_rev_floor_ / next_own_ moved
   advance_floors();
 }
 
@@ -555,7 +612,7 @@ void MenciusNode::on_learn_req(const LearnReq& m) {
     }
   }
   if (aged_out) send_snapshot(m.from);
-  if (!lv.slots.empty()) env_.send(m.from, Message{lv}, wire_size(lv));
+  if (!lv.slots.empty()) persister_.send(m.from, Message{lv}, wire_size(lv));
 }
 
 void MenciusNode::on_learn_vals(const LearnVals& m) {
@@ -587,11 +644,16 @@ void MenciusNode::start_revocation(NodeId owner, LogIndex lo, LogIndex hi) {
   for (; i < hi; i += n_) {
     if (i < afloor()) continue;
     Slot& s = slot(i);
-    if (rev_.bal > s.promised) s.promised = rev_.bal;
+    if (rev_.bal > s.promised) {
+      s.promised = rev_.bal;
+      persist_slot(i);
+    }
     if (s.st != St::kEmpty) {
       rev_.best[i] = RevAccepted{i, s.bal, true, s.cmd.is_noop(), s.cmd};
     }
   }
+  max_promised_round_ = std::max(max_promised_round_, rev_.bal.round);
+  persister_.hard_state();  // rev_round_ bumped + our own promises
   broadcast(Message{RevPrepare{group_.self, rev_.bal, owner, lo, hi}});
 }
 
@@ -621,11 +683,19 @@ void MenciusNode::on_rev_prepare(const RevPrepare& m) {
     Slot& s = slot(i);
     if (m.bal <= s.promised) return;  // stale revoker: ignore whole prepare
     s.promised = m.bal;
+    persist_slot(i);
     if (s.st != St::kEmpty) {
       ok.accepted.push_back(RevAccepted{i, s.bal, true, s.cmd.is_noop(), s.cmd});
     }
   }
-  env_.send(m.from, Message{ok}, wire_size(ok));
+  max_promised_round_ = std::max(max_promised_round_, m.bal.round);
+  persister_.hard_state();
+  if (opt_.unsafe_skip_vote_fsync) {
+    // TEST-ONLY injected bug: the promise leaves before it hits disk.
+    persister_.send_unsynced(m.from, Message{ok}, wire_size(ok));
+  } else {
+    persister_.send(m.from, Message{ok}, wire_size(ok));
+  }
 }
 
 void MenciusNode::on_rev_prepare_ok(const RevPrepareOk& m) {
@@ -644,6 +714,7 @@ void MenciusNode::on_rev_prepare_ok(const RevPrepareOk& m) {
   RevAccept ra;
   ra.from = group_.self;
   ra.bal = rev_.bal;
+  std::vector<LogIndex> self_accepted;
   const int orank = group_.rank_of(rev_.owner);
   LogIndex i = rev_.lo + (((orank - rev_.lo) % n_) + n_) % n_;
   for (; i < rev_.hi; i += n_) {
@@ -655,7 +726,7 @@ void MenciusNode::on_rev_prepare_ok(const RevPrepareOk& m) {
     ra.items.push_back(OwnItem{i, cmd});
     if (i >= afloor()) {
       Slot& s = slot(i);
-      // Self-accept.
+      // Self-accept (the ack joins the tally via the fsync barrier below).
       if (s.st != St::kDecided) {
         if (s.st == St::kValued && !(s.cmd == cmd)) {
           if (!s.cmd.is_noop()) {
@@ -673,11 +744,22 @@ void MenciusNode::on_rev_prepare_ok(const RevPrepareOk& m) {
         }
         s.st = St::kValued;
         s.bal = rev_.bal;
+        persist_slot(i);
       }
-      rev_.acks[i] = {group_.self};
+      rev_.acks[i] = {};
+      self_accepted.push_back(i);
     }
   }
   broadcast(Message{ra});
+  persister_.barrier([this, bal = rev_.bal, self_accepted] {
+    if (!rev_.active || !(rev_.bal == bal)) return;
+    LearnVals lv;
+    lv.from = group_.self;
+    for (LogIndex k : self_accepted) note_rev_ack(bal, k, group_.self, lv);
+    if (!lv.slots.empty()) broadcast(Message{lv});
+    if (revocation_done()) rev_.active = false;
+    advance_floors();
+  });
   advance_floors();
 }
 
@@ -732,40 +814,106 @@ void MenciusNode::on_rev_accept(const RevAccept& m) {
       }
       s.st = St::kValued;
       s.bal = m.bal;
+      persist_slot(item.index);
+    } else {
+      persist_slot(item.index);  // the raised promise must survive a crash
     }
     ok.indexes.push_back(item.index);
     max_seen_ = std::max(max_seen_, item.index);
   }
+  max_promised_round_ = std::max(max_promised_round_, m.bal.round);
+  persister_.hard_state();
   if (aged_out) send_snapshot(m.from);
-  if (!ok.indexes.empty()) env_.send(m.from, Message{ok}, wire_size(ok));
+  if (!ok.indexes.empty()) persister_.send(m.from, Message{ok}, wire_size(ok));
   advance_floors();
+}
+
+void MenciusNode::note_rev_ack(const consensus::Ballot& bal, LogIndex i,
+                               NodeId who, LearnVals& lv) {
+  if (!rev_.active || !(rev_.bal == bal)) return;
+  auto ait = rev_.acks.find(i);
+  if (ait == rev_.acks.end()) return;
+  bool dup = false;
+  for (NodeId a : ait->second) dup |= (a == who);
+  if (dup) return;
+  ait->second.push_back(who);
+  if (static_cast<int>(ait->second.size()) == group_.majority()) {
+    const Slot* s = slot_if(i);
+    if (s != nullptr && i >= afloor()) {
+      decide(i, s->cmd);
+      lv.slots.push_back(SlotInfo{i, s->cmd.is_noop(),
+                                  slot_if(i) != nullptr ? slot_if(i)->cmd
+                                                        : kv::noop_command()});
+    }
+  }
 }
 
 void MenciusNode::on_rev_accept_ok(const RevAcceptOk& m) {
   if (!rev_.active || !(m.bal == rev_.bal)) return;
   LearnVals lv;
   lv.from = group_.self;
-  for (LogIndex i : m.indexes) {
-    auto ait = rev_.acks.find(i);
-    if (ait == rev_.acks.end()) continue;
-    bool dup = false;
-    for (NodeId a : ait->second) dup |= (a == m.from);
-    if (dup) continue;
-    ait->second.push_back(m.from);
-    if (static_cast<int>(ait->second.size()) == group_.majority()) {
-      const Slot* s = slot_if(i);
-      if (s != nullptr && i >= afloor()) {
-        decide(i, s->cmd);
-        lv.slots.push_back(SlotInfo{i, s->cmd.is_noop(),
-                                    slot_if(i) != nullptr ? slot_if(i)->cmd
-                                                          : kv::noop_command()});
-      }
-    }
-  }
+  for (LogIndex i : m.indexes) note_rev_ack(m.bal, i, m.from, lv);
   if (!lv.slots.empty()) broadcast(Message{lv});  // decide notice
   // Finished when every slot in range is decided locally.
   if (revocation_done()) rev_.active = false;
   advance_floors();
+}
+
+storage::RecoveryStats MenciusNode::recover(const storage::DurableImage& img) {
+  PRAFT_CHECK_MSG(applier_.applied() == -1 && next_own_ == rank_,
+                  "recover() must run once, on a fresh node, before start()");
+  recovering_ = true;
+  max_promised_round_ = img.hard.term;
+  next_own_ = std::max(next_own_, img.hard.floor);
+  rev_round_ = img.hard.aux;
+  own_rev_floor_ = img.hard.tail;
+  storage::RecoveryStats stats;
+  stats.recovered = true;
+  if (img.snap.valid()) {
+    applier_.install_snapshot(img.snap);
+    slots_.set_floor(img.snap.last_index);
+    snap_ = img.snap;
+    stats.snapshot_floor = img.snap.last_index;
+    max_seen_ = std::max(max_seen_, img.snap.last_index);
+    // Conservative, like on_snapshot_xfer: own slots at or below the floor
+    // may have been revoked while we were down.
+    own_rev_floor_ = std::max(own_rev_floor_, img.snap.last_index);
+  }
+  for (const storage::WalRecord& r : img.records) {
+    if (r.index <= slots_.floor()) continue;
+    if (!r.has_value && r.promised < 0) continue;  // nothing durable left
+    Slot& sl = slots_.materialize(r.index);
+    sl.promised = Ballot{r.promised, r.pnode};
+    if (r.has_value) {
+      sl.cmd = r.cmd;
+      if (r.decided) {
+        sl.st = St::kDecided;
+        sl.bal = Ballot{kDecidedBal, kNoNode};
+      } else {
+        sl.st = St::kValued;
+        sl.bal = Ballot{r.term, r.vnode};
+        sl.proposed_at = 0;  // immediately eligible for retransmission
+        if (sl.bal == Ballot{0, group_.self}) {
+          sl.acks = {group_.self};  // our accept IS durable — it was replayed
+        }
+      }
+      slot_got_value(r.index, sl);
+    }
+    max_seen_ = std::max(max_seen_, r.index);
+    ++stats.replayed;
+    stats.wal_tail = std::max(stats.wal_tail, r.index);
+  }
+  stats.wal_tail = std::max(stats.wal_tail, stats.snapshot_floor);
+  while (next_own_ < afloor()) next_own_ += n_;
+  if (info_floor_ < afloor()) info_floor_ = afloor();
+  recovering_ = false;
+  // Re-execute the contiguous decided prefix (rebuilds decided_history_ and
+  // prunes executed slots, exactly like live operation).
+  advance_floors();
+  PRAFT_LOG(kInfo) << "mencius " << group_.self << " recovered: next_own "
+                   << next_own_ << ", floor " << afloor() << " ("
+                   << stats.replayed << " replayed)";
+  return stats;
 }
 
 // ---------------------------------------------------------------------------
@@ -802,8 +950,8 @@ void MenciusNode::maintenance() {
     const NodeId blocker = owner_of(afloor());
     const LogIndex hi = std::min(max_seen_ + 1, afloor() + 256);
     if (blocker != group_.self) {
-      env_.send(blocker, Message{LearnReq{group_.self, afloor(), hi}},
-                consensus::wire::kSmallMsg);
+      persister_.send(blocker, Message{LearnReq{group_.self, afloor(), hi}},
+                      consensus::wire::kSmallMsg);
       if (now - last_heard_[blocker] > opt_.revoke_timeout) {
         start_revocation(blocker, afloor(), max_seen_ + 1);
       }

@@ -17,6 +17,7 @@
 #include "consensus/types.h"
 #include "mencius/messages.h"
 #include "net/packet.h"
+#include "storage/persister.h"
 
 namespace praft::mencius {
 
@@ -60,7 +61,11 @@ struct Options : consensus::TimingOptions {
 /// runtime.
 class MenciusNode : public consensus::NodeIface {
  public:
-  MenciusNode(consensus::Group group, consensus::Env& env, Options opt = {});
+  /// `store` (nullable) is this node's stable storage: per-slot accepted
+  /// values and revocation promises, the own-slot cursor and revocation
+  /// floors persist through it; acks wait on the fsync barrier.
+  MenciusNode(consensus::Group group, consensus::Env& env, Options opt = {},
+              storage::DurableStore* store = nullptr);
 
   void start() override;
   void on_packet(const net::Packet& p) override;
@@ -102,6 +107,20 @@ class MenciusNode : public consensus::NodeIface {
     return applier_.applied();
   }
 
+  /// Mencius's hard state: the highest revocation ballot promised anywhere
+  /// (term), the own-slot cursor (floor — an owner must never re-propose a
+  /// different value on a slot it already used at ballot 0), the revocation
+  /// round counter (aux) and the own revoked floor (tail).
+  [[nodiscard]] consensus::HardState hard_state() const override {
+    return consensus::HardState{max_promised_round_, kNoNode, next_own_,
+                                rev_round_, own_rev_floor_};
+  }
+  void persist_hard_state() override { persister_.hard_state(); }
+  void set_hard_state_probe(consensus::HardStateProbe probe) override {
+    persister_.set_probe(std::move(probe));
+  }
+  storage::RecoveryStats recover(const storage::DurableImage& img) override;
+
   /// Proposes a command on this node's next own slot. Always succeeds
   /// (every replica is a leader for its residue class). Returns the slot.
   LogIndex submit(const kv::Command& cmd) override;
@@ -124,7 +143,9 @@ class MenciusNode : public consensus::NodeIface {
     return group_.members[static_cast<size_t>(i) % group_.members.size()];
   }
   [[nodiscard]] int64_t slots_skipped() const { return slots_skipped_; }
-  [[nodiscard]] int64_t revocations_started() const { return revocations_; }
+  [[nodiscard]] int64_t revocations_started() const override {
+    return revocations_;
+  }
 
  private:
   enum class St : uint8_t {
@@ -156,6 +177,15 @@ class MenciusNode : public consensus::NodeIface {
   void on_snapshot_xfer(const SnapshotXfer& m);
 
   void maybe_compact(bool force);
+  /// Mirrors slot `i`'s full durable state into the write-ahead log.
+  void persist_slot(LogIndex i) {
+    if (!recovering_) slots_.persist(i);
+  }
+  /// One revocation phase-2 acknowledgement for slot `i` (remote, or self
+  /// once the self-accept's fsync barrier clears); decides on majority and
+  /// collects the decide notice into `lv`.
+  void note_rev_ack(const consensus::Ballot& bal, LogIndex i, NodeId who,
+                    LearnVals& lv);
   /// Decision-history entries above the checkpoint floor — what the next
   /// checkpoint would absorb (the bounded-memory invariant caps this).
   [[nodiscard]] size_t history_above_floor() const;
@@ -191,8 +221,11 @@ class MenciusNode : public consensus::NodeIface {
   consensus::Group group_;
   consensus::Env& env_;
   Options opt_;
+  storage::Persister persister_;
   int rank_;
   int n_;
+  consensus::Term max_promised_round_ = 0;  // scalar over all slot promises
+  bool recovering_ = false;
 
   consensus::SparseLog<Slot> slots_;  // sparse; pruned below the apply floor
   LogIndex info_floor_ = 0;          // slots < info_floor_ have st != kEmpty

@@ -7,16 +7,32 @@
 
 namespace praft::paxos {
 
-PaxosNode::PaxosNode(consensus::Group group, consensus::Env& env, Options opt)
+PaxosNode::PaxosNode(consensus::Group group, consensus::Env& env, Options opt,
+                     storage::DurableStore* store)
     : group_(std::move(group)),
       env_(env),
       opt_(opt),
+      persister_(env, store, opt_.fsync_duration, opt_.sync_batch_delay,
+                 [this] { return hard_state(); }),
       election_(env, opt_.election_timeout_min, opt_.election_timeout_max),
       heartbeat_(env),
       batcher_(env, opt_.batch_delay, [this] { flush_batch(); }),
       prepare_acks_(group_.majority()) {
   group_.validate();
   ballot_ = Ballot{0, kNoNode};
+  // Write-ahead mirroring: persist_inst() routes each instance's full
+  // accepted/chosen state through this hook into one coalescing WAL record.
+  instances_.set_persistence(
+      [this](LogIndex i, const Instance& in) {
+        storage::WalRecord r;
+        r.index = i;
+        r.term = in.bal.round;
+        r.vnode = in.bal.node;
+        r.decided = in.chosen;
+        r.has_value = in.has;
+        r.cmd = in.cmd;
+        persister_.record(std::move(r));
+      });
   instances_.set_floor(0);  // instances are 1-based; nothing pruned yet
   election_.set_gate([this] { return !is_leader(); });
   election_.set_handler([this](bool expired) {
@@ -70,10 +86,11 @@ void PaxosNode::start_prepare() {
   election_.touch();
   PRAFT_LOG(kDebug) << "paxos " << group_.self << " prepare ballot ("
                     << ballot_.round << "," << ballot_.node << ")";
+  persister_.hard_state();  // our own Phase1a promise must survive a crash
   Prepare p{ballot_, group_.self, commit_floor() + 1};
   for (NodeId peer : group_.members) {
     if (peer == group_.self) continue;
-    env_.send(peer, Message{p}, wire_size(p));
+    persister_.send(peer, Message{p}, wire_size(p));
   }
   if (prepare_acks_.reached()) finish_prepare();
 }
@@ -84,6 +101,7 @@ void PaxosNode::on_prepare(const Prepare& m) {
     phase1_succeeded_ = false;
     preparing_ = false;
     leader_ = m.sender;
+    persister_.hard_state();
     election_.touch();
     PrepareOk ok;
     ok.bal = ballot_;
@@ -101,10 +119,15 @@ void PaxosNode::on_prepare(const Prepare& m) {
         ok.accepted.push_back(AcceptedVal{i, in->bal, in->cmd});
       }
     }
-    env_.send(m.sender, Message{ok}, wire_size(ok));
+    if (opt_.unsafe_skip_vote_fsync) {
+      // TEST-ONLY injected bug: the promise leaves before it hits disk.
+      persister_.send_unsynced(m.sender, Message{ok}, wire_size(ok));
+    } else {
+      persister_.send(m.sender, Message{ok}, wire_size(ok));
+    }
   } else {
     Reject r{ballot_, group_.self};
-    env_.send(m.sender, Message{r}, wire_size(r));
+    persister_.send(m.sender, Message{r}, wire_size(r));
   }
 }
 
@@ -150,7 +173,7 @@ void PaxosNode::heartbeat_tick() {
   Heartbeat hb{ballot_, group_.self, commit_floor()};
   for (NodeId peer : group_.members) {
     if (peer == group_.self) continue;
-    env_.send(peer, Message{hb}, wire_size(hb));
+    persister_.send(peer, Message{hb}, wire_size(hb));
   }
   // Interval-leg compaction on an idle leader (apply advances stopped).
   maybe_compact(/*force=*/false);
@@ -209,34 +232,48 @@ void PaxosNode::add_ack(Instance& in, const Ballot& b, NodeId who) {
 
 void PaxosNode::propose_range(LogIndex start,
                               const std::vector<kv::Command>& cmds) {
-  // Phase2a plus the proposer's implicit self-accept.
+  // Phase2a. The proposer's implicit self-accept is DEFERRED to the fsync
+  // barrier below: counting a volatile local accept toward the quorum would
+  // let a value be "chosen" with only commit_quorum-1 durable copies.
+  const Ballot bal = ballot_;
   for (size_t k = 0; k < cmds.size(); ++k) {
     const LogIndex i = start + static_cast<LogIndex>(k);
     Instance& in = inst(i);
     if (in.chosen) continue;  // retransmits may cover already-chosen slots
-    in.bal = ballot_;
+    in.bal = bal;
     in.cmd = cmds[k];
     in.has = true;
     in.proposed_at = env_.now();
-    add_ack(in, ballot_, group_.self);
     log_tail_ = std::max(log_tail_, i);
+    persist_inst(i);
   }
-  AcceptBatch ab{ballot_, group_.self, start, cmds, commit_floor()};
+  persister_.hard_state();  // log_tail_ moved
+  AcceptBatch ab{bal, group_.self, start, cmds, commit_floor()};
   for (NodeId peer : group_.members) {
     if (peer == group_.self) continue;
-    env_.send(peer, Message{ab}, wire_size(ab));
+    persister_.send(peer, Message{ab}, wire_size(ab));
   }
-  if (group_.n() == 1) {
-    for (size_t k = 0; k < cmds.size(); ++k) {
-      mark_chosen(start + static_cast<LogIndex>(k));
+  const LogIndex end = start + static_cast<LogIndex>(cmds.size()) - 1;
+  persister_.barrier([this, start, end, bal] {
+    for (LogIndex i = start; i <= end; ++i) {
+      if (i <= instances_.floor()) continue;
+      Instance* in = instances_.find(i);
+      if (in == nullptr || in->chosen || !in->has || !(in->bal == bal)) {
+        continue;
+      }
+      add_ack(*in, bal, group_.self);
+      if (static_cast<int>(in->acks.size()) >=
+          opt_.commit_quorum(group_.majority())) {
+        mark_chosen(i);
+      }
     }
-  }
+  });
 }
 
 void PaxosNode::on_accept(const AcceptBatch& m) {
   if (m.bal < ballot_) {
     Reject r{ballot_, group_.self};
-    env_.send(m.sender, Message{r}, wire_size(r));
+    persister_.send(m.sender, Message{r}, wire_size(r));
     return;
   }
   if (m.bal > ballot_) {
@@ -258,12 +295,16 @@ void PaxosNode::on_accept(const AcceptBatch& m) {
     in.cmd = m.cmds[k];
     in.has = true;
     log_tail_ = std::max(log_tail_, i);
+    persist_inst(i);
   }
+  persister_.hard_state();
   if (m.commit_floor > commit_floor()) sync_to_floor(m.bal, m.commit_floor);
   if (!m.cmds.empty()) {
+    // The ack is what the proposer counts toward the quorum: it leaves only
+    // after the accepted values above are durable.
     AcceptOkBatch ok{m.bal, group_.self, m.start,
                      static_cast<LogIndex>(m.cmds.size())};
-    env_.send(m.sender, Message{ok}, wire_size(ok));
+    persister_.send(m.sender, Message{ok}, wire_size(ok));
   }
 }
 
@@ -288,6 +329,7 @@ void PaxosNode::mark_chosen(LogIndex i) {
   if (in.chosen) return;
   PRAFT_CHECK_MSG(in.has, "chosen instance without a value");
   in.chosen = true;
+  persist_inst(i);
   advance_floor();
 }
 
@@ -315,7 +357,7 @@ void PaxosNode::commit_to(LogIndex floor) {
 }
 
 void PaxosNode::maybe_compact(bool force) {
-  if (!applier_.can_snapshot()) return;
+  if (recovering_ || !applier_.can_snapshot()) return;
   const LogIndex target = applier_.applied();
   const auto compactable = static_cast<size_t>(target - instances_.floor());
   if (!compaction_.due(opt_, compactable, env_.now(), force)) return;
@@ -323,6 +365,7 @@ void PaxosNode::maybe_compact(bool force) {
   snap_.last_term = 0;  // ballot-numbered protocol: no prev-term checks
   snap_.state = applier_.capture_state();
   instances_.set_floor(target);
+  persister_.snapshot(snap_);
   compaction_.fired(env_.now());
   PRAFT_LOG(kDebug) << "paxos " << group_.self
                     << " compacted instances to " << target;
@@ -333,8 +376,10 @@ void PaxosNode::adopt_snapshot(const consensus::Snapshot& snap) {
   // the instance storage: everything the snapshot covers is chosen and
   // lives in the state image now.
   if (snap.last_index > snap_.last_index) snap_ = snap;
+  persister_.snapshot(snap);
   instances_.set_floor(snap.last_index);
   log_tail_ = std::max(log_tail_, snap.last_index);
+  persister_.hard_state();
   PRAFT_LOG(kInfo) << "paxos " << group_.self << " installed snapshot @"
                    << snap.last_index;
   advance_floor();
@@ -354,7 +399,10 @@ void PaxosNode::sync_to_floor(const Ballot& sender_bal, LogIndex floor) {
     Instance& in = inst(i);
     // The sender (ballot owner) proposes exactly one value per instance per
     // ballot, so a local value accepted at sender_bal IS the chosen value.
-    if (!in.chosen && in.has && in.bal == sender_bal) in.chosen = true;
+    if (!in.chosen && in.has && in.bal == sender_bal) {
+      in.chosen = true;
+      persist_inst(i);
+    }
   }
   commit_to(floor);
   advance_floor();
@@ -385,7 +433,7 @@ void PaxosNode::request_missing(LogIndex upto) {
     if (target == group_.self) return;  // single-node group
   }
   LearnRequest lr{group_.self, from, upto};
-  env_.send(target, Message{lr}, wire_size(lr));
+  persister_.send(target, Message{lr}, wire_size(lr));
 }
 
 void PaxosNode::on_reject(const Reject& m) {
@@ -393,6 +441,7 @@ void PaxosNode::on_reject(const Reject& m) {
     ballot_ = Ballot{m.bal.round, kNoNode};  // adopt the round; not a promise
     phase1_succeeded_ = false;
     preparing_ = false;
+    persister_.hard_state();
     // Back off; the election timer retries Prepare with a higher round.
   }
 }
@@ -403,6 +452,7 @@ void PaxosNode::on_heartbeat(const Heartbeat& m) {
     ballot_ = m.bal;
     phase1_succeeded_ = false;
     preparing_ = false;
+    persister_.hard_state();
   }
   leader_ = m.sender;
   election_.touch();
@@ -421,7 +471,7 @@ void PaxosNode::on_learn_request(const LearnRequest& m) {
   // the MultiPaxos face of InstallSnapshot).
   if (m.from <= instances_.floor() && snap_.valid()) {
     SnapshotTransfer st{group_.self, snap_};
-    env_.send(m.sender, Message{st}, wire_size(st));
+    persister_.send(m.sender, Message{st}, wire_size(st));
     return;
   }
   LearnValues lv;
@@ -432,7 +482,7 @@ void PaxosNode::on_learn_request(const LearnRequest& m) {
     if (in == nullptr || !in->chosen) break;
     lv.cmds.push_back(in->cmd);
   }
-  if (!lv.cmds.empty()) env_.send(m.sender, Message{lv}, wire_size(lv));
+  if (!lv.cmds.empty()) persister_.send(m.sender, Message{lv}, wire_size(lv));
 }
 
 void PaxosNode::on_learn_values(const LearnValues& m) {
@@ -448,8 +498,47 @@ void PaxosNode::on_learn_values(const LearnValues& m) {
     in.has = true;
     in.chosen = true;
     log_tail_ = std::max(log_tail_, i);
+    persist_inst(i);
   }
+  persister_.hard_state();
   advance_floor();
+}
+
+storage::RecoveryStats PaxosNode::recover(const storage::DurableImage& img) {
+  PRAFT_CHECK_MSG(log_tail_ == 0 && applier_.applied() == 0,
+                  "recover() must run once, on a fresh node, before start()");
+  recovering_ = true;
+  ballot_ = Ballot{img.hard.term, img.hard.vote};
+  log_tail_ = std::max<LogIndex>(0, img.hard.tail);
+  storage::RecoveryStats stats;
+  stats.recovered = true;
+  if (img.snap.valid()) {
+    applier_.install_snapshot(img.snap);
+    instances_.set_floor(img.snap.last_index);
+    snap_ = img.snap;
+    stats.snapshot_floor = img.snap.last_index;
+    log_tail_ = std::max(log_tail_, img.snap.last_index);
+  }
+  for (const storage::WalRecord& r : img.records) {
+    Instance& in = instances_.materialize(r.index);
+    in.bal = Ballot{r.term, r.vnode};
+    in.cmd = r.cmd;
+    in.has = r.has_value;
+    in.chosen = r.decided;
+    in.proposed_at = 0;  // immediately eligible for leader retransmission
+    log_tail_ = std::max(log_tail_, r.index);
+    ++stats.replayed;
+    stats.wal_tail = std::max(stats.wal_tail, r.index);
+  }
+  stats.wal_tail = std::max(stats.wal_tail, stats.snapshot_floor);
+  recovering_ = false;
+  // Re-execute the contiguous chosen prefix (exactly the WAL-replay half of
+  // recovery; the snapshot already covered everything below its floor).
+  advance_floor();
+  PRAFT_LOG(kInfo) << "paxos " << group_.self << " recovered: ballot ("
+                   << ballot_.round << "," << ballot_.node << "), floor "
+                   << commit_floor() << ", tail " << log_tail_;
+  return stats;
 }
 
 void PaxosNode::on_packet(const net::Packet& p) {

@@ -14,6 +14,7 @@
 #include "consensus/types.h"
 #include "net/packet.h"
 #include "paxos/messages.h"
+#include "storage/persister.h"
 
 namespace praft::paxos {
 
@@ -35,7 +36,11 @@ struct Options : consensus::TimingOptions {
 /// runtime.
 class PaxosNode : public consensus::NodeIface {
  public:
-  PaxosNode(consensus::Group group, consensus::Env& env, Options opt = {});
+  /// `store` (nullable) is this node's stable storage: the promised ballot
+  /// and every accepted (ballot, value) pair persist through it; PrepareOk /
+  /// AcceptOk replies wait on the fsync barrier (storage::Persister).
+  PaxosNode(consensus::Group group, consensus::Env& env, Options opt = {},
+            storage::DurableStore* store = nullptr);
 
   void start() override;
   void on_packet(const net::Packet& p) override;
@@ -87,6 +92,18 @@ class PaxosNode : public consensus::NodeIface {
   [[nodiscard]] LogIndex applied_index() const override {
     return applier_.applied();
   }
+
+  /// MultiPaxos's hard state: the promise (ballot as term+vote) plus the
+  /// accepted tail (monotone — acceptors never un-accept).
+  [[nodiscard]] consensus::HardState hard_state() const override {
+    return consensus::HardState{ballot_.round, ballot_.node, -1, 0, log_tail_};
+  }
+  void persist_hard_state() override { persister_.hard_state(); }
+  void set_hard_state_probe(consensus::HardStateProbe probe) override {
+    persister_.set_probe(std::move(probe));
+  }
+  storage::RecoveryStats recover(const storage::DurableImage& img) override;
+
   [[nodiscard]] NodeId id() const override { return group_.self; }
   [[nodiscard]] bool chosen_at(LogIndex i) const;
   [[nodiscard]] const kv::Command* value_at(LogIndex i) const;
@@ -115,6 +132,10 @@ class PaxosNode : public consensus::NodeIface {
   void on_snapshot_transfer(const SnapshotTransfer& m);
 
   void maybe_compact(bool force);
+  /// Mirrors instance `i`'s accepted/chosen state into the write-ahead log.
+  void persist_inst(LogIndex i) {
+    if (!recovering_) instances_.persist(i);
+  }
   /// Adopts `snap` as local state after an Applier install: prunes covered
   /// instances, raises the checkpoint floor, and resumes execution above.
   void adopt_snapshot(const consensus::Snapshot& snap);
@@ -147,6 +168,11 @@ class PaxosNode : public consensus::NodeIface {
   consensus::SparseLog<Instance> instances_;  // sparse: holes are real
   LogIndex next_propose_ = 1;   // leader's next unused instance id
   LogIndex log_tail_ = 0;       // largest instance id with an accepted value
+
+  // Durability plumbing: promise + accepted values stage through the
+  // persister; replies and the proposer's self-accept wait on fsync.
+  storage::Persister persister_;
+  bool recovering_ = false;
 
   // Latest checkpoint: covers exactly the pruned instances (snap_.last_index
   // == instances_.floor() after the first compaction).

@@ -7,10 +7,14 @@
 
 namespace praft::raft {
 
-RaftNode::RaftNode(consensus::Group group, consensus::Env& env, Options opt)
+RaftNode::RaftNode(consensus::Group group, consensus::Env& env, Options opt,
+                   storage::DurableStore* store)
     : group_(std::move(group)),
       env_(env),
       opt_(opt),
+      persister_(env, store, opt_.fsync_duration, opt_.sync_batch_delay,
+                 [this] { return hard_state(); }),
+      mirror_(persister_, log_),
       election_(env, opt_.election_timeout_min, opt_.election_timeout_max),
       heartbeat_(env),
       batcher_(env, opt_.batch_delay,
@@ -36,6 +40,12 @@ void RaftNode::start() { election_.start(); }
 
 Term RaftNode::term_at(LogIndex i) const { return log_.at(i).term; }
 
+void RaftNode::note_appended() {
+  mirror_.note_appended([this] {
+    if (role_ == Role::kLeader) advance_commit();
+  });
+}
+
 void RaftNode::start_election() {
   ++term_;
   role_ = Role::kCandidate;
@@ -43,13 +53,14 @@ void RaftNode::start_election() {
   voted_for_ = group_.self;
   votes_ = consensus::QuorumTracker(group_.majority());
   votes_.add(group_.self);
+  persister_.hard_state();  // the self-vote must survive a crash
   election_.touch();  // restart the clock for this attempt
   PRAFT_LOG(kDebug) << "raft " << group_.self << " starts election term "
                     << term_;
   RequestVote rv{term_, group_.self, last_index(), term_at(last_index())};
   for (NodeId peer : group_.members) {
     if (peer == group_.self) continue;
-    env_.send(peer, Message{rv}, wire_size(rv));
+    persister_.send(peer, Message{rv}, wire_size(rv));
   }
   if (votes_.reached()) become_leader();  // single-node group
 }
@@ -58,6 +69,7 @@ void RaftNode::step_down(Term t) {
   if (t > term_) {
     term_ = t;
     voted_for_ = kNoNode;
+    persister_.hard_state();
   }
   if (role_ == Role::kLeader) {
     next_index_.clear();
@@ -103,11 +115,17 @@ void RaftNode::on_request_vote(const RequestVote& m) {
     if (up_to_date) {
       granted = true;
       voted_for_ = m.candidate;
+      persister_.hard_state();
       election_.touch();  // granting a vote defers our own election
     }
   }
   VoteReply reply{term_, group_.self, granted};
-  env_.send(m.candidate, Message{reply}, wire_size(reply));
+  if (granted && opt_.unsafe_skip_vote_fsync) {
+    // TEST-ONLY injected bug: the reply leaves before the vote hits disk.
+    persister_.send_unsynced(m.candidate, Message{reply}, wire_size(reply));
+  } else {
+    persister_.send(m.candidate, Message{reply}, wire_size(reply));
+  }
 }
 
 void RaftNode::on_vote_reply(const VoteReply& m) {
@@ -134,6 +152,7 @@ void RaftNode::become_leader() {
   // Commit a no-op to pull prior-term entries to commit (§5.4.2 workaround —
   // Raft cannot count replicas of old-term entries directly).
   log_.append(Entry{term_, kv::noop_command()});
+  note_appended();
   broadcast_append();
   heartbeat_.start(opt_.heartbeat_interval);
 }
@@ -141,6 +160,7 @@ void RaftNode::become_leader() {
 LogIndex RaftNode::submit(const kv::Command& cmd) {
   if (role_ != Role::kLeader) return -1;
   log_.append(Entry{term_, cmd});
+  note_appended();
   batcher_.poke();
   return last_index();
 }
@@ -176,7 +196,7 @@ void RaftNode::replicate_to(NodeId peer) {
   for (LogIndex i = prev + 1; i <= hi; ++i) {
     ae.entries.push_back(log_.at(i));
   }
-  env_.send(peer, Message{ae}, wire_size(ae));
+  persister_.send(peer, Message{ae}, wire_size(ae));
   // Optimistic pipelining: assume delivery and advance nextIndex so the
   // next flush sends only NEW entries. A reject (or the conflict hint after
   // a loss) rolls the window back.
@@ -186,7 +206,7 @@ void RaftNode::replicate_to(NodeId peer) {
 void RaftNode::on_append_entries(const AppendEntries& m) {
   if (m.term < term_) {
     AppendReply reply{term_, group_.self, false, 0, 0};
-    env_.send(m.leader, Message{reply}, wire_size(reply));
+    persister_.send(m.leader, Message{reply}, wire_size(reply));
     return;
   }
   step_down(m.term);
@@ -210,7 +230,7 @@ void RaftNode::on_append_entries(const AppendEntries& m) {
       AppendReply reply{term_, group_.self, true,
                         m.prev_index + static_cast<LogIndex>(m.entries.size()),
                         0};
-      env_.send(m.leader, Message{reply}, wire_size(reply));
+      persister_.send(m.leader, Message{reply}, wire_size(reply));
       return;
     }
   }
@@ -220,7 +240,7 @@ void RaftNode::on_append_entries(const AppendEntries& m) {
     // Consistency check failed; hint the leader where to back off.
     const LogIndex hint = std::min(last_index() + 1, m.prev_index);
     AppendReply reply{term_, group_.self, false, 0, std::max<LogIndex>(1, hint)};
-    env_.send(m.leader, Message{reply}, wire_size(reply));
+    persister_.send(m.leader, Message{reply}, wire_size(reply));
     return;
   }
 
@@ -239,10 +259,14 @@ void RaftNode::on_append_entries(const AppendEntries& m) {
       log_.append(e);
     }
   }
+  note_appended();
   const LogIndex match = m.prev_index + static_cast<LogIndex>(m.entries.size());
   commit_to(std::min(m.commit, match));
+  // The ok-reply is what lets the leader count this replica toward a commit
+  // quorum, so it must not leave before the appended entries (and any term
+  // bump above) are durable — persister_.send gates it on the fsync barrier.
   AppendReply reply{term_, group_.self, true, match, 0};
-  env_.send(m.leader, Message{reply}, wire_size(reply));
+  persister_.send(m.leader, Message{reply}, wire_size(reply));
 }
 
 void RaftNode::on_append_reply(const AppendReply& m) {
@@ -270,7 +294,10 @@ void RaftNode::advance_commit() {
   // (§5.4.2: never commit old-term entries by counting).
   for (LogIndex n = last_index(); n > commit_index(); --n) {
     if (term_at(n) != term_) break;
-    int count = 1;  // self
+    // Self counts only once its own entries are durable (the mirror's
+    // note_appended barrier advances the durable index) — a leader whose
+    // disk lags may not treat its volatile log as a replica.
+    int count = mirror_.durable_index() >= n ? 1 : 0;
     for (const auto& [peer, match] : match_index_) {
       if (match >= n) ++count;
     }
@@ -288,7 +315,7 @@ void RaftNode::commit_to(LogIndex target) {
 }
 
 void RaftNode::maybe_compact(bool force) {
-  if (!applier_.can_snapshot()) return;
+  if (recovering_ || !applier_.can_snapshot()) return;
   const LogIndex target = applier_.applied();
   const auto compactable = static_cast<size_t>(target - log_.base_index());
   if (!compaction_.due(opt_, compactable, env_.now(), force)) return;
@@ -296,6 +323,8 @@ void RaftNode::maybe_compact(bool force) {
   snap_.last_term = term_at(target);
   snap_.state = applier_.capture_state();
   log_.compact_to(target);
+  // Durably: the snapshot substitutes for the WAL prefix it covers.
+  persister_.snapshot(snap_);
   compaction_.fired(env_.now());
   PRAFT_LOG(kDebug) << "raft " << group_.self << " compacted log to "
                     << target;
@@ -305,7 +334,7 @@ void RaftNode::send_snapshot(NodeId peer) {
   PRAFT_CHECK_MSG(snap_.valid() && snap_.last_index == log_.base_index(),
                   "snapshot does not cover the compacted prefix");
   InstallSnapshot is{term_, group_.self, snap_};
-  env_.send(peer, Message{is}, wire_size(is));
+  persister_.send(peer, Message{is}, wire_size(is));
   // Optimistic pipelining, like replicate_to: resume appends right after
   // the snapshot; the reply (or a reject) corrects the window.
   next_index_[peer] = snap_.last_index + 1;
@@ -318,6 +347,9 @@ void RaftNode::on_install_snapshot(const InstallSnapshot& m) {
     election_.touch();
     if (applier_.install_snapshot(m.snap)) {
       ++snapshots_installed_;
+      // Persist the snapshot FIRST so the WAL truncation a reset stages is
+      // committed against it (staging order = durable apply order).
+      persister_.snapshot(m.snap);
       if (m.snap.last_index <= last_index() &&
           m.snap.last_index > log_.base_index() &&
           term_at(m.snap.last_index) == m.snap.last_term) {
@@ -335,7 +367,27 @@ void RaftNode::on_install_snapshot(const InstallSnapshot& m) {
     }
   }
   InstallSnapshotReply reply{term_, group_.self, applier_.applied()};
-  env_.send(m.leader, Message{reply}, wire_size(reply));
+  persister_.send(m.leader, Message{reply}, wire_size(reply));
+}
+
+storage::RecoveryStats RaftNode::recover(const storage::DurableImage& img) {
+  PRAFT_CHECK_MSG(role_ == Role::kFollower && last_index() == 0 && term_ == 0,
+                  "recover() must run once, on a fresh node, before start()");
+  recovering_ = true;
+  term_ = img.hard.term;
+  voted_for_ = img.hard.vote;
+  if (img.snap.valid()) {
+    // State transfer from our own disk: the snapshot stands in for the WAL
+    // prefix it covers, exactly like a peer-shipped InstallSnapshot.
+    applier_.install_snapshot(img.snap);
+    snap_ = img.snap;
+  }
+  const storage::RecoveryStats stats = mirror_.replay(img);
+  recovering_ = false;
+  PRAFT_LOG(kInfo) << "raft " << group_.self << " recovered: term " << term_
+                   << ", log to " << last_index() << " (" << stats.replayed
+                   << " replayed above floor " << stats.snapshot_floor << ")";
+  return stats;
 }
 
 void RaftNode::on_install_reply(const InstallSnapshotReply& m) {

@@ -5,6 +5,7 @@
 
 #include "consensus/applier.h"
 #include "consensus/batcher.h"
+#include "consensus/durable_log.h"
 #include "consensus/env.h"
 #include "consensus/group.h"
 #include "consensus/log.h"
@@ -14,6 +15,7 @@
 #include "consensus/types.h"
 #include "net/packet.h"
 #include "raft/messages.h"
+#include "storage/persister.h"
 
 namespace praft::raft {
 
@@ -33,7 +35,11 @@ enum class Role { kFollower, kCandidate, kLeader };
 /// file holds only Raft's genuine protocol delta.
 class RaftNode : public consensus::NodeIface {
  public:
-  RaftNode(consensus::Group group, consensus::Env& env, Options opt = {});
+  /// `store` (nullable) is this node's stable storage: currentTerm/votedFor
+  /// and the log persist through it, and every message that depends on them
+  /// waits for its fsync barrier (storage::Persister).
+  RaftNode(consensus::Group group, consensus::Env& env, Options opt = {},
+           storage::DurableStore* store = nullptr);
 
   /// Arms the election timer. Call once after construction.
   void start() override;
@@ -77,6 +83,16 @@ class RaftNode : public consensus::NodeIface {
     return applier_.applied();
   }
 
+  /// Raft's hard state: currentTerm + votedFor (§5 "Persistent state").
+  [[nodiscard]] consensus::HardState hard_state() const override {
+    return consensus::HardState{term_, voted_for_, -1, 0, -1};
+  }
+  void persist_hard_state() override { persister_.hard_state(); }
+  void set_hard_state_probe(consensus::HardStateProbe probe) override {
+    persister_.set_probe(std::move(probe));
+  }
+  storage::RecoveryStats recover(const storage::DurableImage& img) override;
+
   [[nodiscard]] Role role() const { return role_; }
   [[nodiscard]] bool is_leader() const override {
     return role_ == Role::kLeader;
@@ -112,15 +128,28 @@ class RaftNode : public consensus::NodeIface {
   void commit_to(LogIndex target);
   void maybe_compact(bool force);
   [[nodiscard]] Term term_at(LogIndex i) const;
+  /// Arms a durability barrier for everything appended so far: when it
+  /// clears, the leader re-counts commit quorums (a leader may count ITSELF
+  /// only for durably-logged entries — see consensus::DurableLogMirror).
+  void note_appended();
 
   consensus::Group group_;
   consensus::Env& env_;
   Options opt_;
 
-  // Persistent state (modeled in memory; the simulator never loses it).
+  // Persistent state: staged into the durable store on every change and
+  // replayed from it by recover() after a crash (src/storage). A diskless
+  // node (no store) keeps it in memory only.
   Term term_ = 0;
   NodeId voted_for_ = kNoNode;
   consensus::ContiguousLog<Entry> log_;
+
+  // Durability plumbing: the persister gates dependent messages on fsyncs;
+  // the mirror stages every log mutation into the WAL and tracks the
+  // fsync-covered prefix (shared with Raft* via the consensus runtime).
+  storage::Persister persister_;
+  consensus::DurableLogMirror<Entry> mirror_;
+  bool recovering_ = false;  // gates compaction during recovery
 
   // Latest checkpoint: always covers exactly the log's compacted prefix
   // (snap_.last_index == log_.base_index() after the first compaction), so

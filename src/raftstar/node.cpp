@@ -8,10 +8,13 @@
 namespace praft::raftstar {
 
 RaftStarNode::RaftStarNode(consensus::Group group, consensus::Env& env,
-                           Options opt)
+                           Options opt, storage::DurableStore* store)
     : group_(std::move(group)),
       env_(env),
       opt_(opt),
+      persister_(env, store, opt_.fsync_duration, opt_.sync_batch_delay,
+                 [this] { return hard_state(); }),
+      mirror_(persister_, log_),
       election_(env, opt_.election_timeout_min, opt_.election_timeout_max),
       heartbeat_(env),
       batcher_(env, opt_.batch_delay,
@@ -35,6 +38,12 @@ RaftStarNode::RaftStarNode(consensus::Group group, consensus::Env& env,
 
 void RaftStarNode::start() { election_.start(); }
 
+void RaftStarNode::note_appended() {
+  mirror_.note_appended([this] {
+    if (role_ == Role::kLeader) advance_commit();
+  });
+}
+
 void RaftStarNode::store_entry(Entry e) {
   log_.append(std::move(e));
   if (entry_observer_) entry_observer_(last_index(), log_.at(last_index()));
@@ -53,13 +62,14 @@ void RaftStarNode::start_election() {
   election_snap_ = consensus::Snapshot{};  // a failed election's snapshot is
                                            // no voter's word in this one
   election_last_index_ = last_index();
+  persister_.hard_state();  // the self-vote must survive a crash
   election_.touch();
   PRAFT_LOG(kDebug) << "raft* " << group_.self << " starts election term "
                     << term_;
   RequestVote rv{term_, group_.self, last_index(), term_at(last_index())};
   for (NodeId peer : group_.members) {
     if (peer == group_.self) continue;
-    env_.send(peer, Message{rv}, wire_size(rv));
+    persister_.send(peer, Message{rv}, wire_size(rv));
   }
   if (votes_.reached()) become_leader();
 }
@@ -68,6 +78,7 @@ void RaftStarNode::step_down(Term t) {
   if (t > term_) {
     term_ = t;
     voted_for_ = kNoNode;
+    persister_.hard_state();
   }
   if (role_ == Role::kLeader) {
     next_index_.clear();
@@ -117,6 +128,7 @@ void RaftStarNode::on_request_vote(const RequestVote& m) {
     if (up_to_date) {
       reply.granted = true;
       voted_for_ = m.candidate;
+      persister_.hard_state();
       election_.touch();
       reply.log_bal = log_bal_;
       // A candidate whose log ends below our snapshot base cannot receive
@@ -133,7 +145,12 @@ void RaftStarNode::on_request_vote(const RequestVote& m) {
       }
     }
   }
-  env_.send(m.candidate, Message{reply}, wire_size(reply));
+  if (reply.granted && opt_.unsafe_skip_vote_fsync) {
+    // TEST-ONLY injected bug: the reply leaves before the vote hits disk.
+    persister_.send_unsynced(m.candidate, Message{reply}, wire_size(reply));
+  } else {
+    persister_.send(m.candidate, Message{reply}, wire_size(reply));
+  }
 }
 
 void RaftStarNode::on_vote_reply(const VoteReply& m) {
@@ -160,6 +177,7 @@ void RaftStarNode::become_leader() {
   // refilled with no-ops.
   if (election_snap_.valid() && applier_.install_snapshot(election_snap_)) {
     ++snapshots_installed_;
+    persister_.snapshot(election_snap_);
     if (election_snap_.last_index <= last_index() &&
         election_snap_.last_index > log_.base_index()) {
       // Keep our accepted suffix (Raft* never erases accepted entries); the
@@ -211,6 +229,7 @@ void RaftStarNode::become_leader() {
   role_ = Role::kLeader;
   leader_ = group_.self;
   log_bal_ = term_;  // the leader's implicit accept covers its whole log
+  persister_.hard_state();
   next_index_.clear();
   match_index_.clear();
   for (NodeId peer : group_.members) {
@@ -224,6 +243,7 @@ void RaftStarNode::become_leader() {
   PRAFT_LOG(kInfo) << "raft* " << group_.self << " leader at term " << term_;
   // No term-start no-op needed: Raft* re-ballots every covered entry, so
   // prior-term entries commit by counting (the §5.4.2 rule is unnecessary).
+  note_appended();  // safe-value adoptions above must reach disk to count
   broadcast_append();
   heartbeat_.start(opt_.heartbeat_interval);
 }
@@ -231,6 +251,7 @@ void RaftStarNode::become_leader() {
 LogIndex RaftStarNode::submit(const kv::Command& cmd) {
   if (role_ != Role::kLeader) return -1;
   store_entry(Entry{term_, cmd});
+  note_appended();
   batcher_.poke();
   return last_index();
 }
@@ -267,7 +288,7 @@ void RaftStarNode::replicate_to(NodeId peer, bool uncapped) {
   for (LogIndex i = prev + 1; i <= hi; ++i) {
     ae.entries.push_back(log_.at(i));
   }
-  env_.send(peer, Message{ae}, wire_size(ae));
+  persister_.send(peer, Message{ae}, wire_size(ae));
   // Optimistic pipelining (see RaftNode::replicate_to).
   if (hi >= next) next_index_[peer] = hi + 1;
 }
@@ -275,7 +296,7 @@ void RaftStarNode::replicate_to(NodeId peer, bool uncapped) {
 void RaftStarNode::on_append_entries(const AppendEntries& m) {
   if (m.term < term_) {
     AppendReply reply{term_, group_.self, false, 0, last_index(), 0, {}};
-    env_.send(m.leader, Message{reply}, wire_size(reply));
+    persister_.send(m.leader, Message{reply}, wire_size(reply));
     return;
   }
   step_down(m.term);
@@ -304,7 +325,7 @@ void RaftStarNode::on_append_entries(const AppendEntries& m) {
       reply.match_index = coverage;
       reply.follower_last = last_index();
       if (reply_decorator_) reply.piggyback_ids = reply_decorator_();
-      env_.send(m.leader, Message{reply}, wire_size(reply));
+      persister_.send(m.leader, Message{reply}, wire_size(reply));
       return;
     }
   }
@@ -327,7 +348,7 @@ void RaftStarNode::on_append_entries(const AppendEntries& m) {
     reply.conflict_hint =
         prev_ok ? 0
                 : std::max<LogIndex>(1, std::min(last_index() + 1, m.prev_index));
-    env_.send(m.leader, Message{reply}, wire_size(reply));
+    persister_.send(m.leader, Message{reply}, wire_size(reply));
     return;
   }
 
@@ -336,6 +357,8 @@ void RaftStarNode::on_append_entries(const AppendEntries& m) {
   log_.truncate_after(prev);
   for (size_t k = skip; k < m.entries.size(); ++k) store_entry(m.entries[k]);
   log_bal_ = m.term;
+  persister_.hard_state();
+  note_appended();
 
   commit_to(std::min(m.commit, last_index()));
   AppendReply reply;
@@ -345,7 +368,7 @@ void RaftStarNode::on_append_entries(const AppendEntries& m) {
   reply.match_index = coverage;
   reply.follower_last = last_index();
   if (reply_decorator_) reply.piggyback_ids = reply_decorator_();
-  env_.send(m.leader, Message{reply}, wire_size(reply));
+  persister_.send(m.leader, Message{reply}, wire_size(reply));
 }
 
 void RaftStarNode::on_append_reply(const AppendReply& m) {
@@ -372,6 +395,7 @@ void RaftStarNode::on_append_reply(const AppendReply& m) {
       while (last_index() < m.follower_last) {
         store_entry(Entry{term_, kv::noop_command()});
       }
+      note_appended();
     }
     if (m.conflict_hint == 0) {
       // Coverage was too short; resend the whole retained suffix
@@ -387,11 +411,16 @@ void RaftStarNode::on_append_reply(const AppendReply& m) {
 
 LogIndex RaftStarNode::quorum_match_index() const {
   std::vector<LogIndex> matches;
-  matches.push_back(last_index());  // self
+  // Self counts only its durable prefix (the mirror's note_appended barrier
+  // advances it) — same rule as RaftNode::advance_commit.
+  matches.push_back(mirror_.durable_index());
   for (const auto& [peer, match] : match_index_) matches.push_back(match);
   std::sort(matches.begin(), matches.end(), std::greater<>());
-  return matches[static_cast<size_t>(
-      opt_.commit_quorum(group_.majority()) - 1)];
+  const auto k = static_cast<size_t>(opt_.commit_quorum(group_.majority()) - 1);
+  // A durability barrier can clear before the leader maps are (re)built —
+  // with fewer known replicas than the quorum, nothing is committable.
+  if (k >= matches.size()) return 0;
+  return matches[k];
 }
 
 void RaftStarNode::advance_commit() {
@@ -415,7 +444,7 @@ void RaftStarNode::commit_to(LogIndex target) {
 }
 
 void RaftStarNode::maybe_compact(bool force) {
-  if (!applier_.can_snapshot()) return;
+  if (recovering_ || !applier_.can_snapshot()) return;
   const LogIndex target = applier_.applied();
   const auto compactable = static_cast<size_t>(target - log_.base_index());
   if (!compaction_.due(opt_, compactable, env_.now(), force)) return;
@@ -423,6 +452,7 @@ void RaftStarNode::maybe_compact(bool force) {
   snap_.last_term = term_at(target);
   snap_.state = applier_.capture_state();
   log_.compact_to(target);
+  persister_.snapshot(snap_);
   compaction_.fired(env_.now());
   PRAFT_LOG(kDebug) << "raft* " << group_.self << " compacted log to "
                     << target;
@@ -432,7 +462,7 @@ void RaftStarNode::send_snapshot(NodeId peer) {
   PRAFT_CHECK_MSG(snap_.valid() && snap_.last_index == log_.base_index(),
                   "snapshot does not cover the compacted prefix");
   InstallSnapshot is{term_, group_.self, snap_};
-  env_.send(peer, Message{is}, wire_size(is));
+  persister_.send(peer, Message{is}, wire_size(is));
   next_index_[peer] = snap_.last_index + 1;  // optimistic (see RaftNode)
 }
 
@@ -443,6 +473,7 @@ void RaftStarNode::on_install_snapshot(const InstallSnapshot& m) {
     election_.touch();
     if (applier_.install_snapshot(m.snap)) {
       ++snapshots_installed_;
+      persister_.snapshot(m.snap);
       if (m.snap.last_index <= last_index() &&
           m.snap.last_index > log_.base_index() &&
           term_at(m.snap.last_index) == m.snap.last_term) {
@@ -456,7 +487,26 @@ void RaftStarNode::on_install_snapshot(const InstallSnapshot& m) {
     }
   }
   InstallSnapshotReply reply{term_, group_.self, applier_.applied()};
-  env_.send(m.leader, Message{reply}, wire_size(reply));
+  persister_.send(m.leader, Message{reply}, wire_size(reply));
+}
+
+storage::RecoveryStats RaftStarNode::recover(
+    const storage::DurableImage& img) {
+  PRAFT_CHECK_MSG(role_ == Role::kFollower && last_index() == 0 && term_ == 0,
+                  "recover() must run once, on a fresh node, before start()");
+  recovering_ = true;
+  term_ = img.hard.term;
+  voted_for_ = img.hard.vote;
+  log_bal_ = img.hard.aux;
+  if (img.snap.valid()) {
+    applier_.install_snapshot(img.snap);
+    snap_ = img.snap;
+  }
+  const storage::RecoveryStats stats = mirror_.replay(img);
+  recovering_ = false;
+  PRAFT_LOG(kInfo) << "raft* " << group_.self << " recovered: term " << term_
+                   << ", log to " << last_index() << " at ballot " << log_bal_;
+  return stats;
 }
 
 void RaftStarNode::on_install_reply(const InstallSnapshotReply& m) {

@@ -5,6 +5,7 @@
 
 #include "consensus/applier.h"
 #include "consensus/batcher.h"
+#include "consensus/durable_log.h"
 #include "consensus/env.h"
 #include "consensus/group.h"
 #include "consensus/log.h"
@@ -14,6 +15,7 @@
 #include "consensus/types.h"
 #include "net/packet.h"
 #include "raftstar/messages.h"
+#include "storage/persister.h"
 
 namespace praft::raftstar {
 
@@ -38,7 +40,11 @@ enum class Role { kFollower, kCandidate, kLeader };
 /// shared consensus runtime; only the deltas above live here.
 class RaftStarNode : public consensus::NodeIface {
  public:
-  RaftStarNode(consensus::Group group, consensus::Env& env, Options opt = {});
+  /// `store` (nullable) is this node's stable storage: term/votedFor, the
+  /// log and its uniform ballot persist through it; dependent messages wait
+  /// on the fsync barrier (storage::Persister).
+  RaftStarNode(consensus::Group group, consensus::Env& env, Options opt = {},
+               storage::DurableStore* store = nullptr);
 
   void start() override;
   void on_packet(const net::Packet& p) override;
@@ -76,6 +82,18 @@ class RaftStarNode : public consensus::NodeIface {
   [[nodiscard]] LogIndex applied_index() const override {
     return applier_.applied();
   }
+
+  /// Raft*'s hard state: currentTerm + votedFor, plus the uniform log
+  /// ballot (aux) — a recovered log must remember the ballot its entries
+  /// were last re-accepted at or safe-value selection breaks.
+  [[nodiscard]] consensus::HardState hard_state() const override {
+    return consensus::HardState{term_, voted_for_, -1, log_bal_, -1};
+  }
+  void persist_hard_state() override { persister_.hard_state(); }
+  void set_hard_state_probe(consensus::HardStateProbe probe) override {
+    persister_.set_probe(std::move(probe));
+  }
+  storage::RecoveryStats recover(const storage::DurableImage& img) override;
 
   /// Hook invoked when the leader learns a new commit index (used by the
   /// ported optimizations: Raft*-PQL gates commit on lease holders here).
@@ -150,6 +168,10 @@ class RaftStarNode : public consensus::NodeIface {
   void commit_to(LogIndex target);
   void maybe_compact(bool force);
   [[nodiscard]] Term term_at(LogIndex i) const;
+  /// Arms a durability barrier for everything appended so far (the leader
+  /// counts itself toward commit quorums only up to the mirror's durable
+  /// index — see consensus::DurableLogMirror).
+  void note_appended();
 
   consensus::Group group_;
   consensus::Env& env_;
@@ -159,6 +181,12 @@ class RaftStarNode : public consensus::NodeIface {
   NodeId voted_for_ = kNoNode;
   consensus::ContiguousLog<Entry> log_;
   Term log_bal_ = 0;  // uniform per-entry ballot (see Entry doc)
+
+  // Durability plumbing (see RaftNode): fsync barriers + the shared
+  // WAL-mirroring/durable-cover machinery.
+  storage::Persister persister_;
+  consensus::DurableLogMirror<Entry> mirror_;
+  bool recovering_ = false;  // gates compaction during recovery
 
   // Latest checkpoint (covers exactly the compacted prefix; see RaftNode).
   consensus::Snapshot snap_;

@@ -1,0 +1,85 @@
+#include "storage/wal.h"
+
+#include "common/check.h"
+
+namespace praft::storage {
+
+void DurableStore::stage_hard_state(const consensus::HardState& hs) {
+  staged_.emplace_back(hs);
+  ++staged_seq_;
+}
+
+void DurableStore::stage_record(WalRecord r) {
+  staged_.emplace_back(std::move(r));
+  ++staged_seq_;
+}
+
+void DurableStore::stage_truncate_after(consensus::LogIndex last_kept) {
+  staged_.emplace_back(Truncate{last_kept});
+  ++staged_seq_;
+}
+
+void DurableStore::stage_snapshot(consensus::Snapshot snap) {
+  staged_.emplace_back(std::move(snap));
+  ++staged_seq_;
+}
+
+void DurableStore::apply(const StagedOp& op) {
+  if (const auto* hs = std::get_if<consensus::HardState>(&op)) {
+    hard_ = *hs;
+    bytes_synced_ += 40;
+    return;
+  }
+  if (const auto* rec = std::get_if<WalRecord>(&op)) {
+    bytes_synced_ += rec->wire_bytes();
+    if (rec->index <= snapshot_floor()) return;  // already inside the snapshot
+    records_[rec->index] = *rec;
+    return;
+  }
+  if (const auto* tr = std::get_if<Truncate>(&op)) {
+    records_.erase(records_.upper_bound(tr->last_kept), records_.end());
+    bytes_synced_ += 16;
+    return;
+  }
+  const auto& snap = std::get<consensus::Snapshot>(op);
+  bytes_synced_ += snap.wire_bytes();
+  if (!snap.valid() || snap.last_index <= snapshot_floor()) return;
+  snap_ = snap;
+  // The snapshot substitutes for replaying everything it covers.
+  records_.erase(records_.begin(), records_.upper_bound(snap.last_index));
+}
+
+void DurableStore::commit_through(uint64_t seq) {
+  PRAFT_CHECK(seq <= staged_seq_);
+  while (synced_seq_ < seq) {
+    const size_t k = static_cast<size_t>(synced_seq_ - base_seq_);
+    PRAFT_CHECK(k < staged_.size());
+    apply(staged_[k]);
+    ++synced_seq_;
+    any_synced_ = true;
+  }
+  // Drop the committed prefix of the staging buffer.
+  const size_t committed = static_cast<size_t>(synced_seq_ - base_seq_);
+  if (committed > 0) {
+    staged_.erase(staged_.begin(),
+                  staged_.begin() + static_cast<ptrdiff_t>(committed));
+    base_seq_ = synced_seq_;
+  }
+}
+
+void DurableStore::drop_unsynced() {
+  staged_.clear();
+  staged_seq_ = synced_seq_;
+  base_seq_ = synced_seq_;
+}
+
+DurableImage DurableStore::image() const {
+  DurableImage img;
+  img.hard = hard_;
+  img.snap = snap_;
+  img.records.reserve(records_.size());
+  for (const auto& [idx, rec] : records_) img.records.push_back(rec);
+  return img;
+}
+
+}  // namespace praft::storage

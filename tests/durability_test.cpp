@@ -1,0 +1,432 @@
+// Durable hard state + write-ahead log with crash-restart recovery.
+//
+// Three layers under test:
+//  * storage::DurableStore / storage::Persister in isolation (staging is
+//    volatile until the fsync commits; snapshots truncate the WAL; sends
+//    gate on the durability barrier; group commit coalesces syncs);
+//  * per-protocol crash-restart through the harness (hard state persisted
+//    before the dependent message leaves; recovery rebuilds the same state;
+//    replay stays bounded by the snapshot floor);
+//  * the chaos checker's recovery invariants end to end, including the
+//    deliberate skip-fsync-before-vote-reply bug being convicted.
+#include <gtest/gtest.h>
+
+#include "chaos/runner.h"
+#include "consensus/group.h"
+#include "harness/cluster.h"
+#include "harness/log_server.h"
+#include "kv/workload.h"
+#include "raft/node.h"
+#include "scripted_env.h"
+#include "storage/persister.h"
+#include "storage/wal.h"
+
+using namespace praft;
+
+namespace {
+
+storage::WalRecord record_at(consensus::LogIndex i, consensus::Term term) {
+  storage::WalRecord r;
+  r.index = i;
+  r.term = term;
+  r.has_value = true;
+  r.cmd = kv::noop_command();
+  return r;
+}
+
+consensus::Group group_of(NodeId self, std::vector<NodeId> members) {
+  consensus::Group g;
+  g.self = self;
+  g.members = std::move(members);
+  return g;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DurableStore: the write-ahead discipline itself.
+// ---------------------------------------------------------------------------
+
+TEST(DurableStoreTest, StagedWritesAreVolatileUntilCommitted) {
+  storage::DurableStore store;
+  consensus::HardState hs;
+  hs.term = 7;
+  hs.vote = 2;
+  store.stage_hard_state(hs);
+  store.stage_record(record_at(1, 7));
+  EXPECT_TRUE(store.dirty());
+  EXPECT_FALSE(store.has_state());
+  EXPECT_EQ(store.image().records.size(), 0u);
+
+  store.commit_through(store.staged_seq());
+  EXPECT_FALSE(store.dirty());
+  EXPECT_TRUE(store.has_state());
+  const storage::DurableImage img = store.image();
+  EXPECT_EQ(img.hard.term, 7);
+  EXPECT_EQ(img.hard.vote, 2);
+  ASSERT_EQ(img.records.size(), 1u);
+  EXPECT_EQ(img.records[0].index, 1);
+}
+
+TEST(DurableStoreTest, DropUnsyncedModelsAPowerCut) {
+  storage::DurableStore store;
+  consensus::HardState hs;
+  hs.term = 3;
+  store.stage_hard_state(hs);
+  store.commit_through(store.staged_seq());
+
+  hs.term = 9;  // staged but never synced: a crash must forget it
+  store.stage_hard_state(hs);
+  store.stage_record(record_at(1, 9));
+  store.drop_unsynced();
+  EXPECT_FALSE(store.dirty());
+  EXPECT_EQ(store.image().hard.term, 3);
+  EXPECT_EQ(store.image().records.size(), 0u);
+}
+
+TEST(DurableStoreTest, RecordsCoalescePerIndexAndTruncate) {
+  storage::DurableStore store;
+  for (consensus::LogIndex i = 1; i <= 5; ++i) {
+    store.stage_record(record_at(i, 1));
+  }
+  store.stage_record(record_at(3, 2));  // re-accept overwrites, not appends
+  store.commit_through(store.staged_seq());
+  EXPECT_EQ(store.wal_records(), 5u);
+  EXPECT_EQ(store.wal_tail(), 5);
+
+  store.stage_truncate_after(2);  // conflict-suffix erasure
+  store.commit_through(store.staged_seq());
+  EXPECT_EQ(store.wal_records(), 2u);
+  EXPECT_EQ(store.wal_tail(), 2);
+}
+
+TEST(DurableStoreTest, SnapshotSubstitutesForTheWalPrefix) {
+  storage::DurableStore store;
+  for (consensus::LogIndex i = 1; i <= 8; ++i) {
+    store.stage_record(record_at(i, 1));
+  }
+  consensus::Snapshot snap;
+  snap.last_index = 6;
+  store.stage_snapshot(snap);
+  store.commit_through(store.staged_seq());
+  EXPECT_EQ(store.snapshot_floor(), 6);
+  EXPECT_EQ(store.wal_records(), 2u);  // only 7, 8 left to replay
+  const storage::DurableImage img = store.image();
+  ASSERT_EQ(img.records.size(), 2u);
+  EXPECT_EQ(img.records.front().index, 7);
+  // Records staged later but covered by the snapshot stay dead.
+  store.stage_record(record_at(4, 1));
+  store.commit_through(store.staged_seq());
+  EXPECT_EQ(store.wal_records(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Persister: fsync barriers and group commit.
+// ---------------------------------------------------------------------------
+
+TEST(PersisterTest, SendsWaitForTheCoveringFsync) {
+  test::ScriptedEnv env;
+  storage::DurableStore store;
+  storage::Persister p(env, &store, /*fsync=*/msec(2), /*batch=*/msec(1),
+                       [] { return consensus::HardState{}; });
+  p.record(record_at(1, 1));
+  p.send(7, std::string("hello"), 16);
+  EXPECT_TRUE(env.outbox.empty());  // gated: the record is not durable yet
+  EXPECT_TRUE(store.dirty());
+  env.advance(msec(10));
+  EXPECT_EQ(env.outbox.size(), 1u);  // released by the completed fsync
+  EXPECT_FALSE(store.dirty());
+  EXPECT_EQ(store.wal_records(), 1u);
+}
+
+TEST(PersisterTest, BarrierRunsAfterDurabilityAndGroupCommitCoalesces) {
+  test::ScriptedEnv env;
+  storage::DurableStore store;
+  storage::Persister p(env, &store, /*fsync=*/msec(2), /*batch=*/msec(1),
+                       [] { return consensus::HardState{}; });
+  int fired = 0;
+  for (int k = 1; k <= 5; ++k) {
+    p.record(record_at(k, 1));
+    p.barrier([&fired] { ++fired; });
+  }
+  EXPECT_EQ(fired, 0);
+  env.advance(msec(10));
+  EXPECT_EQ(fired, 5);
+  // One group-commit window covered all five demands.
+  EXPECT_EQ(store.syncs(), 1u);
+  EXPECT_EQ(store.wal_records(), 5u);
+}
+
+TEST(PersisterTest, UnsyncedSendSkipsTheBarrier) {
+  test::ScriptedEnv env;
+  storage::DurableStore store;
+  storage::Persister p(env, &store, /*fsync=*/msec(2), /*batch=*/msec(1),
+                       [] { return consensus::HardState{}; });
+  p.record(record_at(1, 1));
+  p.send_unsynced(7, std::string("leak"), 16);
+  EXPECT_EQ(env.outbox.size(), 1u);  // left before the record hit disk
+  EXPECT_TRUE(store.dirty());        // ... and nothing armed a sync
+}
+
+TEST(PersisterTest, ZeroCostStorageIsSynchronous) {
+  test::ScriptedEnv env;
+  storage::DurableStore store;
+  storage::Persister p(env, &store, /*fsync=*/0, /*batch=*/0,
+                       [] { return consensus::HardState{}; });
+  p.record(record_at(1, 1));
+  EXPECT_FALSE(store.dirty());  // committed inline
+  p.send(7, std::string("now"), 16);
+  EXPECT_EQ(env.outbox.size(), 1u);  // never deferred
+  bool ran = false;
+  p.barrier([&ran] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-level write-ahead discipline (scripted, no simulator).
+// ---------------------------------------------------------------------------
+
+TEST(RaftDurabilityTest, VoteIsOnDiskBeforeTheReplyLeaves) {
+  test::ScriptedEnv env;
+  storage::DurableStore store;
+  raft::Options opt;
+  opt.fsync_duration = msec(2);
+  opt.sync_batch_delay = msec(1);
+  raft::RaftNode node(group_of(0, {0, 1, 2}), env, opt, &store);
+  node.start();
+
+  raft::RequestVote rv{/*term=*/5, /*candidate=*/1, 0, 0};
+  node.on_packet(net::Packet{1, 0, 64, raft::Message{rv}});
+  // The vote is granted in memory immediately...
+  EXPECT_EQ(node.current_term(), 5);
+  // ...but the reply must NOT leave before the fsync barrier clears, and
+  // the durable image must already hold the vote when it does.
+  EXPECT_TRUE(env.take_for(1).empty());
+  env.advance(msec(10));
+  const auto sent = env.take_for(1);
+  ASSERT_EQ(sent.size(), 1u);
+  const auto* msg = std::any_cast<raft::Message>(&sent[0].payload);
+  ASSERT_NE(msg, nullptr);
+  const auto* reply = std::get_if<raft::VoteReply>(msg);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_TRUE(reply->granted);
+  EXPECT_EQ(store.hard_state().term, 5);
+  EXPECT_EQ(store.hard_state().vote, 1);
+}
+
+TEST(RaftDurabilityTest, SkipVoteFsyncBugLeaksTheReply) {
+  test::ScriptedEnv env;
+  storage::DurableStore store;
+  raft::Options opt;
+  opt.fsync_duration = msec(2);
+  opt.sync_batch_delay = msec(1);
+  opt.unsafe_skip_vote_fsync = true;
+  raft::RaftNode node(group_of(0, {0, 1, 2}), env, opt, &store);
+  node.start();
+
+  raft::RequestVote rv{/*term=*/5, /*candidate=*/1, 0, 0};
+  node.on_packet(net::Packet{1, 0, 64, raft::Message{rv}});
+  // The buggy node replies immediately, while its durable vote is stale —
+  // exactly the window the chaos checker's regression invariant convicts.
+  ASSERT_EQ(env.take_for(1).size(), 1u);
+  EXPECT_EQ(store.hard_state().term, 0);
+}
+
+TEST(RaftDurabilityTest, RecoverRebuildsTermVoteAndLog) {
+  test::ScriptedEnv env;
+  storage::DurableStore store;
+  {
+    raft::Options opt;  // zero-cost storage: everything durable synchronously
+    raft::RaftNode node(group_of(0, {0}), env, opt, &store);
+    node.start();
+    node.force_election();  // single-node group: leader immediately
+    ASSERT_TRUE(node.is_leader());
+    kv::Command cmd;
+    cmd.op = kv::Op::kPut;
+    cmd.key = 11;
+    cmd.value = 42;
+    ASSERT_GE(node.submit(cmd), 0);
+    env.advance(msec(50));
+  }
+  // Crash: the node object is gone; rebuild purely from the durable image.
+  test::ScriptedEnv env2;
+  raft::RaftNode revived(group_of(0, {0}), env2, raft::Options{}, &store);
+  const storage::RecoveryStats stats = revived.recover(store.image());
+  EXPECT_TRUE(stats.recovered);
+  EXPECT_EQ(revived.current_term(), 1);
+  EXPECT_EQ(revived.last_index(), 2);  // leader no-op + the put
+  EXPECT_EQ(revived.entry_at(2).cmd.key, 11u);
+  EXPECT_LE(stats.replayed,
+            static_cast<size_t>(stats.wal_tail - stats.snapshot_floor));
+}
+
+// ---------------------------------------------------------------------------
+// Full-harness crash-restart, every protocol.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+consensus::TimingOptions lan_durable_timing() {
+  consensus::TimingOptions t;
+  t.election_timeout_min = msec(300);
+  t.election_timeout_max = msec(600);
+  t.heartbeat_interval = msec(60);
+  t.fsync_duration = msec(1);
+  t.sync_batch_delay = msec(1);
+  return t;
+}
+
+harness::LogServer& log_server(harness::Cluster& cluster, int i) {
+  auto* ls = dynamic_cast<harness::LogServer*>(&cluster.server(i));
+  EXPECT_NE(ls, nullptr);
+  return *ls;
+}
+
+void run_traffic(harness::Cluster& cluster, Duration d) {
+  kv::WorkloadConfig wl;
+  wl.read_fraction = 0.5;
+  wl.num_records = 64;
+  cluster.add_clients(1, wl, cluster.sim().now());
+  cluster.run_for(d);
+  cluster.stop_clients();
+  cluster.run_for(sec(3));  // drain + re-converge
+}
+
+}  // namespace
+
+TEST(CrashRestartTest, RecoveryRebuildsIdenticalStateAllProtocols) {
+  for (const std::string protocol :
+       {"raft", "raftstar", "multipaxos", "mencius"}) {
+    SCOPED_TRACE(protocol);
+    harness::ClusterConfig cfg;
+    cfg.num_replicas = 3;
+    cfg.seed = 99;
+    harness::Cluster cluster(cfg);
+    cluster.build_replicas(protocol, lan_durable_timing());
+    int victim = 2;
+    if (!cluster.server(0).leaderless()) {
+      const int leader = cluster.establish_leader(0, sec(20));
+      ASSERT_GE(leader, 0);
+      victim = (leader + 1) % cluster.num_replicas();
+    } else {
+      cluster.run_for(msec(500));
+    }
+    run_traffic(cluster, sec(4));
+
+    auto& before = log_server(cluster, victim).node_iface();
+    const consensus::HardState hs_before = before.hard_state();
+    const consensus::LogIndex applied_before = before.applied_index();
+    ASSERT_GT(applied_before, 0);
+    const uint64_t fp_before =
+        cluster.server(victim).store().fingerprint();
+
+    cluster.restart_replica(victim);
+    auto& ls = log_server(cluster, victim);
+    // Hard state survives exactly (the quiesced cluster had synced it all).
+    EXPECT_EQ(ls.node_iface().hard_state(), hs_before);
+    const storage::RecoveryStats& stats = ls.recovery();
+    EXPECT_TRUE(stats.recovered);
+    EXPECT_LE(stats.replayed,
+              static_cast<size_t>(
+                  std::max<consensus::LogIndex>(0, stats.wal_tail -
+                                                       stats.snapshot_floor)));
+    // After rejoining, the replica re-converges to the exact same store.
+    cluster.run_for(sec(5));
+    EXPECT_GE(log_server(cluster, victim).node_iface().applied_index(),
+              applied_before)
+        << protocol;
+    EXPECT_EQ(cluster.server(victim).store().fingerprint(), fp_before);
+  }
+}
+
+TEST(CrashRestartTest, DurableHardStateTracksInMemoryAtQuiesce) {
+  for (const std::string protocol :
+       {"raft", "raftstar", "multipaxos", "mencius"}) {
+    SCOPED_TRACE(protocol);
+    harness::ClusterConfig cfg;
+    cfg.num_replicas = 3;
+    cfg.seed = 7;
+    harness::Cluster cluster(cfg);
+    cluster.build_replicas(protocol, lan_durable_timing());
+    if (!cluster.server(0).leaderless()) {
+      ASSERT_GE(cluster.establish_leader(1, sec(20)), 0);
+    } else {
+      cluster.run_for(msec(500));
+    }
+    run_traffic(cluster, sec(3));
+    for (int i = 0; i < cluster.num_replicas(); ++i) {
+      // Every hard-state change was followed by a dependent message, and
+      // every message waited for its fsync: at quiesce, disk == memory.
+      EXPECT_EQ(cluster.store_of(i).hard_state().term,
+                log_server(cluster, i).node_iface().hard_state().term)
+          << protocol << " replica " << i;
+    }
+  }
+}
+
+TEST(CrashRestartTest, ChaosBatchWithRestartsAllProtocols) {
+  for (const std::string protocol :
+       {"raft", "raftstar", "multipaxos", "mencius"}) {
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+      chaos::RunOptions opt;
+      opt.protocol = protocol;
+      opt.seed = seed;
+      opt.crash_restarts = true;
+      const chaos::RunResult r = chaos::run_one(opt);
+      ASSERT_TRUE(r.ok) << protocol << " seed " << seed << ": "
+                        << (r.violations.empty() ? "?" : r.violations[0]);
+    }
+  }
+}
+
+TEST(CrashRestartTest, ChaosRestartsComposeWithCompaction) {
+  for (const std::string protocol :
+       {"raft", "raftstar", "multipaxos", "mencius"}) {
+    for (uint64_t seed = 1; seed <= 15; ++seed) {
+      chaos::RunOptions opt;
+      opt.protocol = protocol;
+      opt.seed = seed;
+      opt.crash_restarts = true;
+      opt.compaction_log_cap = 64;  // snapshots bound recovery replay
+      const chaos::RunResult r = chaos::run_one(opt);
+      ASSERT_TRUE(r.ok) << protocol << " seed " << seed << ": "
+                        << (r.violations.empty() ? "?" : r.violations[0]);
+    }
+  }
+}
+
+TEST(CrashRestartTest, MissingVoteFsyncConvictedWithin50Seeds) {
+  // The acceptance bar for the whole durability layer: the classic
+  // skip-fsync-before-vote-reply bug must be caught fast for every protocol
+  // whose phase-1 vote/promise reply carries it.
+  for (const std::string protocol : {"raft", "raftstar", "multipaxos"}) {
+    SCOPED_TRACE(protocol);
+    bool caught = false;
+    for (uint64_t seed = 1; seed <= 50 && !caught; ++seed) {
+      chaos::RunOptions opt;
+      opt.protocol = protocol;
+      opt.seed = seed;
+      opt.inject_persistence_bug = true;
+      const chaos::RunResult r = chaos::run_one(opt);
+      caught = !r.ok;
+    }
+    EXPECT_TRUE(caught) << protocol
+                        << ": persistence bug survived 50 seeded runs";
+  }
+}
+
+TEST(CrashRestartTest, MenciusMissingFsyncConvicted) {
+  // Mencius's literal vote (RevPrepareOk) is rare and its constant traffic
+  // narrows the unsynced window, so its conviction budget is larger; the
+  // injected bug also leaks the Phase2b ack (see mencius/node.cpp).
+  bool caught = false;
+  for (uint64_t seed = 1; seed <= 150 && !caught; ++seed) {
+    chaos::RunOptions opt;
+    opt.protocol = "mencius";
+    opt.seed = seed;
+    opt.inject_persistence_bug = true;
+    const chaos::RunResult r = chaos::run_one(opt);
+    caught = !r.ok;
+  }
+  EXPECT_TRUE(caught) << "mencius: persistence bug survived 150 seeded runs";
+}

@@ -4,7 +4,10 @@
 //   chaos_runner --protocol=all --seeds=200         # fuzz the 4x matrix
 //   chaos_runner --protocol=raft --seeds=50 --inject-quorum-bug
 //   chaos_runner --protocol=all --seeds=50 --compaction-cap=64
+//   chaos_runner --protocol=all --seeds=200 --restarts   # crash-restart faults
+//   chaos_runner --protocol=raft --seeds=50 --inject-persistence-bug
 //   chaos_runner --seed-file=chaos_failures.txt     # replay saved seeds
+//   chaos_runner --seeds=200 --restarts --corpus-out=tools/chaos_corpus.txt
 //
 // Each failure prints the seed, the generated schedule, the violated
 // invariants, the recent event trace, and the exact repro command. Exit
@@ -41,11 +44,15 @@ struct CliOptions {
   int seeds = 1;
   int replicas = 5;
   bool inject_quorum_bug = false;
+  bool restarts = false;
+  bool inject_persistence_bug = false;
   size_t compaction_cap = 0;
   bool verbose = false;
   bool stop_on_failure = false;
   std::string failures_out;
   std::string seed_file;
+  std::string corpus_out;
+  size_t corpus_size = 16;
 };
 
 /// One (protocol, seed) run resolved from the CLI flags or a seed file.
@@ -57,7 +64,26 @@ struct PlannedRun {
   uint64_t seed = 0;
   size_t compaction_cap = 0;
   bool inject_quorum_bug = false;
+  bool restarts = false;
+  bool inject_persistence_bug = false;
 };
+
+/// Serializes a run's flag overrides in the --seed-file per-line format.
+/// The ONE implementation shared by the --failures-out and --corpus-out
+/// writers: both files replay through the same parser, so the seed must
+/// come back under exactly the configuration it ran with.
+std::string flags_of(const PlannedRun& run) {
+  std::string flags;
+  if (run.compaction_cap > 0) {
+    char fb[48];
+    std::snprintf(fb, sizeof(fb), " --compaction-cap=%zu", run.compaction_cap);
+    flags += fb;
+  }
+  if (run.restarts) flags += " --restarts";
+  if (run.inject_quorum_bug) flags += " --inject-quorum-bug";
+  if (run.inject_persistence_bug) flags += " --inject-persistence-bug";
+  return flags;
+}
 
 bool parse_flag(const char* arg, const char* name, const char** value) {
   const size_t len = std::strlen(name);
@@ -77,8 +103,10 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--protocol=NAME|all] [--seed=N] [--seeds=K] [--replicas=N]\n"
-      "          [--inject-quorum-bug] [--compaction-cap=N] [--verbose]\n"
-      "          [--stop-on-failure] [--failures-out=PATH] [--seed-file=PATH]\n"
+      "          [--inject-quorum-bug] [--compaction-cap=N] [--restarts]\n"
+      "          [--inject-persistence-bug] [--verbose] [--stop-on-failure]\n"
+      "          [--failures-out=PATH] [--seed-file=PATH]\n"
+      "          [--corpus-out=PATH] [--corpus-size=N]\n"
       "protocols: all",
       argv0);
   for (const auto& name : consensus::protocol_names()) {
@@ -115,6 +143,14 @@ int main(int argc, char** argv) {
       cli.replicas = std::atoi(v);
     } else if (parse_flag(argv[i], "--inject-quorum-bug", &v)) {
       cli.inject_quorum_bug = true;
+    } else if (parse_flag(argv[i], "--restarts", &v)) {
+      cli.restarts = true;
+    } else if (parse_flag(argv[i], "--inject-persistence-bug", &v)) {
+      cli.inject_persistence_bug = true;
+    } else if (parse_flag(argv[i], "--corpus-out", &v) && v != nullptr) {
+      cli.corpus_out = v;
+    } else if (parse_flag(argv[i], "--corpus-size", &v) && v != nullptr) {
+      cli.corpus_size = std::strtoull(v, nullptr, 10);
     } else if (parse_flag(argv[i], "--compaction-cap", &v) && v != nullptr) {
       cli.compaction_cap = std::strtoull(v, nullptr, 10);
     } else if (parse_flag(argv[i], "--seed-file", &v) && v != nullptr) {
@@ -169,8 +205,9 @@ int main(int argc, char** argv) {
                        cli.seed_file.c_str(), lineno, first.c_str());
           return 2;
         }
-        line_runs.push_back(
-            PlannedRun{first, seed, cli.compaction_cap, cli.inject_quorum_bug});
+        line_runs.push_back(PlannedRun{first, seed, cli.compaction_cap,
+                                       cli.inject_quorum_bug, cli.restarts,
+                                       cli.inject_persistence_bug});
       } else {
         char* end = nullptr;
         const uint64_t seed = std::strtoull(first.c_str(), &end, 10);
@@ -184,7 +221,8 @@ int main(int argc, char** argv) {
         // Bare seed: run it under the --protocol selection.
         for (const auto& protocol : protocols) {
           line_runs.push_back(PlannedRun{protocol, seed, cli.compaction_cap,
-                                         cli.inject_quorum_bug});
+                                         cli.inject_quorum_bug, cli.restarts,
+                                         cli.inject_persistence_bug});
         }
       }
       // Per-line flag overrides (written by --failures-out): the seed must
@@ -198,6 +236,10 @@ int main(int argc, char** argv) {
           }
         } else if (parse_flag(flag.c_str(), "--inject-quorum-bug", &v)) {
           for (auto& r : line_runs) r.inject_quorum_bug = true;
+        } else if (parse_flag(flag.c_str(), "--restarts", &v)) {
+          for (auto& r : line_runs) r.restarts = true;
+        } else if (parse_flag(flag.c_str(), "--inject-persistence-bug", &v)) {
+          for (auto& r : line_runs) r.inject_persistence_bug = true;
         } else {
           std::fprintf(stderr, "%s:%d: unknown per-run flag '%s'\n",
                        cli.seed_file.c_str(), lineno, flag.c_str());
@@ -212,10 +254,17 @@ int main(int argc, char** argv) {
         planned.push_back(PlannedRun{protocol,
                                      cli.seed + static_cast<uint64_t>(k),
                                      cli.compaction_cap,
-                                     cli.inject_quorum_bug});
+                                     cli.inject_quorum_bug, cli.restarts,
+                                     cli.inject_persistence_bug});
       }
     }
   }
+
+  struct CorpusEntry {
+    uint64_t score = 0;
+    PlannedRun run;
+  };
+  std::vector<CorpusEntry> corpus;
 
   std::FILE* failures_file = nullptr;
   if (!cli.failures_out.empty()) {
@@ -236,16 +285,31 @@ int main(int argc, char** argv) {
     opt.num_replicas = cli.replicas;
     opt.inject_quorum_bug = pr.inject_quorum_bug;
     opt.compaction_log_cap = pr.compaction_cap;
+    opt.crash_restarts = pr.restarts;
+    opt.inject_persistence_bug = pr.inject_persistence_bug;
     const chaos::RunResult r = chaos::run_one(opt);
     ++runs;
     if (cli.verbose) {
       std::printf(
-          "%s protocol=%s seed=%llu log=%lld client_ops=%llu snapshots=%llu\n",
+          "%s protocol=%s seed=%llu log=%lld client_ops=%llu snapshots=%llu "
+          "restarts=%llu leader_changes=%llu revocations=%llu\n",
           r.ok ? "ok  " : "FAIL", r.protocol.c_str(),
           static_cast<unsigned long long>(r.seed),
           static_cast<long long>(r.log_length),
           static_cast<unsigned long long>(r.client_ops),
-          static_cast<unsigned long long>(r.snapshot_installs));
+          static_cast<unsigned long long>(r.snapshot_installs),
+          static_cast<unsigned long long>(r.restarts),
+          static_cast<unsigned long long>(r.leader_changes),
+          static_cast<unsigned long long>(r.revocations));
+    }
+    if (!cli.corpus_out.empty() && r.ok) {
+      // Coverage score: rare-path events dominate (leader churn, Mencius
+      // revocations, snapshot transfers, crash-restarts) so the saved corpus
+      // concentrates the fuzzer on interesting interleavings.
+      const uint64_t score = 3 * r.leader_changes + 5 * r.revocations +
+                             2 * r.snapshot_installs + 3 * r.restarts +
+                             (r.log_length > 0 ? 1 : 0);
+      corpus.push_back(CorpusEntry{score, pr});
     }
     if (!r.ok) {
       ++failures;
@@ -253,24 +317,42 @@ int main(int argc, char** argv) {
       if (failures_file != nullptr) {
         // Flags before the comment so --seed-file replays the exact
         // configuration the seed failed under.
-        std::string flags;
-        if (pr.compaction_cap > 0) {
-          char fb[48];
-          std::snprintf(fb, sizeof(fb), " --compaction-cap=%zu",
-                        pr.compaction_cap);
-          flags += fb;
-        }
-        if (pr.inject_quorum_bug) flags += " --inject-quorum-bug";
         std::fprintf(failures_file, "%s %llu%s  # repro: %s\n",
                      r.protocol.c_str(),
-                     static_cast<unsigned long long>(r.seed), flags.c_str(),
-                     r.repro.c_str());
+                     static_cast<unsigned long long>(r.seed),
+                     flags_of(pr).c_str(), r.repro.c_str());
         std::fflush(failures_file);
       }
       if (cli.stop_on_failure) break;
     }
   }
   if (failures_file != nullptr) std::fclose(failures_file);
+  if (!cli.corpus_out.empty()) {
+    // Persist the top-coverage seeds in the --seed-file format ("<protocol>
+    // <seed> [flags]  # comment") so a later run — or the ROADMAP's
+    // coverage-guided mutator — replays exactly these runs.
+    std::stable_sort(corpus.begin(), corpus.end(),
+                     [](const CorpusEntry& a, const CorpusEntry& b) {
+                       return a.score > b.score;
+                     });
+    if (corpus.size() > cli.corpus_size) corpus.resize(cli.corpus_size);
+    std::FILE* cf = std::fopen(cli.corpus_out.c_str(), "w");
+    if (cf == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", cli.corpus_out.c_str());
+      return 2;
+    }
+    std::fprintf(cf, "# chaos corpus: top-%zu coverage seeds of this batch\n",
+                 corpus.size());
+    for (const CorpusEntry& ce : corpus) {
+      std::fprintf(cf, "%s %llu%s  # cov=%llu\n", ce.run.protocol.c_str(),
+                   static_cast<unsigned long long>(ce.run.seed),
+                   flags_of(ce.run).c_str(),
+                   static_cast<unsigned long long>(ce.score));
+    }
+    std::fclose(cf);
+    std::printf("corpus: wrote top %zu seeds to %s\n", corpus.size(),
+                cli.corpus_out.c_str());
+  }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
