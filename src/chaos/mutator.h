@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/runner.h"
+#include "chaos/schedule_gen.h"
+#include "common/rng.h"
+
+namespace praft::chaos {
+
+// ---------------------------------------------------------------------------
+// Schedule <-> text. A mutated schedule is no longer expressible as a seed,
+// so the corpus format grows "schedule { ... }" blocks alongside the bare
+// "<protocol> <seed> [flags]" lines of the --seed-file format:
+//
+//   schedule raft --restarts {
+//     seed 42
+//     drop 0.0123...          # doubles print with %.17g and round-trip exactly
+//     dup 0
+//     reorder 0
+//     clients 1
+//     read_fraction 0.45...
+//     conflict_rate 0.05...
+//     num_records 64
+//     value_size 8
+//     partitions 1
+//     event leader_crash a=-1 b=-1 p=0 from=2100000 to=2900000
+//     event crash_restart a=3 b=-1 p=0 from=2400000 to=3100000
+//   }
+//
+// Tokens between "schedule" and "{" (the header extras — protocol name and
+// per-run flags in the corpus) are opaque to this layer; from/to are in
+// simulated microseconds. serialize -> parse -> serialize is the identity.
+// ---------------------------------------------------------------------------
+
+/// Serializes `s` as one "schedule [header_extra] { ... }" block.
+[[nodiscard]] std::string serialize_schedule(const Schedule& s,
+                                             const std::string& header_extra =
+                                                 "");
+
+/// Parses one block from `lines` starting at `*pos` (which must index the
+/// "schedule ... {" opener; '#' comments are stripped). On success advances
+/// `*pos` past the closing "}", fills `*out` and `*header_extra`, and
+/// returns true; on failure returns false with a message in `*error`.
+[[nodiscard]] bool parse_schedule(const std::vector<std::string>& lines,
+                                  size_t* pos, Schedule* out,
+                                  std::string* header_extra,
+                                  std::string* error);
+
+// ---------------------------------------------------------------------------
+// Mutation operators. Each is a pure function of (input schedules, the
+// explicit RNG state, limits): evolved runs stay exactly as deterministic
+// as seed-expanded ones. Every emitted event is re-clamped to the
+// generator's postcondition (faults_from <= from < to <= faults_until).
+// ---------------------------------------------------------------------------
+
+enum class MutationOp {
+  kShiftWindow,      // slide one fault window earlier/later
+  kStretchWindow,    // scale one window's length by 0.5x-2x
+  kSplitWindow,      // replace one window with two sub-windows + a gap
+  kSwapKind,         // re-roll one event's fault kind (re-drawing fields)
+  kRetargetReplica,  // re-draw the victim replica (and partition peer)
+  kPerturbRates,     // jitter whole-run drop/dup/reorder rates
+  kPerturbWorkload,  // jitter read fraction / conflict rate / client count
+  kAddEvent,         // insert one fresh random event
+  kDropEvent,        // remove one event (never below one)
+  kReseed,           // re-draw the cluster RNG seed (timing-stream jump)
+};
+
+/// Applies one specific operator. Exposed for targeted tests; evolution
+/// uses the weighted dispatcher below.
+[[nodiscard]] Schedule apply_mutation(const Schedule& s, MutationOp op,
+                                      Rng& rng, const ScheduleLimits& limits);
+
+/// One mutation step: picks 1-2 weighted random operators and applies them.
+[[nodiscard]] Schedule mutate_schedule(const Schedule& s, Rng& rng,
+                                       const ScheduleLimits& limits);
+
+/// Crossover: a child drawing its network/workload knobs from either parent
+/// and splicing fault events from both.
+[[nodiscard]] Schedule splice_schedules(const Schedule& a, const Schedule& b,
+                                        Rng& rng,
+                                        const ScheduleLimits& limits);
+
+// ---------------------------------------------------------------------------
+// Coverage-guided evolution: seed a population from random schedules (plus
+// any replayed corpus), score each run with the harness's coverage counters,
+// and keep/mutate the top scorers for N generations.
+// ---------------------------------------------------------------------------
+
+struct EvolveCandidate {
+  std::string protocol;
+  Schedule schedule;
+  uint64_t score = 0;  // coverage_score of its run (filled by evolve)
+};
+
+struct EvolveOptions {
+  int generations = 4;
+  /// Candidates evaluated per generation (later generations = elites +
+  /// their offspring). Generation 0 evaluates ALL corpus seeds, topped up
+  /// with fresh random schedules to at least this size.
+  int population = 16;
+  /// Top-of-archive survivors bred each generation. Must be < population.
+  int elite = 4;
+  /// Seeds the evolution RNG (selection, operator choice, fresh schedules).
+  uint64_t rng_seed = 1;
+  /// Protocol pool for fresh random candidates (offspring mostly inherit
+  /// their parent's protocol, with a small cross-protocol re-roll chance —
+  /// the paper's parallelism means a rare interleaving found under one
+  /// protocol is worth trying on the others).
+  std::vector<std::string> protocols{"raft"};
+  /// Flag/limit template every run executes under (protocol/seed/schedule
+  /// fields are overridden per candidate).
+  RunOptions base;
+};
+
+struct EvolveStats {
+  uint64_t runs = 0;  // total run_one invocations (the comparison budget)
+  /// Top-`population` candidates ever seen (the elite archive), score-desc,
+  /// deduped by (protocol, serialized schedule). This is what --corpus-out
+  /// persists.
+  std::vector<EvolveCandidate> population;
+  /// Mean/best coverage score of `population`.
+  double mean_score = 0.0;
+  uint64_t best_score = 0;
+  /// Archive mean after each generation (index 0 = the random gen-0 batch),
+  /// so callers can print the learning curve.
+  std::vector<double> generation_mean;
+  /// Invariant-violating runs encountered while evolving (an evolved
+  /// schedule that breaks a protocol is a find, not a breeding candidate).
+  /// `failed_candidates[i]` is the exact (protocol, schedule) that produced
+  /// `failures[i]` — what --failures-out persists for replay.
+  std::vector<RunResult> failures;
+  std::vector<EvolveCandidate> failed_candidates;
+};
+
+/// Runs the evolution loop. Deterministic for fixed (opt, seeds).
+[[nodiscard]] EvolveStats evolve(const EvolveOptions& opt,
+                                 std::vector<EvolveCandidate> seeds);
+
+}  // namespace praft::chaos

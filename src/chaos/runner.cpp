@@ -105,15 +105,12 @@ void arm_event(const FaultEvent& e, harness::Cluster& cluster,
 
 }  // namespace
 
-RunResult run_one(const RunOptions& opt) {
-  RunResult res;
-  res.seed = opt.seed;
-  res.protocol = opt.protocol;
-
+ScheduleLimits effective_limits(const RunOptions& opt) {
   ScheduleLimits limits = opt.limits;
   limits.num_replicas = opt.num_replicas;
-  const bool durability_armed = opt.crash_restarts || opt.inject_persistence_bug;
-  if (durability_armed) limits.crash_restart = true;
+  if (opt.crash_restarts || opt.inject_persistence_bug) {
+    limits.crash_restart = true;
+  }
   if (opt.inject_persistence_bug) {
     // Guarantee election churn with a crash-restart landing inside it, so
     // the unsynced-vote window is exercised on every seed.
@@ -125,9 +122,40 @@ RunResult run_one(const RunOptions& opt) {
     // function of (seed, flags): the repro command carries the flag.
     limits.add_minority_window = true;
   }
-  const Schedule sched = generate_schedule(opt.seed, limits);
+  return limits;
+}
+
+Schedule schedule_of(const RunOptions& opt) {
+  if (opt.schedule.has_value()) return *opt.schedule;
+  return generate_schedule(opt.seed, effective_limits(opt));
+}
+
+uint64_t coverage_score(const RunResult& r) {
+  return 3 * r.leader_changes + 5 * r.revocations +
+         2 * r.snapshot_installs + 3 * r.restarts +
+         (r.log_length > 0 ? 1 : 0);
+}
+
+RunResult run_one(const RunOptions& opt) {
+  RunResult res;
+  res.protocol = opt.protocol;
+
+  const ScheduleLimits limits = effective_limits(opt);
+  const Schedule sched = schedule_of(opt);
+  res.seed = sched.seed;
   res.schedule = sched.describe();
-  {
+  // Run phases key off the end of the fault phase. An evolved (or
+  // hand-edited) schedule may carry windows past the generator limits, so
+  // the fault-free tail starts after the LAST window either way.
+  Time faults_end = limits.faults_until;
+  for (const FaultEvent& e : sched.events) {
+    faults_end = std::max(faults_end, e.to);
+  }
+  if (opt.schedule.has_value()) {
+    res.repro = "chaos_runner --seed-file=<corpus> replaying this run's "
+                "schedule block (evolved schedules are not seed-expressible; "
+                "--failures-out saves the block)";
+  } else {
     char buf[200];
     std::snprintf(buf, sizeof(buf),
                   "chaos_runner --protocol=%s --seed=%llu%s",
@@ -143,10 +171,12 @@ RunResult run_one(const RunOptions& opt) {
     if (opt.crash_restarts) res.repro += " --restarts";
     if (opt.inject_persistence_bug) res.repro += " --inject-persistence-bug";
   }
+  const bool durability_armed =
+      opt.crash_restarts || opt.inject_persistence_bug;
 
   harness::ClusterConfig cfg;
   cfg.num_replicas = opt.num_replicas;
-  cfg.seed = opt.seed;
+  cfg.seed = sched.seed;
   harness::Cluster cluster(cfg);
 
   // LAN-ish timing so one run fits in milliseconds of wall clock while the
@@ -178,7 +208,7 @@ RunResult run_one(const RunOptions& opt) {
     // throughout the run (the trigger runs synchronously on apply paths, so
     // the cap must hold whenever the simulator is between handlers).
     chk.set_memory_cap(opt.compaction_log_cap);
-    const Time end = limits.faults_until + sec(1) + opt.quiesce;
+    const Time end = faults_end + sec(1) + opt.quiesce;
     for (Time t = msec(500); t < end; t += msec(500)) {
       cluster.sim().at(t, [&cluster, &chk] { chk.sample_memory(cluster); });
     }
@@ -188,7 +218,7 @@ RunResult run_one(const RunOptions& opt) {
   uint64_t leader_changes = 0;
   if (!cluster.server(0).leaderless()) {
     auto last_leader = std::make_shared<int>(-1);
-    const Time end = limits.faults_until + sec(1) + opt.quiesce;
+    const Time end = faults_end + sec(1) + opt.quiesce;
     for (Time t = msec(100); t < end; t += msec(100)) {
       cluster.sim().at(t, [&cluster, &leader_changes, last_leader] {
         const int now_leader = cluster.leader_replica();
@@ -210,7 +240,7 @@ RunResult run_one(const RunOptions& opt) {
   // windows open, mirroring the paper's testbed runs.
   if (!cluster.server(0).leaderless()) {
     cluster.establish_leader(
-        static_cast<int>(opt.seed % static_cast<uint64_t>(opt.num_replicas)),
+        static_cast<int>(sched.seed % static_cast<uint64_t>(opt.num_replicas)),
         sec(10));
   } else {
     cluster.run_for(msec(500));
@@ -220,7 +250,7 @@ RunResult run_one(const RunOptions& opt) {
 
   // Chaos phase, then a fault-free tail: clients stop, replicas repair and
   // re-converge, invariants are finalized on the quiesced cluster.
-  cluster.run_until(limits.faults_until + sec(1));
+  cluster.run_until(faults_end + sec(1));
   chk.note("faults over; draining clients");
   cluster.stop_clients();
   cluster.run_for(opt.quiesce);

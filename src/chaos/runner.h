@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,11 @@ struct RunOptions {
   /// Fault-free tail after the last fault window: clients drain, replicas
   /// re-converge, then invariants are finalized.
   Duration quiesce = sec(10);
+  /// When set, runs this exact schedule instead of expanding `seed` through
+  /// generate_schedule — the evolved-corpus path, where a mutated schedule
+  /// is no longer expressible as a seed. The schedule's own `seed` field
+  /// seeds the cluster RNG (for seed-expanded runs the two are equal).
+  std::optional<Schedule> schedule;
 };
 
 struct RunResult {
@@ -60,6 +66,21 @@ struct RunResult {
   uint64_t leader_changes = 0;         // leadership handoffs observed
   uint64_t revocations = 0;            // Mencius revocations started
 };
+
+/// The ScheduleLimits a RunOptions actually generates under: `opt.limits`
+/// with the replica count folded in and the guaranteed-fault knobs implied
+/// by the bug-injection / crash-restart flags armed.
+[[nodiscard]] ScheduleLimits effective_limits(const RunOptions& opt);
+
+/// The schedule `run_one(opt)` would execute: the explicit one when
+/// `opt.schedule` is set, else the seed expanded under effective_limits.
+[[nodiscard]] Schedule schedule_of(const RunOptions& opt);
+
+/// Coverage score of a completed run: rare-path events dominate (leader
+/// churn, Mencius revocations, snapshot transfers, crash-restarts) so
+/// corpus persistence and schedule evolution both concentrate the fuzzer
+/// on interesting interleavings.
+[[nodiscard]] uint64_t coverage_score(const RunResult& r);
 
 /// Builds a cluster for `opt.protocol`, generates the seed's fault schedule
 /// and workload, runs it, and checks all trace invariants. Deterministic:

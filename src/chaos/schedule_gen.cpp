@@ -9,9 +9,7 @@
 
 namespace praft::chaos {
 
-namespace {
-
-const char* kind_name(FaultEvent::Kind k) {
+const char* to_string(FaultEvent::Kind k) {
   switch (k) {
     case FaultEvent::Kind::kDropBurst: return "drop_burst";
     case FaultEvent::Kind::kPartitionPair: return "partition_pair";
@@ -24,6 +22,24 @@ const char* kind_name(FaultEvent::Kind k) {
   }
   return "?";
 }
+
+bool kind_from_string(const std::string& name, FaultEvent::Kind* out) {
+  static constexpr FaultEvent::Kind kAll[] = {
+      FaultEvent::Kind::kDropBurst,      FaultEvent::Kind::kPartitionPair,
+      FaultEvent::Kind::kIsolate,        FaultEvent::Kind::kCrash,
+      FaultEvent::Kind::kLeaderCrash,    FaultEvent::Kind::kLeaderIsolate,
+      FaultEvent::Kind::kLeaderMinority, FaultEvent::Kind::kCrashRestart,
+  };
+  for (const FaultEvent::Kind k : kAll) {
+    if (name == to_string(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
 
 std::string format(const char* fmt, ...) {
   char buf[256];
@@ -41,20 +57,20 @@ std::string FaultEvent::describe() const {
   const double to_s = static_cast<double>(to) / 1e6;
   switch (kind) {
     case Kind::kDropBurst:
-      return format("%s(p=%.2f, [%.2fs, %.2fs))", kind_name(kind), p, from_s,
+      return format("%s(p=%.2f, [%.2fs, %.2fs))", to_string(kind), p, from_s,
                     to_s);
     case Kind::kPartitionPair:
-      return format("%s(%d <-> %d, [%.2fs, %.2fs))", kind_name(kind), a, b,
+      return format("%s(%d <-> %d, [%.2fs, %.2fs))", to_string(kind), a, b,
                     from_s, to_s);
     case Kind::kIsolate:
     case Kind::kCrash:
     case Kind::kCrashRestart:
-      return format("%s(%d, [%.2fs, %.2fs))", kind_name(kind), a, from_s,
+      return format("%s(%d, [%.2fs, %.2fs))", to_string(kind), a, from_s,
                     to_s);
     case Kind::kLeaderCrash:
     case Kind::kLeaderIsolate:
     case Kind::kLeaderMinority:
-      return format("%s([%.2fs, %.2fs))", kind_name(kind), from_s, to_s);
+      return format("%s([%.2fs, %.2fs))", to_string(kind), from_s, to_s);
   }
   return "?";
 }
@@ -154,8 +170,14 @@ Schedule generate_schedule(uint64_t seed, const ScheduleLimits& limits) {
     lc.kind = FaultEvent::Kind::kLeaderCrash;
     lc.from = limits.faults_from + sec(3) * k +
               static_cast<Duration>(rng.below(static_cast<uint64_t>(sec(1))));
+    // Guard like the paired crash-restart below: the k-th pair starts 3s
+    // deeper into the fault phase, so for small `faults_until` (or k >= 1)
+    // the unclamped `from` can land past the window end — pushing that event
+    // unguarded would emit an inverted window (`to < from`) that leaks faults
+    // into the documented fault-free re-convergence tail.
+    lc.from = std::min<Time>(lc.from, limits.faults_until);
     lc.to = std::min<Time>(lc.from + msec(800), limits.faults_until);
-    s.events.push_back(lc);
+    if (lc.to > lc.from) s.events.push_back(lc);
     FaultEvent cr;
     cr.kind = FaultEvent::Kind::kCrashRestart;
     cr.a = static_cast<int>(rng.below(static_cast<uint64_t>(n)));
@@ -174,9 +196,18 @@ Schedule generate_schedule(uint64_t seed, const ScheduleLimits& limits) {
     // plus two WAN round trips before it overwrites the penned slots).
     FaultEvent e;
     e.kind = FaultEvent::Kind::kLeaderMinority;
-    e.from = limits.faults_from + sec(1);
+    e.from = std::min<Time>(limits.faults_from + sec(1), limits.faults_until);
     e.to = std::min<Time>(e.from + sec(6), limits.faults_until);
-    s.events.push_back(e);
+    if (e.to > e.from) s.events.push_back(e);
+  }
+  // Postcondition: every emitted window sits strictly inside the fault
+  // phase. The invariant checker finalizes on a quiesced cluster, so a
+  // window leaking past `faults_until` (or an inverted one) would turn
+  // re-convergence violations into false alarms — or mask real ones.
+  for (const FaultEvent& e : s.events) {
+    PRAFT_CHECK_MSG(limits.faults_from <= e.from && e.from < e.to &&
+                        e.to <= limits.faults_until,
+                    e.describe());
   }
   return s;
 }

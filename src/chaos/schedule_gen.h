@@ -42,6 +42,12 @@ struct FaultEvent {
   [[nodiscard]] std::string describe() const;
 };
 
+/// Stable textual name of a fault kind (the corpus serialization format and
+/// `describe()` both use it); `kind_from_string` is its inverse.
+[[nodiscard]] const char* to_string(FaultEvent::Kind k);
+[[nodiscard]] bool kind_from_string(const std::string& name,
+                                    FaultEvent::Kind* out);
+
 /// Everything one uint64 seed determines about a chaos run besides the
 /// cluster itself: whole-run network chaos knobs, timed fault windows, and
 /// the client workload.
@@ -88,7 +94,10 @@ struct ScheduleLimits {
 };
 
 /// Expands `seed` into a full randomized schedule (pure function of
-/// (seed, limits)).
+/// (seed, limits)). Postcondition: every emitted event satisfies
+/// `faults_from <= from < to <= faults_until` — guaranteed-fault knobs that
+/// would not fit the window (e.g. a forced crash-restart pair landing past
+/// `faults_until`) are skipped rather than clamped into inverted windows.
 [[nodiscard]] Schedule generate_schedule(uint64_t seed,
                                          const ScheduleLimits& limits = {});
 

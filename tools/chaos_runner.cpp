@@ -6,31 +6,45 @@
 //   chaos_runner --protocol=all --seeds=50 --compaction-cap=64
 //   chaos_runner --protocol=all --seeds=200 --restarts   # crash-restart faults
 //   chaos_runner --protocol=raft --seeds=50 --inject-persistence-bug
-//   chaos_runner --seed-file=chaos_failures.txt     # replay saved seeds
+//   chaos_runner --seed-file=chaos_failures.txt     # replay saved runs
 //   chaos_runner --seeds=200 --restarts --corpus-out=tools/chaos_corpus.txt
+//   chaos_runner --protocol=all --evolve=4 --restarts
+//       --seed-file=tools/chaos_corpus.txt --corpus-out=tools/chaos_corpus.txt
 //
-// Each failure prints the seed, the generated schedule, the violated
-// invariants, the recent event trace, and the exact repro command. Exit
-// status is the number of failing (protocol, seed) runs, capped at 99.
+// Each failure prints the seed, the schedule, the violated invariants, the
+// recent event trace, and the exact repro command. Exit status is the number
+// of failing runs, capped at 99 (2 = bad usage, including malformed numeric
+// flag values).
 //
-// --seed-file replays an explicit list instead of a contiguous range: one
-// run per line, either "<seed>" (run under --protocol) or
-// "<protocol> <seed>", optionally followed by per-run flags
-// (--compaction-cap=N, --inject-quorum-bug) so a failure replays under the
-// exact configuration it was found with — --failures-out writes lines in
-// this format; '#' starts a comment. This is the stepping stone for
-// corpus-driven fuzzing — a future coverage-guided mutator only has to
-// persist interesting seeds in this format.
+// --seed-file replays an explicit list instead of a contiguous range. Two
+// entry forms coexist: one run per line, either "<seed>" (run under
+// --protocol) or "<protocol> <seed>", optionally followed by per-run flags
+// (--compaction-cap=N, --inject-quorum-bug, ...) — and multi-line
+// "schedule <protocol> [flags] { ... }" blocks holding an explicit evolved
+// schedule (see src/chaos/mutator.h for the block grammar). '#' starts a
+// comment. --failures-out and --corpus-out both write this format, so any
+// saved run replays under the exact configuration it was found with.
+//
+// --evolve=N runs the coverage-guided evolution loop instead of a flat
+// batch: the population seeds from --seed-file (if given) plus fresh random
+// schedules, every run is scored with the harness coverage counters (leader
+// changes, revocations, snapshot installs, restarts), and the top scorers
+// are kept/mutated for N generations. All evolved runs execute under the
+// CLI flags (--restarts, --compaction-cap, ...); --corpus-out persists the
+// elite population as schedule blocks.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "chaos/mutator.h"
 #include "chaos/runner.h"
 #include "consensus/registry.h"
 
@@ -53,15 +67,18 @@ struct CliOptions {
   std::string seed_file;
   std::string corpus_out;
   size_t corpus_size = 16;
+  int evolve = 0;  // generations; 0 = flat batch mode
+  int population = 16;
+  int elite = 4;
 };
 
-/// One (protocol, seed) run resolved from the CLI flags or a seed file.
-/// Seed-file lines may carry per-run flag overrides (--compaction-cap=N,
-/// --inject-quorum-bug) so a saved failure replays under the exact
-/// configuration it was found with.
+/// One run resolved from the CLI flags or a seed file: a (protocol, seed)
+/// pair, or an explicit schedule block. Per-entry flag overrides replay a
+/// saved failure under the exact configuration it was found with.
 struct PlannedRun {
   std::string protocol;
   uint64_t seed = 0;
+  std::optional<chaos::Schedule> schedule;
   size_t compaction_cap = 0;
   bool inject_quorum_bug = false;
   bool restarts = false;
@@ -70,7 +87,7 @@ struct PlannedRun {
 
 /// Serializes a run's flag overrides in the --seed-file per-line format.
 /// The ONE implementation shared by the --failures-out and --corpus-out
-/// writers: both files replay through the same parser, so the seed must
+/// writers: both files replay through the same parser, so the run must
 /// come back under exactly the configuration it ran with.
 std::string flags_of(const PlannedRun& run) {
   std::string flags;
@@ -83,6 +100,21 @@ std::string flags_of(const PlannedRun& run) {
   if (run.inject_quorum_bug) flags += " --inject-quorum-bug";
   if (run.inject_persistence_bug) flags += " --inject-persistence-bug";
   return flags;
+}
+
+/// Identity of a planned run for corpus dedup: replaying a seed file that
+/// repeats a line must not burn two elite slots on the same run.
+std::string dedup_key(const PlannedRun& run) {
+  std::string key = run.protocol + flags_of(run) + '\n';
+  if (run.schedule.has_value()) {
+    key += chaos::serialize_schedule(*run.schedule);
+  } else {
+    char sb[32];
+    std::snprintf(sb, sizeof(sb), "seed=%llu",
+                  static_cast<unsigned long long>(run.seed));
+    key += sb;
+  }
+  return key;
 }
 
 bool parse_flag(const char* arg, const char* name, const char** value) {
@@ -99,6 +131,26 @@ bool parse_flag(const char* arg, const char* name, const char** value) {
   return false;
 }
 
+// Numeric flag values parse with end-pointer checks: `--seeds=abc` must be
+// a usage error (exit 2), not a silent zero-run batch that exits green.
+bool parse_u64_value(const char* v, uint64_t* out) {
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  *out = std::strtoull(v, &end, 10);
+  return end != v && *end == '\0' && *v != '-';
+}
+
+bool parse_int_value(const char* v, int* out) {
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  const long wide = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || wide < INT32_MIN || wide > INT32_MAX) {
+    return false;
+  }
+  *out = static_cast<int>(wide);
+  return true;
+}
+
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
@@ -107,6 +159,7 @@ void usage(const char* argv0) {
       "          [--inject-persistence-bug] [--verbose] [--stop-on-failure]\n"
       "          [--failures-out=PATH] [--seed-file=PATH]\n"
       "          [--corpus-out=PATH] [--corpus-size=N]\n"
+      "          [--evolve=GENERATIONS] [--population=N] [--elite=N]\n"
       "protocols: all",
       argv0);
   for (const auto& name : consensus::protocol_names()) {
@@ -127,20 +180,308 @@ void print_failure(const chaos::RunResult& r) {
   std::printf("  repro: %s\n", r.repro.c_str());
 }
 
+/// Writes one replayable entry — a "<protocol> <seed> [flags]" line or a
+/// schedule block — with `comment` on the line (or a line of its own ahead
+/// of a block, since blocks span lines).
+void write_entry(std::FILE* f, const PlannedRun& run,
+                 const std::string& comment) {
+  if (run.schedule.has_value()) {
+    if (!comment.empty()) std::fprintf(f, "# %s\n", comment.c_str());
+    std::string header = run.protocol + flags_of(run);
+    std::fprintf(f, "%s",
+                 chaos::serialize_schedule(*run.schedule, header).c_str());
+  } else {
+    std::fprintf(f, "%s %llu%s%s%s\n", run.protocol.c_str(),
+                 static_cast<unsigned long long>(run.seed),
+                 flags_of(run).c_str(), comment.empty() ? "" : "  # ",
+                 comment.c_str());
+  }
+}
+
+/// Parses --seed-file: bare seed / "<protocol> <seed>" lines with optional
+/// per-run flags, plus "schedule <protocol> [flags] { ... }" blocks.
+/// Returns false (after printing the offending line) on malformed input.
+bool load_seed_file(const CliOptions& cli,
+                    const std::vector<std::string>& protocols,
+                    std::vector<PlannedRun>* planned) {
+  std::ifstream in(cli.seed_file);
+  if (!in) {
+    std::fprintf(stderr, "cannot read seed file %s\n", cli.seed_file.c_str());
+    return false;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+
+  const auto apply_run_flag = [&cli](const std::string& flag,
+                                     std::vector<PlannedRun>* runs,
+                                     int lineno) {
+    const char* v = nullptr;
+    if (parse_flag(flag.c_str(), "--compaction-cap", &v) && v != nullptr) {
+      uint64_t cap = 0;
+      if (!parse_u64_value(v, &cap)) {
+        std::fprintf(stderr, "%s:%d: bad --compaction-cap value '%s'\n",
+                     cli.seed_file.c_str(), lineno, v);
+        return false;
+      }
+      for (auto& r : *runs) r.compaction_cap = cap;
+    } else if (parse_flag(flag.c_str(), "--inject-quorum-bug", &v)) {
+      for (auto& r : *runs) r.inject_quorum_bug = true;
+    } else if (parse_flag(flag.c_str(), "--restarts", &v)) {
+      for (auto& r : *runs) r.restarts = true;
+    } else if (parse_flag(flag.c_str(), "--inject-persistence-bug", &v)) {
+      for (auto& r : *runs) r.inject_persistence_bug = true;
+    } else {
+      std::fprintf(stderr, "%s:%d: unknown per-run flag '%s'\n",
+                   cli.seed_file.c_str(), lineno, flag.c_str());
+      return false;
+    }
+    return true;
+  };
+
+  for (size_t pos = 0; pos < lines.size();) {
+    const int lineno = static_cast<int>(pos) + 1;
+    std::string stripped = lines[pos];
+    if (const size_t hash = stripped.find('#'); hash != std::string::npos) {
+      stripped.resize(hash);
+    }
+    std::istringstream ls(stripped);
+    std::string first;
+    if (!(ls >> first)) {  // blank / comment-only line
+      ++pos;
+      continue;
+    }
+    if (first == "schedule") {
+      chaos::Schedule sched;
+      std::string header;
+      std::string error;
+      if (!chaos::parse_schedule(lines, &pos, &sched, &header, &error)) {
+        std::fprintf(stderr, "%s:%d: %s\n", cli.seed_file.c_str(), lineno,
+                     error.c_str());
+        return false;
+      }
+      std::istringstream hs(header);
+      std::string protocol;
+      if (!(hs >> protocol) ||
+          !consensus::ProtocolRegistry::instance().contains(protocol)) {
+        std::fprintf(stderr,
+                     "%s:%d: schedule block needs a registered protocol "
+                     "after 'schedule' (got '%s')\n",
+                     cli.seed_file.c_str(), lineno, header.c_str());
+        return false;
+      }
+      // The block format does not carry the replica count; an event naming
+      // a replica the replaying cluster does not have must be a clean
+      // usage error, not an out-of-bounds crash mid-batch.
+      for (const chaos::FaultEvent& e : sched.events) {
+        if (e.a >= cli.replicas || e.b >= cli.replicas) {
+          std::fprintf(stderr,
+                       "%s:%d: event targets replica %d but the cluster has "
+                       "%d replicas (replay with a bigger --replicas)\n",
+                       cli.seed_file.c_str(), lineno, std::max(e.a, e.b),
+                       cli.replicas);
+          return false;
+        }
+      }
+      std::vector<PlannedRun> block_runs;
+      PlannedRun run;
+      run.protocol = protocol;
+      run.seed = sched.seed;
+      run.schedule = sched;
+      run.compaction_cap = cli.compaction_cap;
+      run.inject_quorum_bug = cli.inject_quorum_bug;
+      run.restarts = cli.restarts;
+      run.inject_persistence_bug = cli.inject_persistence_bug;
+      block_runs.push_back(std::move(run));
+      std::string flag;
+      while (hs >> flag) {
+        if (!apply_run_flag(flag, &block_runs, lineno)) return false;
+      }
+      planned->insert(planned->end(), block_runs.begin(), block_runs.end());
+      continue;
+    }
+    std::vector<PlannedRun> line_runs;
+    if (consensus::ProtocolRegistry::instance().contains(first)) {
+      std::string seed_tok;
+      uint64_t seed = 0;
+      if (!(ls >> seed_tok) || !parse_u64_value(seed_tok.c_str(), &seed)) {
+        std::fprintf(stderr, "%s:%d: protocol '%s' without a valid seed\n",
+                     cli.seed_file.c_str(), lineno, first.c_str());
+        return false;
+      }
+      line_runs.push_back(PlannedRun{first, seed, std::nullopt,
+                                     cli.compaction_cap, cli.inject_quorum_bug,
+                                     cli.restarts, cli.inject_persistence_bug});
+    } else {
+      uint64_t seed = 0;
+      if (!parse_u64_value(first.c_str(), &seed)) {
+        std::fprintf(stderr,
+                     "%s:%d: '%s' is neither a registered protocol nor a "
+                     "seed\n",
+                     cli.seed_file.c_str(), lineno, first.c_str());
+        return false;
+      }
+      // Bare seed: run it under the --protocol selection.
+      for (const auto& protocol : protocols) {
+        line_runs.push_back(PlannedRun{protocol, seed, std::nullopt,
+                                       cli.compaction_cap,
+                                       cli.inject_quorum_bug, cli.restarts,
+                                       cli.inject_persistence_bug});
+      }
+    }
+    // Per-line flag overrides (written by --failures-out): the run must
+    // replay under the configuration it failed with.
+    std::string flag;
+    while (ls >> flag) {
+      if (!apply_run_flag(flag, &line_runs, lineno)) return false;
+    }
+    planned->insert(planned->end(), line_runs.begin(), line_runs.end());
+    ++pos;
+  }
+  return true;
+}
+
+/// An evolved candidate as a persistable run under the CLI flags — the ONE
+/// place the evolve-mode writers (--failures-out, --corpus-out) derive the
+/// replay configuration from, so new per-run flags cannot drift between
+/// them.
+PlannedRun planned_run_of(const CliOptions& cli,
+                          const chaos::EvolveCandidate& c) {
+  PlannedRun run;
+  run.protocol = c.protocol;
+  run.seed = c.schedule.seed;
+  run.schedule = c.schedule;
+  run.compaction_cap = cli.compaction_cap;
+  run.inject_quorum_bug = cli.inject_quorum_bug;
+  run.restarts = cli.restarts;
+  run.inject_persistence_bug = cli.inject_persistence_bug;
+  return run;
+}
+
+chaos::RunOptions run_options_of(const CliOptions& cli,
+                                 const PlannedRun& run) {
+  chaos::RunOptions opt;
+  opt.protocol = run.protocol;
+  opt.seed = run.seed;
+  opt.schedule = run.schedule;
+  opt.num_replicas = cli.replicas;
+  opt.inject_quorum_bug = run.inject_quorum_bug;
+  opt.compaction_log_cap = run.compaction_cap;
+  opt.crash_restarts = run.restarts;
+  opt.inject_persistence_bug = run.inject_persistence_bug;
+  return opt;
+}
+
+/// The --evolve mode: population from the seed file + fresh randomness,
+/// N generations of keep-the-top/mutate, elite corpus out.
+int run_evolution(const CliOptions& cli,
+                  const std::vector<std::string>& protocols,
+                  const std::vector<PlannedRun>& planned) {
+  chaos::EvolveOptions eopt;
+  eopt.generations = cli.evolve;
+  eopt.population = cli.population;
+  eopt.elite = cli.elite;
+  eopt.rng_seed = cli.seed;
+  eopt.protocols = protocols;
+  eopt.base.num_replicas = cli.replicas;
+  eopt.base.inject_quorum_bug = cli.inject_quorum_bug;
+  eopt.base.compaction_log_cap = cli.compaction_cap;
+  eopt.base.crash_restarts = cli.restarts;
+  eopt.base.inject_persistence_bug = cli.inject_persistence_bug;
+
+  // Seed the population from --seed-file entries: explicit schedule blocks
+  // verbatim, seed lines expanded exactly as run_one would expand them.
+  std::vector<chaos::EvolveCandidate> seeds;
+  for (const PlannedRun& pr : planned) {
+    chaos::EvolveCandidate cand;
+    cand.protocol = pr.protocol;
+    cand.schedule = chaos::schedule_of(run_options_of(cli, pr));
+    seeds.push_back(std::move(cand));
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const chaos::EvolveStats stats = chaos::evolve(eopt, std::move(seeds));
+  for (const chaos::RunResult& r : stats.failures) print_failure(r);
+  if (!cli.failures_out.empty() && !stats.failures.empty()) {
+    // Evolved failures are only replayable as schedule blocks: persist the
+    // exact (protocol, schedule, flags) each failing run executed under.
+    std::FILE* ff = std::fopen(cli.failures_out.c_str(), "w");
+    if (ff == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", cli.failures_out.c_str());
+      return 2;
+    }
+    for (size_t i = 0; i < stats.failed_candidates.size(); ++i) {
+      const PlannedRun run =
+          planned_run_of(cli, stats.failed_candidates[i]);
+      const std::string violated = stats.failures[i].violations.empty()
+                                       ? "?"
+                                       : stats.failures[i].violations.front();
+      write_entry(ff, run, "FAIL: " + violated);
+    }
+    std::fclose(ff);
+  }
+
+  for (size_t g = 0; g < stats.generation_mean.size(); ++g) {
+    std::printf("evolve: gen %zu archive mean cov %.1f\n", g,
+                stats.generation_mean[g]);
+  }
+  if (!cli.corpus_out.empty() && !stats.population.empty()) {
+    std::FILE* cf = std::fopen(cli.corpus_out.c_str(), "w");
+    if (cf == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", cli.corpus_out.c_str());
+      return 2;
+    }
+    std::fprintf(cf,
+                 "# chaos corpus: elite population of %d-generation "
+                 "evolution (%zu schedules)\n",
+                 cli.evolve, stats.population.size());
+    std::fprintf(cf,
+                 "# regenerate: chaos_runner --protocol=%s --evolve=%d "
+                 "--population=%d --elite=%d --seed=%llu%s%s "
+                 "--corpus-out=<this file>\n",
+                 cli.protocol.c_str(), cli.evolve, cli.population, cli.elite,
+                 static_cast<unsigned long long>(cli.seed),
+                 cli.restarts ? " --restarts" : "",
+                 cli.inject_quorum_bug ? " --inject-quorum-bug" : "");
+    for (const chaos::EvolveCandidate& c : stats.population) {
+      const PlannedRun run = planned_run_of(cli, c);
+      char comment[32];
+      std::snprintf(comment, sizeof(comment), "cov=%llu",
+                    static_cast<unsigned long long>(c.score));
+      write_entry(cf, run, comment);
+    }
+    std::fclose(cf);
+    std::printf("corpus: wrote %zu evolved schedules to %s\n",
+                stats.population.size(), cli.corpus_out.c_str());
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  const int failures = static_cast<int>(stats.failures.size());
+  std::printf(
+      "evolve: %llu runs over %d generation(s) in %.1fs, elite mean cov "
+      "%.1f best %llu, %d failure(s)\n",
+      static_cast<unsigned long long>(stats.runs), cli.evolve, elapsed,
+      stats.mean_score, static_cast<unsigned long long>(stats.best_score),
+      failures);
+  return failures > 99 ? 99 : failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions cli;
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
+    bool ok = true;
     if (parse_flag(argv[i], "--protocol", &v) && v != nullptr) {
       cli.protocol = v;
     } else if (parse_flag(argv[i], "--seed", &v) && v != nullptr) {
-      cli.seed = std::strtoull(v, nullptr, 10);
+      ok = parse_u64_value(v, &cli.seed);
     } else if (parse_flag(argv[i], "--seeds", &v) && v != nullptr) {
-      cli.seeds = std::atoi(v);
+      ok = parse_int_value(v, &cli.seeds) && cli.seeds >= 1;
     } else if (parse_flag(argv[i], "--replicas", &v) && v != nullptr) {
-      cli.replicas = std::atoi(v);
+      ok = parse_int_value(v, &cli.replicas) && cli.replicas >= 2;
     } else if (parse_flag(argv[i], "--inject-quorum-bug", &v)) {
       cli.inject_quorum_bug = true;
     } else if (parse_flag(argv[i], "--restarts", &v)) {
@@ -150,11 +491,21 @@ int main(int argc, char** argv) {
     } else if (parse_flag(argv[i], "--corpus-out", &v) && v != nullptr) {
       cli.corpus_out = v;
     } else if (parse_flag(argv[i], "--corpus-size", &v) && v != nullptr) {
-      cli.corpus_size = std::strtoull(v, nullptr, 10);
+      uint64_t size = 0;
+      ok = parse_u64_value(v, &size) && size >= 1;
+      cli.corpus_size = static_cast<size_t>(size);
     } else if (parse_flag(argv[i], "--compaction-cap", &v) && v != nullptr) {
-      cli.compaction_cap = std::strtoull(v, nullptr, 10);
+      uint64_t cap = 0;
+      ok = parse_u64_value(v, &cap);
+      cli.compaction_cap = static_cast<size_t>(cap);
     } else if (parse_flag(argv[i], "--seed-file", &v) && v != nullptr) {
       cli.seed_file = v;
+    } else if (parse_flag(argv[i], "--evolve", &v) && v != nullptr) {
+      ok = parse_int_value(v, &cli.evolve) && cli.evolve >= 1;
+    } else if (parse_flag(argv[i], "--population", &v) && v != nullptr) {
+      ok = parse_int_value(v, &cli.population) && cli.population >= 2;
+    } else if (parse_flag(argv[i], "--elite", &v) && v != nullptr) {
+      ok = parse_int_value(v, &cli.elite) && cli.elite >= 1;
     } else if (parse_flag(argv[i], "--verbose", &v)) {
       cli.verbose = true;
     } else if (parse_flag(argv[i], "--stop-on-failure", &v)) {
@@ -165,6 +516,15 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
     }
+    if (!ok) {
+      std::fprintf(stderr, "invalid value in '%s'\n", argv[i]);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (cli.elite >= cli.population) {
+    std::fprintf(stderr, "--elite must be smaller than --population\n");
+    return 2;
   }
 
   std::vector<std::string> protocols;
@@ -179,86 +539,23 @@ int main(int argc, char** argv) {
   }
 
   // Resolve the run list: either the contiguous --seed/--seeds range, or an
-  // explicit seed file (e.g. a saved --failures-out corpus).
+  // explicit seed file (e.g. a saved --failures-out / --corpus-out file).
   std::vector<PlannedRun> planned;
   if (!cli.seed_file.empty()) {
-    std::ifstream in(cli.seed_file);
-    if (!in) {
-      std::fprintf(stderr, "cannot read seed file %s\n", cli.seed_file.c_str());
-      return 2;
-    }
-    std::string line;
-    int lineno = 0;
-    while (std::getline(in, line)) {
-      ++lineno;
-      if (const size_t hash = line.find('#'); hash != std::string::npos) {
-        line.resize(hash);
-      }
-      std::istringstream ls(line);
-      std::string first;
-      if (!(ls >> first)) continue;  // blank / comment-only line
-      std::vector<PlannedRun> line_runs;
-      if (consensus::ProtocolRegistry::instance().contains(first)) {
-        uint64_t seed = 0;
-        if (!(ls >> seed)) {
-          std::fprintf(stderr, "%s:%d: protocol '%s' without a seed\n",
-                       cli.seed_file.c_str(), lineno, first.c_str());
-          return 2;
-        }
-        line_runs.push_back(PlannedRun{first, seed, cli.compaction_cap,
-                                       cli.inject_quorum_bug, cli.restarts,
-                                       cli.inject_persistence_bug});
-      } else {
-        char* end = nullptr;
-        const uint64_t seed = std::strtoull(first.c_str(), &end, 10);
-        if (end == first.c_str() || *end != '\0') {
-          std::fprintf(stderr,
-                       "%s:%d: '%s' is neither a registered protocol nor a "
-                       "seed\n",
-                       cli.seed_file.c_str(), lineno, first.c_str());
-          return 2;
-        }
-        // Bare seed: run it under the --protocol selection.
-        for (const auto& protocol : protocols) {
-          line_runs.push_back(PlannedRun{protocol, seed, cli.compaction_cap,
-                                         cli.inject_quorum_bug, cli.restarts,
-                                         cli.inject_persistence_bug});
-        }
-      }
-      // Per-line flag overrides (written by --failures-out): the seed must
-      // replay under the configuration it failed with.
-      std::string flag;
-      while (ls >> flag) {
-        const char* v = nullptr;
-        if (parse_flag(flag.c_str(), "--compaction-cap", &v) && v != nullptr) {
-          for (auto& r : line_runs) {
-            r.compaction_cap = std::strtoull(v, nullptr, 10);
-          }
-        } else if (parse_flag(flag.c_str(), "--inject-quorum-bug", &v)) {
-          for (auto& r : line_runs) r.inject_quorum_bug = true;
-        } else if (parse_flag(flag.c_str(), "--restarts", &v)) {
-          for (auto& r : line_runs) r.restarts = true;
-        } else if (parse_flag(flag.c_str(), "--inject-persistence-bug", &v)) {
-          for (auto& r : line_runs) r.inject_persistence_bug = true;
-        } else {
-          std::fprintf(stderr, "%s:%d: unknown per-run flag '%s'\n",
-                       cli.seed_file.c_str(), lineno, flag.c_str());
-          return 2;
-        }
-      }
-      planned.insert(planned.end(), line_runs.begin(), line_runs.end());
-    }
-  } else {
+    if (!load_seed_file(cli, protocols, &planned)) return 2;
+  } else if (cli.evolve == 0) {
     for (const auto& protocol : protocols) {
       for (int k = 0; k < cli.seeds; ++k) {
         planned.push_back(PlannedRun{protocol,
                                      cli.seed + static_cast<uint64_t>(k),
-                                     cli.compaction_cap,
+                                     std::nullopt, cli.compaction_cap,
                                      cli.inject_quorum_bug, cli.restarts,
                                      cli.inject_persistence_bug});
       }
     }
   }
+
+  if (cli.evolve > 0) return run_evolution(cli, protocols, planned);
 
   struct CorpusEntry {
     uint64_t score = 0;
@@ -279,15 +576,7 @@ int main(int argc, char** argv) {
   int failures = 0;
   uint64_t runs = 0;
   for (const PlannedRun& pr : planned) {
-    chaos::RunOptions opt;
-    opt.protocol = pr.protocol;
-    opt.seed = pr.seed;
-    opt.num_replicas = cli.replicas;
-    opt.inject_quorum_bug = pr.inject_quorum_bug;
-    opt.compaction_log_cap = pr.compaction_cap;
-    opt.crash_restarts = pr.restarts;
-    opt.inject_persistence_bug = pr.inject_persistence_bug;
-    const chaos::RunResult r = chaos::run_one(opt);
+    const chaos::RunResult r = chaos::run_one(run_options_of(cli, pr));
     ++runs;
     if (cli.verbose) {
       std::printf(
@@ -303,24 +592,15 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.revocations));
     }
     if (!cli.corpus_out.empty() && r.ok) {
-      // Coverage score: rare-path events dominate (leader churn, Mencius
-      // revocations, snapshot transfers, crash-restarts) so the saved corpus
-      // concentrates the fuzzer on interesting interleavings.
-      const uint64_t score = 3 * r.leader_changes + 5 * r.revocations +
-                             2 * r.snapshot_installs + 3 * r.restarts +
-                             (r.log_length > 0 ? 1 : 0);
-      corpus.push_back(CorpusEntry{score, pr});
+      corpus.push_back(CorpusEntry{chaos::coverage_score(r), pr});
     }
     if (!r.ok) {
       ++failures;
       print_failure(r);
       if (failures_file != nullptr) {
-        // Flags before the comment so --seed-file replays the exact
-        // configuration the seed failed under.
-        std::fprintf(failures_file, "%s %llu%s  # repro: %s\n",
-                     r.protocol.c_str(),
-                     static_cast<unsigned long long>(r.seed),
-                     flags_of(pr).c_str(), r.repro.c_str());
+        // Flags ride along so --seed-file replays the exact configuration
+        // the run failed under.
+        write_entry(failures_file, pr, "repro: " + r.repro);
         std::fflush(failures_file);
       }
       if (cli.stop_on_failure) break;
@@ -328,9 +608,17 @@ int main(int argc, char** argv) {
   }
   if (failures_file != nullptr) std::fclose(failures_file);
   if (!cli.corpus_out.empty()) {
-    // Persist the top-coverage seeds in the --seed-file format ("<protocol>
-    // <seed> [flags]  # comment") so a later run — or the ROADMAP's
-    // coverage-guided mutator — replays exactly these runs.
+    // Persist the top-coverage runs in the --seed-file format so a later
+    // batch — or the --evolve mutator — replays exactly these runs. Dedupe
+    // first: a seed file that repeats an entry must not waste elite slots.
+    std::set<std::string> seen;
+    std::vector<CorpusEntry> unique;
+    for (CorpusEntry& ce : corpus) {
+      if (seen.insert(dedup_key(ce.run)).second) {
+        unique.push_back(std::move(ce));
+      }
+    }
+    corpus = std::move(unique);
     std::stable_sort(corpus.begin(), corpus.end(),
                      [](const CorpusEntry& a, const CorpusEntry& b) {
                        return a.score > b.score;
@@ -341,16 +629,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s\n", cli.corpus_out.c_str());
       return 2;
     }
-    std::fprintf(cf, "# chaos corpus: top-%zu coverage seeds of this batch\n",
+    std::fprintf(cf, "# chaos corpus: top-%zu coverage runs of this batch\n",
                  corpus.size());
     for (const CorpusEntry& ce : corpus) {
-      std::fprintf(cf, "%s %llu%s  # cov=%llu\n", ce.run.protocol.c_str(),
-                   static_cast<unsigned long long>(ce.run.seed),
-                   flags_of(ce.run).c_str(),
-                   static_cast<unsigned long long>(ce.score));
+      char comment[32];
+      std::snprintf(comment, sizeof(comment), "cov=%llu",
+                    static_cast<unsigned long long>(ce.score));
+      write_entry(cf, ce.run, comment);
     }
     std::fclose(cf);
-    std::printf("corpus: wrote top %zu seeds to %s\n", corpus.size(),
+    std::printf("corpus: wrote top %zu runs to %s\n", corpus.size(),
                 cli.corpus_out.c_str());
   }
   const double elapsed =
