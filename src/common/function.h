@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace praft {
+
+/// Move-only type-erased callable: std::function minus the copyability
+/// requirement, so closures owning move-only resources (pooled wire frames,
+/// unique_ptrs) can be queued on the event loop. The simulator's event queue
+/// stores these; std::function converts implicitly, so existing call sites
+/// are untouched.
+template <typename Sig>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() = default;
+  UniqueFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  R operator()(Args... args) const {
+    return impl_->call(std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return impl_ != nullptr; }
+  friend bool operator==(const UniqueFunction& f, std::nullptr_t) {
+    return f.impl_ == nullptr;
+  }
+  friend bool operator!=(const UniqueFunction& f, std::nullptr_t) {
+    return f.impl_ != nullptr;
+  }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual R call(Args...) = 0;
+  };
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F f) : fn(std::move(f)) {}
+    R call(Args... args) override { return fn(std::forward<Args>(args)...); }
+    F fn;
+  };
+
+  std::unique_ptr<Base> impl_;
+};
+
+}  // namespace praft

@@ -1,9 +1,13 @@
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <utility>
 
 #include "consensus/env.h"
+#include "consensus/timing.h"
 
 namespace praft::consensus {
 
@@ -15,33 +19,140 @@ namespace praft::consensus {
 ///
 /// The protocol keeps its own typed pending queue (Raft appends straight to
 /// its log; Paxos queues commands; Mencius queues OwnItems + skip ranges) —
-/// what is shared is the scheduling discipline, so future pipelining or
-/// adaptive-delay work lands in exactly one place.
+/// what is shared is the scheduling discipline, plus two byte-aware policies
+/// fed by the exact wire sizes the flat codec gives us:
+///
+///  * Byte-budget flush (batch_flush_bytes): add_pending(bytes) accounts the
+///    encoded size of queued submissions; when the pending batch crosses the
+///    budget the flush is expedited to the next event-loop turn instead of
+///    waiting out the delay.
+///  * Adaptive delay (batch_adaptive, AIMD): flushed bytes count as
+///    in-flight until the protocol reports progress via note_acked(); while
+///    in-flight bytes exceed the window the effective delay doubles (up to
+///    batch_delay_max — bigger, rarer batches under congestion), and it
+///    decays additively toward batch_delay_min when the pipe drains.
+///
+/// Armed flushes are epoch-guarded: cancel() invalidates every scheduled
+/// flush, so a leader deposed (or a node crashed and restarted) between
+/// arming and firing cannot flush against stale state — Env timers cannot be
+/// revoked, so the guard is the only thing standing between a stale closure
+/// and a deposed leader's pending queue.
 class Batcher {
  public:
   using FlushFn = std::function<void()>;
 
   Batcher(Env& env, Duration delay, FlushFn flush)
-      : env_(env), delay_(delay), flush_(std::move(flush)) {}
+      : env_(env), flush_(std::move(flush)), cur_delay_(delay) {
+    opt_.batch_delay = delay;
+  }
+  Batcher(Env& env, const TimingOptions& opt, FlushFn flush)
+      : env_(env), opt_(opt), flush_(std::move(flush)),
+        cur_delay_(opt.batch_delay) {}
 
   /// Schedules a flush after the batch delay unless one is already pending.
   void poke() {
     if (scheduled_) return;
     scheduled_ = true;
-    env_.schedule(delay_, [this] {
+    arm(cur_delay_);
+  }
+
+  /// Accounts `bytes` of encoded wire size for a queued submission and
+  /// arms/expedites the flush: past the byte budget the delay timer is
+  /// abandoned (epoch bump) and the flush re-armed for the next event-loop
+  /// turn.
+  void add_pending(size_t bytes) {
+    pending_bytes_ += bytes;
+    const bool over = opt_.batch_flush_bytes > 0 &&
+                      pending_bytes_ >= opt_.batch_flush_bytes;
+    if (scheduled_) {
+      if (over && !expedited_) {
+        ++epoch_;  // orphan the armed delay timer
+        expedited_ = true;
+        ++expedited_count_;
+        arm(0);
+      }
+      return;
+    }
+    scheduled_ = true;
+    if (over) {
+      expedited_ = true;
+      ++expedited_count_;
+      arm(0);
+    } else {
+      arm(cur_delay_);
+    }
+  }
+
+  /// Invalidates every armed flush (deposed leader / crashed node): already
+  /// scheduled closures become no-ops when they fire.
+  void cancel() {
+    ++epoch_;
+    scheduled_ = false;
+    expedited_ = false;
+    pending_bytes_ = 0;
+  }
+
+  /// Progress report from the protocol's commit/chosen/decide path: `bytes`
+  /// of previously flushed data are no longer in flight. Clamped — losing
+  /// count to a snapshot-covered range must not wedge the controller.
+  void note_acked(size_t bytes) {
+    inflight_bytes_ -= std::min(bytes, inflight_bytes_);
+    if (opt_.batch_adaptive && inflight_bytes_ <= inflight_window()) {
+      // Additive decrease toward the floor: the pipe is draining, so pay
+      // less latency per batch.
+      cur_delay_ = std::max(opt_.batch_delay_min, cur_delay_ - 1);
+    }
+  }
+
+  [[nodiscard]] bool pending() const { return scheduled_; }
+  [[nodiscard]] Duration delay() const { return cur_delay_; }
+  [[nodiscard]] size_t pending_bytes() const { return pending_bytes_; }
+  [[nodiscard]] size_t inflight_bytes() const { return inflight_bytes_; }
+  [[nodiscard]] uint64_t flushes() const { return flush_count_; }
+  [[nodiscard]] uint64_t expedited_flushes() const { return expedited_count_; }
+
+ private:
+  void arm(Duration delay) {
+    const uint64_t epoch = epoch_;
+    env_.schedule(delay, [this, epoch] {
+      if (epoch != epoch_) return;  // cancelled or superseded by an expedite
       scheduled_ = false;
+      expedited_ = false;
+      const size_t batch = pending_bytes_;
+      pending_bytes_ = 0;
+      inflight_bytes_ += batch;
+      ++flush_count_;
+      adapt();
       flush_();
     });
   }
 
-  [[nodiscard]] bool pending() const { return scheduled_; }
-  [[nodiscard]] Duration delay() const { return delay_; }
+  void adapt() {
+    if (!opt_.batch_adaptive) return;
+    if (inflight_bytes_ > inflight_window()) {
+      // Multiplicative increase of the delay under congestion: halve the
+      // flush rate, double the batch.
+      cur_delay_ = std::min(opt_.batch_delay_max,
+                            std::max<Duration>(cur_delay_ * 2, 1));
+    }
+  }
 
- private:
+  [[nodiscard]] size_t inflight_window() const {
+    return opt_.batch_inflight_window > 0 ? opt_.batch_inflight_window
+                                          : 4 * opt_.batch_flush_bytes;
+  }
+
   Env& env_;
-  Duration delay_;
+  TimingOptions opt_;
   FlushFn flush_;
+  Duration cur_delay_;
+  uint64_t epoch_ = 0;
   bool scheduled_ = false;
+  bool expedited_ = false;
+  size_t pending_bytes_ = 0;
+  size_t inflight_bytes_ = 0;
+  uint64_t flush_count_ = 0;
+  uint64_t expedited_count_ = 0;
 };
 
 }  // namespace praft::consensus

@@ -25,10 +25,11 @@ struct Snapshot {
   kv::StoreImage state;
 
   [[nodiscard]] bool valid() const { return last_index >= 0; }
-  /// Modeled wire size when shipped in a catch-up message.
-  [[nodiscard]] size_t wire_bytes() const {
-    return wire::kMsgHeader + state.wire_bytes();
-  }
+  /// Exact wire size when embedded in a catch-up message:
+  /// last_index i64 + last_term i64 + the state image.
+  [[nodiscard]] size_t wire_bytes() const { return 16 + state.wire_bytes(); }
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
 };
 
 /// Serializes the state machine at the CURRENT applied watermark. Installed

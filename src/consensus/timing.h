@@ -31,6 +31,22 @@ struct TimingOptions {
   /// Flush/packetization cap: no single replication message carries more
   /// than this many log entries.
   size_t max_entries_per_batch = 4096;
+  /// Byte-budget flush threshold: when the pending batch reaches this many
+  /// encoded wire bytes, the Batcher expedites the flush to the next
+  /// event-loop turn instead of waiting out the delay — large values keep a
+  /// 4 KB-value workload from hoarding megabytes behind a 1 ms timer.
+  /// 0 disables the byte trigger.
+  size_t batch_flush_bytes = 256 * 1024;
+  /// Adaptive batching delay (AIMD on observed in-flight bytes): when on,
+  /// the effective batch delay doubles (up to batch_delay_max) while more
+  /// than batch_inflight_window bytes are un-acked, and decays additively
+  /// toward batch_delay_min when the pipe drains. Off by default — the
+  /// throughput benches opt in; fixed-delay trajectories stay untouched.
+  bool batch_adaptive = false;
+  Duration batch_delay_min = 0;
+  Duration batch_delay_max = msec(8);
+  /// In-flight byte window for the AIMD controller. 0 = 4 * batch_flush_bytes.
+  size_t batch_inflight_window = 0;
   /// Recovery-burst cap: loss-recovery retransmissions (Paxos re-proposes,
   /// Mencius StatusBeat retransmits) send at most this many entries per
   /// tick — deliberately smaller than the steady-state packetization cap so

@@ -68,11 +68,16 @@ using ApplyFn = std::function<void(LogIndex, const kv::Command&)>;
 /// outside the protocol.
 using WatermarkProbe = std::function<void(LogIndex commit, LogIndex applied)>;
 
-/// Modeled wire sizes (bytes) for bandwidth accounting.
+/// Exact wire sizes (bytes). Every wire_size() in the repo is the byte-exact
+/// length of the flat frame the codec in net/wire.h + <proto>/wire.cpp
+/// produces — `encode(m).size() == wire_size(m)` is a tested invariant, so
+/// bandwidth/CPU cost accounting charges real encoded bytes, not estimates.
 namespace wire {
-inline constexpr size_t kMsgHeader = 48;   // term/ballot/indexes/ids
-inline constexpr size_t kSmallMsg = 40;    // votes, acks, heartbeats
-inline size_t entry_bytes(const kv::Command& c) { return c.wire_bytes(); }
+inline constexpr size_t kFrame = 8;    // family/opcode/flags/length header
+inline constexpr size_t kBallot = 12;  // round i64 + node i32
+inline constexpr size_t kCount = 4;    // u32 array-length prefix
+/// One log entry on the wire: slot-or-term i64 + the command.
+inline size_t entry_bytes(const kv::Command& c) { return 8 + c.wire_bytes(); }
 }  // namespace wire
 
 }  // namespace praft::consensus

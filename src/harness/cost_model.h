@@ -23,6 +23,14 @@ struct CostModel {
     return static_cast<Duration>(
         static_cast<double>(per_4kb) * static_cast<double>(bytes) / 4096.0);
   }
+
+  /// Baseline receive cost for a message of `bytes` encoded wire bytes:
+  /// fixed per-message overhead plus the size-proportional part. With the
+  /// flat codec, `bytes` is the exact frame length — cost is charged from
+  /// what is actually on the wire, not a flat small-message estimate.
+  [[nodiscard]] Duration receive_cost(size_t bytes) const {
+    return message_base + size_cost(bytes);
+  }
 };
 
 }  // namespace praft::harness

@@ -130,12 +130,19 @@ class LogServer : public ReplicaServer {
 
   [[nodiscard]] Duration cost_of(const net::Packet& p) const override {
     if (!costs_.enabled) return 0;
+    // Every branch charges from p.bytes — the exact encoded frame size —
+    // so a 4 KB-value request costs more to receive than an 8 B one, and
+    // replies (which echo commands on the forward path) are billed for what
+    // they actually carry.
     if (const auto* hm = net::payload_as<Message>(p)) {
       if (std::holds_alternative<ClientRequest>(*hm)) {
-        return is_leader() ? costs_.client_request : costs_.forward_handle;
+        return (is_leader() ? costs_.client_request : costs_.forward_handle) +
+               costs_.size_cost(p.bytes);
       }
-      if (std::holds_alternative<Forward>(*hm)) return costs_.client_request;
-      return costs_.message_base;
+      if (std::holds_alternative<Forward>(*hm)) {
+        return costs_.client_request + costs_.size_cost(p.bytes);
+      }
+      return costs_.receive_cost(p.bytes);
     }
     if (cost_) {
       if (const auto entries = cost_(p)) {
@@ -144,7 +151,7 @@ class LogServer : public ReplicaServer {
                costs_.size_cost(p.bytes);
       }
     }
-    return costs_.message_base;
+    return costs_.receive_cost(p.bytes);
   }
 
  protected:

@@ -10,6 +10,8 @@ namespace praft::harness {
 /// Client -> replica: execute one command.
 struct ClientRequest {
   kv::Command cmd;
+
+  friend bool operator==(const ClientRequest&, const ClientRequest&) = default;
 };
 
 /// Replica -> client: result of a committed (or locally served) command.
@@ -18,12 +20,16 @@ struct ClientReply {
   uint64_t value = 0;
   bool ok = true;
   NodeId server = kNoNode;
+
+  friend bool operator==(const ClientReply&, const ClientReply&) = default;
 };
 
 /// Follower -> leader: etcd-style forwarding of client commands.
 struct Forward {
   kv::Command cmd;
   NodeId origin = kNoNode;  // the forwarding server
+
+  friend bool operator==(const Forward&, const Forward&) = default;
 };
 
 /// Leader -> forwarding server: result to relay to the client.
@@ -31,18 +37,30 @@ struct ForwardReply {
   kv::Command cmd;  // echoed for reply routing (client/seq) and read values
   uint64_t value = 0;
   bool ok = true;
+
+  friend bool operator==(const ForwardReply&, const ForwardReply&) = default;
 };
 
 using Message = std::variant<ClientRequest, ClientReply, Forward, ForwardReply>;
 
+// Exact encoded frame sizes (see harness/wire.cpp for the field layout).
+// Replies used to be billed flat kSmallMsg even though ForwardReply echoes
+// the full command; these are now derived from the codec like everything
+// else.
+namespace wire = consensus::wire;
+
 inline size_t wire_size(const ClientRequest& m) {
-  return consensus::wire::kSmallMsg + m.cmd.wire_bytes();
+  return wire::kFrame + m.cmd.wire_bytes();
 }
-inline size_t wire_size(const ClientReply&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const ClientReply&) {
+  return wire::kFrame + 8 + 8 + 1 + 4;
+}
 inline size_t wire_size(const Forward& m) {
-  return consensus::wire::kSmallMsg + m.cmd.wire_bytes();
+  return wire::kFrame + m.cmd.wire_bytes() + 4;
 }
-inline size_t wire_size(const ForwardReply&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const ForwardReply& m) {
+  return wire::kFrame + m.cmd.wire_bytes() + 8 + 1;
+}
 inline size_t wire_size(const Message& m) {
   return std::visit([](const auto& x) { return wire_size(x); }, m);
 }

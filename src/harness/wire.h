@@ -1,0 +1,15 @@
+#pragma once
+
+#include "harness/messages.h"
+#include "net/wire.h"
+
+namespace praft::harness {
+
+/// Flat-frame codec for the harness client/forwarding message family
+/// (net/wire.h layout, Family::kHarness, opcode = variant alternative
+/// index). encode() produces exactly wire_size(m) bytes and decode()
+/// inverts it.
+net::Frame encode(const Message& m, net::BufferPool& pool);
+Message decode(net::FrameView f);
+
+}  // namespace praft::harness

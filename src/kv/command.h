@@ -29,10 +29,12 @@ struct Command {
   [[nodiscard]] bool is_read() const { return op == Op::kGet; }
   [[nodiscard]] bool is_write() const { return op == Op::kPut; }
 
-  /// Modeled wire size of this command inside a log entry / message.
+  /// Exact wire size of this command inside a log entry / message:
+  /// op u8 + key u64 + value u64 + value_size u32 + client i32 + seq u64,
+  /// then value_size opaque payload bytes for writes (the modeled value).
   [[nodiscard]] size_t wire_bytes() const {
-    constexpr size_t kHeader = 24;  // op+key+ids
-    return kHeader + (op == Op::kPut ? value_size : 0);
+    constexpr size_t kFields = 1 + 8 + 8 + 4 + 4 + 8;
+    return kFields + (op == Op::kPut ? value_size : 0);
   }
 
   friend bool operator==(const Command& a, const Command& b) {

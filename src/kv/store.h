@@ -22,13 +22,18 @@ struct StoreImage {
     uint64_t key = 0;
     uint64_t value = 0;
     uint64_t version = 0;
+
+    friend bool operator==(const Cell&, const Cell&) = default;
   };
   std::vector<Cell> cells;
   uint64_t applied_count = 0;
 
-  /// Modeled wire size for bandwidth accounting (snapshot transfers are the
-  /// big messages compaction trades log replay for).
-  [[nodiscard]] size_t wire_bytes() const { return 16 + cells.size() * 24; }
+  /// Exact wire size: applied_count u64 + cell count u32 + 24 B cells
+  /// (snapshot transfers are the big messages compaction trades log replay
+  /// for).
+  [[nodiscard]] size_t wire_bytes() const { return 12 + cells.size() * 24; }
+
+  friend bool operator==(const StoreImage&, const StoreImage&) = default;
 };
 
 /// The replicated state machine: a key -> (value token, version) map.

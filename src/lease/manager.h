@@ -29,6 +29,8 @@ struct Grant {
   NodeId grantor = kNoNode;
   NodeId holder = kNoNode;
   Time expiry = 0;
+
+  friend bool operator==(const Grant&, const Grant&) = default;
 };
 
 /// Holder's acknowledgement; a grantor stops renewing to silent holders so a
@@ -37,12 +39,19 @@ struct Grant {
 struct GrantAck {
   NodeId holder = kNoNode;
   Time expiry = 0;  // echo of the acked grant
+
+  friend bool operator==(const GrantAck&, const GrantAck&) = default;
 };
 
 using Message = std::variant<Grant, GrantAck>;
 
-inline size_t wire_size(const Grant&) { return consensus::wire::kSmallMsg; }
-inline size_t wire_size(const GrantAck&) { return consensus::wire::kSmallMsg; }
+// Exact encoded frame sizes (see lease/wire.cpp for the field layout).
+inline size_t wire_size(const Grant&) {
+  return consensus::wire::kFrame + 4 + 4 + 8;
+}
+inline size_t wire_size(const GrantAck&) {
+  return consensus::wire::kFrame + 4 + 8;
+}
 inline size_t wire_size(const Message& m) {
   return std::visit([](const auto& x) { return wire_size(x); }, m);
 }

@@ -1,0 +1,14 @@
+#pragma once
+
+#include "lease/manager.h"
+#include "net/wire.h"
+
+namespace praft::lease {
+
+/// Flat-frame codec for the PQL lease message family (net/wire.h layout,
+/// Family::kLease, opcode = variant alternative index). encode() produces
+/// exactly wire_size(m) bytes and decode() inverts it.
+net::Frame encode(const Message& m, net::BufferPool& pool);
+Message decode(net::FrameView f);
+
+}  // namespace praft::lease

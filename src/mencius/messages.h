@@ -16,6 +16,8 @@ using consensus::LogIndex;
 struct OwnItem {
   LogIndex index = 0;
   kv::Command cmd;
+
+  friend bool operator==(const OwnItem&, const OwnItem&) = default;
 };
 
 /// Ballot-0 fast path (coordinated Paxos): the default leader of these slots
@@ -28,11 +30,15 @@ struct AcceptOwn {
   std::vector<OwnItem> items;
   LogIndex decided_floor = 0;
   LogIndex rev_floor = -1;
+
+  friend bool operator==(const AcceptOwn&, const AcceptOwn&) = default;
 };
 
 struct AcceptOwnOk {
   NodeId acceptor = kNoNode;
   std::vector<LogIndex> indexes;
+
+  friend bool operator==(const AcceptOwnOk&, const AcceptOwnOk&) = default;
 };
 
 /// Rejection of ballot-0 proposals into revoked slots; `jump_past` tells the
@@ -41,6 +47,8 @@ struct AcceptOwnRej {
   NodeId acceptor = kNoNode;
   std::vector<LogIndex> indexes;
   LogIndex jump_past = 0;
+
+  friend bool operator==(const AcceptOwnRej&, const AcceptOwnRej&) = default;
 };
 
 /// The owner skips its own slots in [lo, hi) — they are decided no-ops
@@ -50,6 +58,8 @@ struct SkipRange {
   NodeId owner = kNoNode;
   LogIndex lo = 0;
   LogIndex hi = 0;
+
+  friend bool operator==(const SkipRange&, const SkipRange&) = default;
 };
 
 /// Periodic liveness + watermark beacon (failure detector for revocation).
@@ -58,6 +68,8 @@ struct StatusBeat {
   LogIndex next_own = 0;
   LogIndex decided_floor = 0;
   LogIndex rev_floor = -1;
+
+  friend bool operator==(const StatusBeat&, const StatusBeat&) = default;
 };
 
 /// Repair: ask `to`'s owner about the authoritative state of its slots.
@@ -65,12 +77,16 @@ struct LearnReq {
   NodeId from = kNoNode;
   LogIndex lo = 0;
   LogIndex hi = 0;  // exclusive
+
+  friend bool operator==(const LearnReq&, const LearnReq&) = default;
 };
 
 struct SlotInfo {
   LogIndex index = 0;
   bool skipped = false;
   kv::Command cmd;
+
+  friend bool operator==(const SlotInfo&, const SlotInfo&) = default;
 };
 
 /// Authoritative decided slots (from the owner, or from a revoker's decide
@@ -78,6 +94,8 @@ struct SlotInfo {
 struct LearnVals {
   NodeId from = kNoNode;
   std::vector<SlotInfo> slots;
+
+  friend bool operator==(const LearnVals&, const LearnVals&) = default;
 };
 
 // --- Revocation: classic Paxos phase 1/2 over a crashed owner's slots. ---
@@ -88,6 +106,8 @@ struct RevPrepare {
   NodeId owner = kNoNode;  // whose slots are being revoked
   LogIndex lo = 0;
   LogIndex hi = 0;  // exclusive
+
+  friend bool operator==(const RevPrepare&, const RevPrepare&) = default;
 };
 
 struct RevAccepted {
@@ -96,24 +116,32 @@ struct RevAccepted {
   bool has = false;
   bool skipped = false;
   kv::Command cmd;
+
+  friend bool operator==(const RevAccepted&, const RevAccepted&) = default;
 };
 
 struct RevPrepareOk {
   NodeId from = kNoNode;
   Ballot bal;
   std::vector<RevAccepted> accepted;
+
+  friend bool operator==(const RevPrepareOk&, const RevPrepareOk&) = default;
 };
 
 struct RevAccept {
   NodeId from = kNoNode;
   Ballot bal;
   std::vector<OwnItem> items;  // no-op cmd == skip
+
+  friend bool operator==(const RevAccept&, const RevAccept&) = default;
 };
 
 struct RevAcceptOk {
   NodeId from = kNoNode;
   Ballot bal;
   std::vector<LogIndex> indexes;
+
+  friend bool operator==(const RevAcceptOk&, const RevAcceptOk&) = default;
 };
 
 /// Snapshot state transfer: the answer to a LearnReq (or a revocation
@@ -124,6 +152,8 @@ struct RevAcceptOk {
 struct SnapshotXfer {
   NodeId from = kNoNode;
   consensus::Snapshot snap;
+
+  friend bool operator==(const SnapshotXfer&, const SnapshotXfer&) = default;
 };
 
 using Message =
@@ -131,40 +161,54 @@ using Message =
                  LearnReq, LearnVals, RevPrepare, RevPrepareOk, RevAccept,
                  RevAcceptOk, SnapshotXfer>;
 
+// Exact encoded frame sizes (see mencius/wire.cpp for the field layout).
+namespace wire = consensus::wire;
+
 inline size_t wire_size(const AcceptOwn& m) {
-  size_t b = consensus::wire::kMsgHeader;
-  for (const auto& it : m.items) b += 8 + consensus::wire::entry_bytes(it.cmd);
+  size_t b = wire::kFrame + 4 + 8 + 8 + wire::kCount;
+  // each item: slot index i64 + the command (wire::entry_bytes)
+  for (const auto& it : m.items) b += wire::entry_bytes(it.cmd);
   return b;
 }
 inline size_t wire_size(const AcceptOwnOk& m) {
-  return consensus::wire::kSmallMsg + 8 * m.indexes.size();
+  return wire::kFrame + 4 + wire::kCount + 8 * m.indexes.size();
 }
 inline size_t wire_size(const AcceptOwnRej& m) {
-  return consensus::wire::kSmallMsg + 8 * m.indexes.size();
+  return wire::kFrame + 4 + 8 + wire::kCount + 8 * m.indexes.size();
 }
-inline size_t wire_size(const SkipRange&) { return consensus::wire::kSmallMsg; }
-inline size_t wire_size(const StatusBeat&) { return consensus::wire::kSmallMsg; }
-inline size_t wire_size(const LearnReq&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const SkipRange&) { return wire::kFrame + 4 + 8 + 8; }
+inline size_t wire_size(const StatusBeat&) {
+  return wire::kFrame + 4 + 8 + 8 + 8;
+}
+inline size_t wire_size(const LearnReq&) { return wire::kFrame + 4 + 8 + 8; }
 inline size_t wire_size(const LearnVals& m) {
-  size_t b = consensus::wire::kMsgHeader;
-  for (const auto& s : m.slots) b += 9 + consensus::wire::entry_bytes(s.cmd);
+  size_t b = wire::kFrame + 4 + wire::kCount;
+  // each slot: index i64 + skipped u8 + the command
+  for (const auto& s : m.slots) b += 8 + 1 + s.cmd.wire_bytes();
   return b;
 }
-inline size_t wire_size(const RevPrepare&) { return consensus::wire::kSmallMsg; }
+inline size_t wire_size(const RevPrepare&) {
+  return wire::kFrame + 4 + wire::kBallot + 4 + 8 + 8;
+}
 inline size_t wire_size(const RevPrepareOk& m) {
-  size_t b = consensus::wire::kMsgHeader;
-  for (const auto& a : m.accepted) b += 24 + consensus::wire::entry_bytes(a.cmd);
+  size_t b = wire::kFrame + 4 + wire::kBallot + wire::kCount;
+  // each accepted: index i64 + ballot + has u8 + skipped u8 + the command
+  for (const auto& a : m.accepted)
+    b += 8 + wire::kBallot + 1 + 1 + a.cmd.wire_bytes();
   return b;
 }
 inline size_t wire_size(const RevAccept& m) {
-  size_t b = consensus::wire::kMsgHeader;
-  for (const auto& it : m.items) b += 8 + consensus::wire::entry_bytes(it.cmd);
+  size_t b = wire::kFrame + 4 + wire::kBallot + wire::kCount;
+  for (const auto& it : m.items) b += wire::entry_bytes(it.cmd);
   return b;
 }
 inline size_t wire_size(const RevAcceptOk& m) {
-  return consensus::wire::kSmallMsg + 8 * m.indexes.size();
+  return wire::kFrame + 4 + wire::kBallot + wire::kCount +
+         8 * m.indexes.size();
 }
-inline size_t wire_size(const SnapshotXfer& m) { return m.snap.wire_bytes(); }
+inline size_t wire_size(const SnapshotXfer& m) {
+  return wire::kFrame + 4 + m.snap.wire_bytes();
+}
 inline size_t wire_size(const Message& m) {
   return std::visit([](const auto& x) { return wire_size(x); }, m);
 }

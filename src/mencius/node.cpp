@@ -19,7 +19,7 @@ MenciusNode::MenciusNode(consensus::Group group, consensus::Env& env,
       persister_(env, store, opt_.fsync_duration, opt_.sync_batch_delay,
                  [this] { return hard_state(); }),
       status_(env),
-      batcher_(env, opt_.batch_delay, [this] { flush(); }),
+      batcher_(env, opt_, [this] { flush(); }),
       applier_(/*start=*/-1) {
   group_.validate();
   rank_ = group_.rank_of(group_.self);
@@ -135,7 +135,9 @@ LogIndex MenciusNode::submit(const kv::Command& cmd) {
     }
   });
   pending_.push_back(OwnItem{i, cmd});
-  batcher_.poke();
+  // An OwnItem rides the next AcceptOwn as (index, command) — account its
+  // exact encoded size toward the byte-budget flush.
+  batcher_.add_pending(wire::entry_bytes(cmd));
   advance_floors();
   return i;
 }
@@ -193,7 +195,7 @@ void MenciusNode::skip_own_upto(LogIndex boundary) {
   }
   persister_.hard_state();  // next_own_ jumped past the skipped turns
   pending_skips_.emplace_back(first, last + 1);
-  batcher_.poke();
+  batcher_.add_pending(wire_size(SkipRange{group_.self, first, last + 1}));
 }
 
 // ---------------------------------------------------------------------------
@@ -247,6 +249,10 @@ void MenciusNode::decide(LogIndex i, const kv::Command& cmd) {
   s.st = St::kDecided;
   s.bal = Ballot{kDecidedBal, kNoNode};
   max_seen_ = std::max(max_seen_, i);
+  // A decided own slot is off the wire for the batching controller.
+  if (owner_of(i) == group_.self) {
+    batcher_.note_acked(wire::entry_bytes(s.cmd));
+  }
   persist_slot(i);
 }
 
@@ -950,8 +956,8 @@ void MenciusNode::maintenance() {
     const NodeId blocker = owner_of(afloor());
     const LogIndex hi = std::min(max_seen_ + 1, afloor() + 256);
     if (blocker != group_.self) {
-      persister_.send(blocker, Message{LearnReq{group_.self, afloor(), hi}},
-                      consensus::wire::kSmallMsg);
+      const Message learn{LearnReq{group_.self, afloor(), hi}};
+      persister_.send(blocker, learn, wire_size(learn));
       if (now - last_heard_[blocker] > opt_.revoke_timeout) {
         start_revocation(blocker, afloor(), max_seen_ + 1);
       }

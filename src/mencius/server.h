@@ -45,16 +45,16 @@ class MenciusServer : public harness::ReplicaServer {
     if (!costs_.enabled) return 0;
     if (const auto* hm = net::payload_as<harness::Message>(p)) {
       if (std::holds_alternative<harness::ClientRequest>(*hm)) {
-        return costs_.client_request;
+        return costs_.client_request + costs_.size_cost(p.bytes);
       }
-      return costs_.message_base;
+      return costs_.receive_cost(p.bytes);
     }
     if (const auto* pm = net::payload_as<Message>(p)) {
       const auto entries = static_cast<Duration>(entry_count(*pm));
       return costs_.message_base + entries * costs_.entry_follower +
              costs_.size_cost(p.bytes);
     }
-    return costs_.message_base;
+    return costs_.receive_cost(p.bytes);
   }
 
   using ApplyProbe =

@@ -1,0 +1,14 @@
+#pragma once
+
+#include "mencius/messages.h"
+#include "net/wire.h"
+
+namespace praft::mencius {
+
+/// Flat-frame codec for the Mencius message family (net/wire.h layout,
+/// Family::kMencius, opcode = variant alternative index). encode() produces
+/// exactly wire_size(m) bytes and decode() inverts it.
+net::Frame encode(const Message& m, net::BufferPool& pool);
+Message decode(net::FrameView f);
+
+}  // namespace praft::mencius

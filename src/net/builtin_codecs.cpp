@@ -1,0 +1,29 @@
+#include "harness/wire.h"
+#include "lease/wire.h"
+#include "mencius/wire.h"
+#include "net/wire.h"
+#include "paxos/wire.h"
+#include "raft/wire.h"
+#include "raftstar/wire.h"
+
+namespace praft::net {
+
+// Explicit installation (mirroring consensus::register_builtin_protocols)
+// instead of static registrar objects: a static praft library would silently
+// drop unreferenced registrar TUs at link time.
+void install_builtin_codecs(CodecRegistry& reg) {
+  register_codec<raft::Message>(reg, Family::kRaft, &raft::encode,
+                                &raft::decode);
+  register_codec<raftstar::Message>(reg, Family::kRaftStar, &raftstar::encode,
+                                    &raftstar::decode);
+  register_codec<paxos::Message>(reg, Family::kMultiPaxos, &paxos::encode,
+                                 &paxos::decode);
+  register_codec<mencius::Message>(reg, Family::kMencius, &mencius::encode,
+                                   &mencius::decode);
+  register_codec<harness::Message>(reg, Family::kHarness, &harness::encode,
+                                   &harness::decode);
+  register_codec<lease::Message>(reg, Family::kLease, &lease::encode,
+                                 &lease::decode);
+}
+
+}  // namespace praft::net

@@ -1,0 +1,90 @@
+#pragma once
+
+#include "consensus/snapshot.h"
+#include "consensus/types.h"
+#include "kv/command.h"
+#include "kv/store.h"
+#include "net/wire.h"
+
+namespace praft::net {
+
+/// Field-level put/get pairs shared by every protocol codec. Each pair is the
+/// byte-exact realization of the corresponding wire_bytes()/wire::k* size —
+/// encode() asserts the totals line up on every message.
+
+inline void put_cmd(WireWriter& w, const kv::Command& c) {
+  w.u8(static_cast<uint8_t>(c.op));
+  w.u64(c.key);
+  w.u64(c.value);
+  w.u32(c.value_size);
+  w.i32(c.client);
+  w.u64(c.seq);
+  // Writes carry value_size opaque payload bytes (the modeled value): the
+  // region is accounted but never materialized.
+  if (c.op == kv::Op::kPut) w.skip(c.value_size);
+}
+
+inline kv::Command get_cmd(WireReader& r) {
+  kv::Command c;
+  c.op = static_cast<kv::Op>(r.u8());
+  c.key = r.u64();
+  c.value = r.u64();
+  c.value_size = r.u32();
+  c.client = r.i32();
+  c.seq = r.u64();
+  if (c.op == kv::Op::kPut) r.skip(c.value_size);
+  return c;
+}
+
+inline void put_ballot(WireWriter& w, const consensus::Ballot& b) {
+  w.i64(b.round);
+  w.i32(b.node);
+}
+
+inline consensus::Ballot get_ballot(WireReader& r) {
+  consensus::Ballot b;
+  b.round = r.i64();
+  b.node = r.i32();
+  return b;
+}
+
+inline void put_image(WireWriter& w, const kv::StoreImage& img) {
+  w.u64(img.applied_count);
+  w.u32(static_cast<uint32_t>(img.cells.size()));
+  for (const auto& cell : img.cells) {
+    w.u64(cell.key);
+    w.u64(cell.value);
+    w.u64(cell.version);
+  }
+}
+
+inline kv::StoreImage get_image(WireReader& r) {
+  kv::StoreImage img;
+  img.applied_count = r.u64();
+  const uint32_t n = r.u32();
+  img.cells.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    kv::StoreImage::Cell cell;
+    cell.key = r.u64();
+    cell.value = r.u64();
+    cell.version = r.u64();
+    img.cells.push_back(cell);
+  }
+  return img;
+}
+
+inline void put_snapshot(WireWriter& w, const consensus::Snapshot& s) {
+  w.i64(s.last_index);
+  w.i64(s.last_term);
+  put_image(w, s.state);
+}
+
+inline consensus::Snapshot get_snapshot(WireReader& r) {
+  consensus::Snapshot s;
+  s.last_index = r.i64();
+  s.last_term = r.i64();
+  s.state = get_image(r);
+  return s;
+}
+
+}  // namespace praft::net

@@ -17,6 +17,8 @@ struct AcceptedVal {
   LogIndex index = 0;
   Ballot bal;
   kv::Command cmd;
+
+  friend bool operator==(const AcceptedVal&, const AcceptedVal&) = default;
 };
 
 /// Phase1a (Fig. 1): sent by a would-be leader with a fresh ballot.
@@ -24,6 +26,8 @@ struct Prepare {
   Ballot bal;
   NodeId sender = kNoNode;
   LogIndex from_index = 1;  // smallest unchosen instance id
+
+  friend bool operator==(const Prepare&, const Prepare&) = default;
 };
 
 /// Phase1b reply: accepted values for all instances >= from_index.
@@ -38,6 +42,8 @@ struct PrepareOk {
   /// would fill chosen-and-compacted instances with no-ops.
   bool has_snap = false;
   consensus::Snapshot snap;
+
+  friend bool operator==(const PrepareOk&, const PrepareOk&) = default;
 };
 
 /// Phase2a, batched: values for consecutive instances [start, start+n).
@@ -48,6 +54,8 @@ struct AcceptBatch {
   LogIndex start = 0;
   std::vector<kv::Command> cmds;
   LogIndex commit_floor = 0;
+
+  friend bool operator==(const AcceptBatch&, const AcceptBatch&) = default;
 };
 
 /// Phase2b reply for a whole batch.
@@ -56,12 +64,16 @@ struct AcceptOkBatch {
   NodeId sender = kNoNode;
   LogIndex start = 0;
   LogIndex count = 0;
+
+  friend bool operator==(const AcceptOkBatch&, const AcceptOkBatch&) = default;
 };
 
 /// Rejection of a Prepare or Accept because a higher ballot was promised.
 struct Reject {
   Ballot bal;  // the higher ballot the receiver has seen
   NodeId sender = kNoNode;
+
+  friend bool operator==(const Reject&, const Reject&) = default;
 };
 
 /// Leader liveness + commit watermark when there is no traffic.
@@ -69,6 +81,8 @@ struct Heartbeat {
   Ballot bal;
   NodeId sender = kNoNode;
   LogIndex commit_floor = 0;
+
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
 };
 
 /// A learner asking the leader for values it missed (holes below the floor).
@@ -76,6 +90,8 @@ struct LearnRequest {
   NodeId sender = kNoNode;
   LogIndex from = 0;
   LogIndex to = 0;
+
+  friend bool operator==(const LearnRequest&, const LearnRequest&) = default;
 };
 
 /// Explicit Learn: chosen values for instances [start, start+cmds.size()).
@@ -83,6 +99,8 @@ struct LearnValues {
   NodeId sender = kNoNode;
   LogIndex start = 0;
   std::vector<kv::Command> cmds;
+
+  friend bool operator==(const LearnValues&, const LearnValues&) = default;
 };
 
 /// Commit-floor snapshot learning: the answer to a LearnRequest whose range
@@ -93,34 +111,51 @@ struct LearnValues {
 struct SnapshotTransfer {
   NodeId sender = kNoNode;
   consensus::Snapshot snap;
+
+  friend bool operator==(const SnapshotTransfer&,
+                         const SnapshotTransfer&) = default;
 };
 
 using Message =
     std::variant<Prepare, PrepareOk, AcceptBatch, AcceptOkBatch, Reject,
                  Heartbeat, LearnRequest, LearnValues, SnapshotTransfer>;
 
-inline size_t wire_size(const Prepare&) { return consensus::wire::kSmallMsg; }
-inline size_t wire_size(const Reject&) { return consensus::wire::kSmallMsg; }
-inline size_t wire_size(const Heartbeat&) { return consensus::wire::kSmallMsg; }
-inline size_t wire_size(const LearnRequest&) { return consensus::wire::kSmallMsg; }
-inline size_t wire_size(const AcceptOkBatch&) { return consensus::wire::kSmallMsg; }
+// Exact encoded frame sizes (see paxos/wire.cpp for the field layout).
+namespace wire = consensus::wire;
+
+inline size_t wire_size(const Prepare&) {
+  return wire::kFrame + wire::kBallot + 4 + 8;
+}
+inline size_t wire_size(const Reject&) {
+  return wire::kFrame + wire::kBallot + 4;
+}
+inline size_t wire_size(const Heartbeat&) {
+  return wire::kFrame + wire::kBallot + 4 + 8;
+}
+inline size_t wire_size(const LearnRequest&) {
+  return wire::kFrame + 4 + 8 + 8;
+}
+inline size_t wire_size(const AcceptOkBatch&) {
+  return wire::kFrame + wire::kBallot + 4 + 8 + 8;
+}
 inline size_t wire_size(const PrepareOk& m) {
-  size_t b = consensus::wire::kMsgHeader;
-  for (const auto& a : m.accepted) b += consensus::wire::entry_bytes(a.cmd) + 16;
+  size_t b = wire::kFrame + wire::kBallot + 4 + 1 + wire::kCount;
+  // each accepted value: index i64 + ballot + the command
+  for (const auto& a : m.accepted) b += 8 + wire::kBallot + a.cmd.wire_bytes();
   if (m.has_snap) b += m.snap.wire_bytes();
   return b;
 }
 inline size_t wire_size(const SnapshotTransfer& m) {
-  return m.snap.wire_bytes();
+  return wire::kFrame + 4 + m.snap.wire_bytes();
 }
 inline size_t wire_size(const AcceptBatch& m) {
-  size_t b = consensus::wire::kMsgHeader;
-  for (const auto& c : m.cmds) b += consensus::wire::entry_bytes(c);
+  size_t b = wire::kFrame + wire::kBallot + 4 + 8 + 8 + wire::kCount;
+  for (const auto& c : m.cmds) b += c.wire_bytes();
   return b;
 }
 inline size_t wire_size(const LearnValues& m) {
-  size_t b = consensus::wire::kMsgHeader;
-  for (const auto& c : m.cmds) b += consensus::wire::entry_bytes(c);
+  size_t b = wire::kFrame + 4 + 8 + wire::kCount;
+  for (const auto& c : m.cmds) b += c.wire_bytes();
   return b;
 }
 inline size_t wire_size(const Message& m) {

@@ -16,7 +16,7 @@ PaxosNode::PaxosNode(consensus::Group group, consensus::Env& env, Options opt,
                  [this] { return hard_state(); }),
       election_(env, opt_.election_timeout_min, opt_.election_timeout_max),
       heartbeat_(env),
-      batcher_(env, opt_.batch_delay, [this] { flush_batch(); }),
+      batcher_(env, opt_, [this] { flush_batch(); }),
       prepare_acks_(group_.majority()) {
   group_.validate();
   ballot_ = Ballot{0, kNoNode};
@@ -97,6 +97,7 @@ void PaxosNode::start_prepare() {
 
 void PaxosNode::on_prepare(const Prepare& m) {
   if (m.bal > ballot_) {
+    abandon_leadership();
     ballot_ = m.bal;
     phase1_succeeded_ = false;
     preparing_ = false;
@@ -206,8 +207,13 @@ LogIndex PaxosNode::submit(const kv::Command& cmd) {
   if (!is_leader()) return -1;
   pending_.push_back(cmd);
   const LogIndex idx = next_propose_ + static_cast<LogIndex>(pending_.size()) - 1;
-  batcher_.poke();
+  batcher_.add_pending(cmd.wire_bytes());
   return idx;
+}
+
+void PaxosNode::abandon_leadership() {
+  batcher_.cancel();
+  pending_.clear();
 }
 
 void PaxosNode::flush_batch() {
@@ -277,6 +283,7 @@ void PaxosNode::on_accept(const AcceptBatch& m) {
     return;
   }
   if (m.bal > ballot_) {
+    abandon_leadership();
     ballot_ = m.bal;
     phase1_succeeded_ = false;
     preparing_ = false;
@@ -329,6 +336,8 @@ void PaxosNode::mark_chosen(LogIndex i) {
   if (in.chosen) return;
   PRAFT_CHECK_MSG(in.has, "chosen instance without a value");
   in.chosen = true;
+  // A chosen value is off the wire for the batching controller.
+  if (is_leader()) batcher_.note_acked(in.cmd.wire_bytes());
   persist_inst(i);
   advance_floor();
 }
@@ -438,6 +447,7 @@ void PaxosNode::request_missing(LogIndex upto) {
 
 void PaxosNode::on_reject(const Reject& m) {
   if (m.bal > ballot_) {
+    abandon_leadership();
     ballot_ = Ballot{m.bal.round, kNoNode};  // adopt the round; not a promise
     phase1_succeeded_ = false;
     preparing_ = false;
@@ -449,6 +459,7 @@ void PaxosNode::on_reject(const Reject& m) {
 void PaxosNode::on_heartbeat(const Heartbeat& m) {
   if (m.bal < ballot_) return;
   if (m.bal > ballot_) {
+    abandon_leadership();
     ballot_ = m.bal;
     phase1_succeeded_ = false;
     preparing_ = false;

@@ -143,6 +143,10 @@ class PaxosNode : public consensus::NodeIface {
   void start_prepare();
   void finish_prepare();
   void flush_batch();
+  /// Leadership lost to a higher ballot: drop the unproposed client batch
+  /// and invalidate every armed flush, so a stale closure cannot propose
+  /// under a ballot we no longer own.
+  void abandon_leadership();
   void propose_range(LogIndex start, const std::vector<kv::Command>& cmds);
   void retransmit_unchosen();
   void heartbeat_tick();

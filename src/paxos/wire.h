@@ -1,0 +1,14 @@
+#pragma once
+
+#include "net/wire.h"
+#include "paxos/messages.h"
+
+namespace praft::paxos {
+
+/// Flat-frame codec for the MultiPaxos message family (net/wire.h layout,
+/// Family::kMultiPaxos, opcode = variant alternative index). encode()
+/// produces exactly wire_size(m) bytes and decode() inverts it.
+net::Frame encode(const Message& m, net::BufferPool& pool);
+Message decode(net::FrameView f);
+
+}  // namespace praft::paxos

@@ -15,6 +15,8 @@ using consensus::Term;
 struct Entry {
   Term term = 0;
   kv::Command cmd;
+
+  friend bool operator==(const Entry&, const Entry&) = default;
 };
 
 struct RequestVote {
@@ -22,12 +24,16 @@ struct RequestVote {
   NodeId candidate = kNoNode;
   LogIndex last_index = 0;
   Term last_term = 0;
+
+  friend bool operator==(const RequestVote&, const RequestVote&) = default;
 };
 
 struct VoteReply {
   Term term = 0;
   NodeId voter = kNoNode;
   bool granted = false;
+
+  friend bool operator==(const VoteReply&, const VoteReply&) = default;
 };
 
 struct AppendEntries {
@@ -37,6 +43,8 @@ struct AppendEntries {
   Term prev_term = 0;
   std::vector<Entry> entries;
   LogIndex commit = 0;
+
+  friend bool operator==(const AppendEntries&, const AppendEntries&) = default;
 };
 
 struct AppendReply {
@@ -45,6 +53,8 @@ struct AppendReply {
   bool ok = false;
   LogIndex match_index = 0;    // on success: prev + |entries|
   LogIndex conflict_hint = 0;  // on failure: where the leader should back off
+
+  friend bool operator==(const AppendReply&, const AppendReply&) = default;
 };
 
 /// Snapshot state transfer (Raft §7): the leader ships its retained
@@ -54,27 +64,43 @@ struct InstallSnapshot {
   Term term = 0;
   NodeId leader = kNoNode;
   consensus::Snapshot snap;
+
+  friend bool operator==(const InstallSnapshot&,
+                         const InstallSnapshot&) = default;
 };
 
 struct InstallSnapshotReply {
   Term term = 0;
   NodeId follower = kNoNode;
   LogIndex last_index = 0;  // follower's applied watermark after the install
+
+  friend bool operator==(const InstallSnapshotReply&,
+                         const InstallSnapshotReply&) = default;
 };
 
 using Message = std::variant<RequestVote, VoteReply, AppendEntries, AppendReply,
                              InstallSnapshot, InstallSnapshotReply>;
 
-inline size_t wire_size(const RequestVote&) { return consensus::wire::kSmallMsg; }
-inline size_t wire_size(const VoteReply&) { return consensus::wire::kSmallMsg; }
-inline size_t wire_size(const AppendReply&) { return consensus::wire::kSmallMsg; }
-inline size_t wire_size(const InstallSnapshot& m) { return m.snap.wire_bytes(); }
+// Exact encoded frame sizes (see raft/wire.cpp for the field layout; every
+// size below is frame header + the payload fields in declaration order).
+namespace wire = consensus::wire;
+
+inline size_t wire_size(const RequestVote&) {
+  return wire::kFrame + 8 + 4 + 8 + 8;
+}
+inline size_t wire_size(const VoteReply&) { return wire::kFrame + 8 + 4 + 1; }
+inline size_t wire_size(const AppendReply&) {
+  return wire::kFrame + 8 + 4 + 1 + 8 + 8;
+}
+inline size_t wire_size(const InstallSnapshot& m) {
+  return wire::kFrame + 8 + 4 + m.snap.wire_bytes();
+}
 inline size_t wire_size(const InstallSnapshotReply&) {
-  return consensus::wire::kSmallMsg;
+  return wire::kFrame + 8 + 4 + 8;
 }
 inline size_t wire_size(const AppendEntries& m) {
-  size_t b = consensus::wire::kMsgHeader;
-  for (const auto& e : m.entries) b += consensus::wire::entry_bytes(e.cmd);
+  size_t b = wire::kFrame + 8 + 4 + 8 + 8 + 8 + wire::kCount;
+  for (const auto& e : m.entries) b += wire::entry_bytes(e.cmd);
   return b;
 }
 

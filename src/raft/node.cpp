@@ -17,7 +17,7 @@ RaftNode::RaftNode(consensus::Group group, consensus::Env& env, Options opt,
       mirror_(persister_, log_),
       election_(env, opt_.election_timeout_min, opt_.election_timeout_max),
       heartbeat_(env),
-      batcher_(env, opt_.batch_delay,
+      batcher_(env, opt_,
                [this] {
                  if (role_ == Role::kLeader) broadcast_append();
                }),
@@ -75,6 +75,8 @@ void RaftNode::step_down(Term t) {
     next_index_.clear();
     match_index_.clear();
     heartbeat_.stop();
+    // A flush armed while we led must not fire now that we are deposed.
+    batcher_.cancel();
   }
   role_ = Role::kFollower;
 }
@@ -161,7 +163,7 @@ LogIndex RaftNode::submit(const kv::Command& cmd) {
   if (role_ != Role::kLeader) return -1;
   log_.append(Entry{term_, cmd});
   note_appended();
-  batcher_.poke();
+  batcher_.add_pending(wire::entry_bytes(cmd));
   return last_index();
 }
 
@@ -309,6 +311,15 @@ void RaftNode::advance_commit() {
 }
 
 void RaftNode::commit_to(LogIndex target) {
+  // Committed entries are no longer in flight for the batching controller
+  // (leader only — a follower never flushed them).
+  if (role_ == Role::kLeader) {
+    size_t acked = 0;
+    for (LogIndex i = commit_index() + 1; i <= target; ++i) {
+      acked += wire::entry_bytes(log_.at(i).cmd);
+    }
+    if (acked > 0) batcher_.note_acked(acked);
+  }
   applier_.commit_to(target,
                      [this](LogIndex i) { return &log_.at(i).cmd; });
   maybe_compact(/*force=*/false);

@@ -20,6 +20,8 @@ using consensus::Term;
 struct Entry {
   Term term = 0;
   kv::Command cmd;
+
+  friend bool operator==(const Entry&, const Entry&) = default;
 };
 
 struct RequestVote {
@@ -27,6 +29,8 @@ struct RequestVote {
   NodeId candidate = kNoNode;
   LogIndex last_index = 0;
   Term last_term = 0;
+
+  friend bool operator==(const RequestVote&, const RequestVote&) = default;
 };
 
 /// Raft* difference #1 (paper §3): an OK reply carries the voter's extra
@@ -46,6 +50,8 @@ struct VoteReply {
   /// no-ops in BecomeLeader's safe-value selection.
   bool has_snap = false;
   consensus::Snapshot snap;
+
+  friend bool operator==(const VoteReply&, const VoteReply&) = default;
 };
 
 struct AppendEntries {
@@ -55,6 +61,8 @@ struct AppendEntries {
   Term prev_term = 0;
   std::vector<Entry> entries;
   LogIndex commit = 0;
+
+  friend bool operator==(const AppendEntries&, const AppendEntries&) = default;
 };
 
 struct AppendReply {
@@ -67,6 +75,8 @@ struct AppendReply {
   /// Optimization piggyback (paper Fig. 13 line 16): Raft*-PQL attaches the
   /// lease holders granted by the replier. Empty for plain Raft*.
   std::vector<NodeId> piggyback_ids;
+
+  friend bool operator==(const AppendReply&, const AppendReply&) = default;
 };
 
 /// Snapshot state transfer: identical in shape to Raft's (the protocols are
@@ -75,32 +85,48 @@ struct InstallSnapshot {
   Term term = 0;
   NodeId leader = kNoNode;
   consensus::Snapshot snap;
+
+  friend bool operator==(const InstallSnapshot&,
+                         const InstallSnapshot&) = default;
 };
 
 struct InstallSnapshotReply {
   Term term = 0;
   NodeId follower = kNoNode;
   LogIndex last_index = 0;  // follower's applied watermark after the install
+
+  friend bool operator==(const InstallSnapshotReply&,
+                         const InstallSnapshotReply&) = default;
 };
 
 using Message = std::variant<RequestVote, VoteReply, AppendEntries, AppendReply,
                              InstallSnapshot, InstallSnapshotReply>;
 
-inline size_t wire_size(const RequestVote&) { return consensus::wire::kSmallMsg; }
-inline size_t wire_size(const AppendReply&) { return consensus::wire::kSmallMsg; }
+// Exact encoded frame sizes (see raftstar/wire.cpp for the field layout).
+namespace wire = consensus::wire;
+
+inline size_t wire_size(const RequestVote&) {
+  return wire::kFrame + 8 + 4 + 8 + 8;
+}
+inline size_t wire_size(const AppendReply& m) {
+  return wire::kFrame + 8 + 4 + 1 + 8 + 8 + 8 + wire::kCount +
+         4 * m.piggyback_ids.size();
+}
 inline size_t wire_size(const VoteReply& m) {
-  size_t b = consensus::wire::kSmallMsg;
-  for (const auto& e : m.extras) b += consensus::wire::entry_bytes(e.cmd);
+  size_t b = wire::kFrame + 8 + 4 + 1 + 8 + 8 + 1 + wire::kCount;
+  for (const auto& e : m.extras) b += wire::entry_bytes(e.cmd);
   if (m.has_snap) b += m.snap.wire_bytes();
   return b;
 }
-inline size_t wire_size(const InstallSnapshot& m) { return m.snap.wire_bytes(); }
+inline size_t wire_size(const InstallSnapshot& m) {
+  return wire::kFrame + 8 + 4 + m.snap.wire_bytes();
+}
 inline size_t wire_size(const InstallSnapshotReply&) {
-  return consensus::wire::kSmallMsg;
+  return wire::kFrame + 8 + 4 + 8;
 }
 inline size_t wire_size(const AppendEntries& m) {
-  size_t b = consensus::wire::kMsgHeader;
-  for (const auto& e : m.entries) b += consensus::wire::entry_bytes(e.cmd);
+  size_t b = wire::kFrame + 8 + 4 + 8 + 8 + 8 + wire::kCount;
+  for (const auto& e : m.entries) b += wire::entry_bytes(e.cmd);
   return b;
 }
 inline size_t wire_size(const Message& m) {

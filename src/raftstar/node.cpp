@@ -17,7 +17,7 @@ RaftStarNode::RaftStarNode(consensus::Group group, consensus::Env& env,
       mirror_(persister_, log_),
       election_(env, opt_.election_timeout_min, opt_.election_timeout_max),
       heartbeat_(env),
-      batcher_(env, opt_.batch_delay,
+      batcher_(env, opt_,
                [this] {
                  if (role_ == Role::kLeader) broadcast_append();
                }),
@@ -84,6 +84,8 @@ void RaftStarNode::step_down(Term t) {
     next_index_.clear();
     match_index_.clear();
     heartbeat_.stop();
+    // A flush armed while we led must not fire now that we are deposed.
+    batcher_.cancel();
   }
   role_ = Role::kFollower;
 }
@@ -252,7 +254,7 @@ LogIndex RaftStarNode::submit(const kv::Command& cmd) {
   if (role_ != Role::kLeader) return -1;
   store_entry(Entry{term_, cmd});
   note_appended();
-  batcher_.poke();
+  batcher_.add_pending(wire::entry_bytes(cmd));
   return last_index();
 }
 
@@ -438,6 +440,15 @@ void RaftStarNode::advance_commit() {
 }
 
 void RaftStarNode::commit_to(LogIndex target) {
+  // Committed entries are no longer in flight for the batching controller
+  // (leader only — a follower never flushed them).
+  if (role_ == Role::kLeader) {
+    size_t acked = 0;
+    for (LogIndex i = commit_index() + 1; i <= target; ++i) {
+      acked += wire::entry_bytes(log_.at(i).cmd);
+    }
+    if (acked > 0) batcher_.note_acked(acked);
+  }
   applier_.commit_to(target,
                      [this](LogIndex i) { return &log_.at(i).cmd; });
   maybe_compact(/*force=*/false);

@@ -1,0 +1,14 @@
+#pragma once
+
+#include "net/wire.h"
+#include "raftstar/messages.h"
+
+namespace praft::raftstar {
+
+/// Flat-frame codec for the Raft* message family (net/wire.h layout,
+/// Family::kRaftStar, opcode = variant alternative index). encode() produces
+/// exactly wire_size(m) bytes and decode() inverts it.
+net::Frame encode(const Message& m, net::BufferPool& pool);
+Message decode(net::FrameView f);
+
+}  // namespace praft::raftstar

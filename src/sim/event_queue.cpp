@@ -6,7 +6,7 @@
 
 namespace praft::sim {
 
-EventId EventQueue::schedule_at(Time at, std::function<void()> fn) {
+EventId EventQueue::schedule_at(Time at, UniqueFunction<void()> fn) {
   PRAFT_CHECK(fn != nullptr);
   if (at < now_) at = now_;
   const EventId id = next_id_++;
@@ -47,6 +47,11 @@ void EventQueue::run_until(Time t) {
 void EventQueue::run_all(uint64_t max_events) {
   uint64_t n = 0;
   while (n < max_events && step()) ++n;
+}
+
+void EventQueue::clear() {
+  heap_ = decltype(heap_){};
+  cancelled_.clear();
 }
 
 }  // namespace praft::sim

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "common/function.h"
 #include "common/types.h"
 
 namespace praft::sim {
@@ -19,7 +19,8 @@ inline constexpr EventId kNoEvent = 0;
 class EventQueue {
  public:
   /// Schedules `fn` to run at absolute time `at` (clamped to now()).
-  EventId schedule_at(Time at, std::function<void()> fn);
+  /// Callables may be move-only (e.g. deliveries owning a pooled wire frame).
+  EventId schedule_at(Time at, UniqueFunction<void()> fn);
 
   /// Cancels a pending event; no-op if it already fired or was cancelled.
   void cancel(EventId id);
@@ -33,6 +34,11 @@ class EventQueue {
   /// Runs until the queue drains or `max_events` have fired.
   void run_all(uint64_t max_events = UINT64_MAX);
 
+  /// Drops every pending event without running it; their closures (and any
+  /// pooled frames they own) are destroyed. Used at world teardown so
+  /// in-flight deliveries release their frames before the pool dies.
+  void clear();
+
   [[nodiscard]] Time now() const { return now_; }
   [[nodiscard]] size_t pending() const { return heap_.size() - cancelled_.size(); }
   [[nodiscard]] uint64_t events_fired() const { return fired_; }
@@ -41,7 +47,7 @@ class EventQueue {
   struct Event {
     Time at;
     EventId id;
-    std::function<void()> fn;
+    UniqueFunction<void()> fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {

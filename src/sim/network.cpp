@@ -9,6 +9,8 @@ namespace praft::sim {
 Network::Network(Simulator& sim, LatencyMatrix latency)
     : sim_(sim), latency_(std::move(latency)) {}
 
+Network::~Network() { sim_.queue().clear(); }
+
 NodeId Network::add_node(SiteId site, net::DeliverFn deliver,
                          double egress_bytes_per_us) {
   PRAFT_CHECK(site >= 0 && site < latency_.num_sites());
@@ -46,6 +48,25 @@ bool Network::usable(NodeId n, Time t) const {
 
 void Network::send(NodeId from, NodeId to, std::any payload, size_t bytes) {
   const Time now = sim_.now();
+
+  // Encode through the flat codec when the payload type has one (every
+  // protocol message does). The encoded size is authoritative for all
+  // bandwidth/CPU accounting; encoding consumes no RNG, so trajectories stay
+  // seed-deterministic. PRAFT_WIRE_VERIFY additionally round-trips the frame
+  // back through decode() and compares with the original struct.
+  net::Frame frame;
+  if (const net::Codec* codec = net::codec_registry().find(payload)) {
+    frame = codec->encode(payload, pool_);
+    PRAFT_CHECK_MSG(frame.size() == bytes,
+                    "claimed wire_size != encoded frame size");
+    if (net::wire_verify_enabled()) {
+      const std::any back = codec->decode(net::view(frame));
+      PRAFT_CHECK_MSG(codec->equals(payload, back),
+                      "wire round-trip diverged from the original message");
+    }
+    bytes = frame.size();
+  }
+
   ++messages_sent_;
   bytes_sent_ += bytes;
   if (!usable(from, now) || to < 0 || to >= num_nodes()) return;
@@ -73,27 +94,32 @@ void Network::send(NodeId from, NodeId to, std::any payload, size_t bytes) {
   }
 
   // A duplicated message is delivered twice: the copy models a spurious
-  // retransmission — independent latency draw, no FIFO coupling.
+  // retransmission — independent latency draw, no FIFO coupling. The copy
+  // carries no frame (the original owns the pooled slab).
   if (faults_.duplicate_rate() > 0.0 &&
       sim_.rng().chance(faults_.duplicate_rate())) {
     const Duration extra = latency_.one_way(src.site, site_of(to), sim_.rng());
-    schedule_delivery(from, to, std::any(payload), bytes, departure + extra);
+    schedule_delivery(from, to, std::any(payload), bytes, net::Frame{},
+                      departure + extra);
   }
 
-  schedule_delivery(from, to, std::move(payload), bytes, arrival);
+  schedule_delivery(from, to, std::move(payload), bytes, std::move(frame),
+                    arrival);
 }
 
 void Network::schedule_delivery(NodeId from, NodeId to, std::any payload,
-                                size_t bytes, Time arrival) {
-  // Payload is moved into the scheduled closure; delivery re-checks that the
-  // destination is alive *at arrival time* (it may crash in flight).
-  sim_.at(arrival, [this, from, to, bytes,
-                    p = std::move(payload)]() mutable {
+                                size_t bytes, net::Frame frame, Time arrival) {
+  // Payload and frame are moved into the scheduled closure; delivery
+  // re-checks that the destination is alive *at arrival time* (it may crash
+  // in flight). A dropped delivery destroys the closure and the frame's slab
+  // returns to the pool.
+  sim_.at(arrival, [this, from, to, bytes, p = std::move(payload),
+                    f = std::move(frame)]() mutable {
     if (!usable(to, sim_.now())) return;
     if (faults_.is_blocked(from, to, sim_.now())) return;
     ++messages_delivered_;
     nodes_[static_cast<size_t>(to)].deliver(
-        net::Packet{from, to, bytes, std::move(p)});
+        net::Packet{from, to, bytes, std::move(p), std::move(f)});
   });
 }
 

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/packet.h"
+#include "net/wire.h"
 #include "sim/faults.h"
 #include "sim/latency.h"
 #include "sim/resources.h"
@@ -23,13 +24,23 @@ class Network {
  public:
   Network(Simulator& sim, LatencyMatrix latency);
 
+  /// Drops the simulator's pending events: in-flight delivery closures own
+  /// pooled frames, and owners (Cluster, chaos worlds) declare the
+  /// Simulator before the Network, so without this the queue would outlive
+  /// the pool while still holding its slabs.
+  ~Network();
+
   /// Registers a node; returns its id (dense, starting at 0).
   NodeId add_node(SiteId site, net::DeliverFn deliver,
                   double egress_bytes_per_us = 0.0);
 
-  /// Sends `payload` of modeled size `bytes` from `from` to `to`.
-  /// Self-sends are delivered after the local RTT/2 (loopback still hops the
-  /// event queue, never reenters the sender synchronously).
+  /// Sends `payload` from `from` to `to`. When the payload type has a codec
+  /// registered (every protocol message does), it is encoded into a pooled
+  /// flat frame and `bytes` must equal the encoded size — bandwidth is
+  /// charged from real encoded bytes. Payload types without a codec (raw
+  /// test payloads) fall back to the claimed `bytes`. Self-sends are
+  /// delivered after the local RTT/2 (loopback still hops the event queue,
+  /// never reenters the sender synchronously).
   void send(NodeId from, NodeId to, std::any payload, size_t bytes);
 
   FaultPlan& faults() { return faults_; }
@@ -46,6 +57,10 @@ class Network {
   [[nodiscard]] uint64_t messages_delivered() const { return messages_delivered_; }
   [[nodiscard]] uint64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] Duration egress_busy(NodeId n) const;
+  [[nodiscard]] const net::PoolStats& pool_stats() const {
+    return pool_.stats();
+  }
+  [[nodiscard]] net::BufferPool& pool() { return pool_; }
 
  private:
   struct Node {
@@ -57,11 +72,12 @@ class Network {
 
   [[nodiscard]] bool usable(NodeId n, Time t) const;
   void schedule_delivery(NodeId from, NodeId to, std::any payload,
-                         size_t bytes, Time arrival);
+                         size_t bytes, net::Frame frame, Time arrival);
 
   Simulator& sim_;
   LatencyMatrix latency_;
   FaultPlan faults_;
+  net::BufferPool pool_;
   std::vector<Node> nodes_;
   // Per-link FIFO ordering (TCP semantics): jitter may stretch but never
   // reorder a (src, dst) stream. Key = src * 2^32 + dst.

@@ -20,10 +20,10 @@ class Simulator {
   EventQueue& queue() { return queue_; }
   Rng& rng() { return rng_; }
 
-  EventId after(Duration delay, std::function<void()> fn) {
+  EventId after(Duration delay, UniqueFunction<void()> fn) {
     return queue_.schedule_at(now() + delay, std::move(fn));
   }
-  EventId at(Time t, std::function<void()> fn) {
+  EventId at(Time t, UniqueFunction<void()> fn) {
     return queue_.schedule_at(t, std::move(fn));
   }
   void cancel(EventId id) { queue_.cancel(id); }

@@ -10,8 +10,11 @@ namespace {
 TEST(CommandTest, WireBytesIncludeValueOnlyForPuts) {
   Command get{Op::kGet, 7, 0, 4096, 1, 1};
   Command put{Op::kPut, 7, 9, 4096, 1, 2};
-  EXPECT_EQ(get.wire_bytes(), 24u);
-  EXPECT_EQ(put.wire_bytes(), 24u + 4096u);
+  // Exact encoded field bytes (see Command::wire_bytes and net/field_codec):
+  // op u8 + key u64 + value u64 + value_size u32 + client i32 + seq u64.
+  constexpr size_t kFields = 1 + 8 + 8 + 4 + 4 + 8;
+  EXPECT_EQ(get.wire_bytes(), kFields);
+  EXPECT_EQ(put.wire_bytes(), kFields + 4096u);
 }
 
 TEST(StoreTest, PutThenGet) {
