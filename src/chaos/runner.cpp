@@ -133,6 +133,7 @@ Schedule schedule_of(const RunOptions& opt) {
 uint64_t coverage_score(const RunResult& r) {
   return 3 * r.leader_changes + 5 * r.revocations +
          2 * r.snapshot_installs + 3 * r.restarts +
+         2 * std::min<uint64_t>(r.pipeline_rollbacks, 10) +
          (r.log_length > 0 ? 1 : 0);
 }
 
@@ -170,6 +171,7 @@ RunResult run_one(const RunOptions& opt) {
     }
     if (opt.crash_restarts) res.repro += " --restarts";
     if (opt.inject_persistence_bug) res.repro += " --inject-persistence-bug";
+    if (opt.wan) res.repro += " --wan";
   }
   const bool durability_armed =
       opt.crash_restarts || opt.inject_persistence_bug;
@@ -185,6 +187,14 @@ RunResult run_one(const RunOptions& opt) {
   timing.election_timeout_min = msec(300);
   timing.election_timeout_max = msec(600);
   timing.heartbeat_interval = msec(60);
+  if (opt.wan) {
+    // Paper-scale WAN timing over the (default) aws5 geo matrix: RTTs up to
+    // 292 ms keep whole windows of batches in flight per peer, so drops,
+    // reorders and restarts land mid-pipeline instead of between batches.
+    timing.election_timeout_min = msec(1200);
+    timing.election_timeout_max = msec(2400);
+    timing.heartbeat_interval = msec(150);
+  }
   if (opt.inject_quorum_bug) {
     // The classic quorum off-by-one: n/2 acks "commit" (2 of 5). A leader
     // on the minority side of a partition can then commit entries the next
@@ -265,12 +275,16 @@ RunResult run_one(const RunOptions& opt) {
   res.restarts = chk.restarts();
   res.leader_changes = leader_changes;
   res.revocations = static_cast<uint64_t>(cluster.retired_revocations());
+  res.pipeline_rollbacks =
+      static_cast<uint64_t>(cluster.retired_pipeline_rollbacks());
   for (int i = 0; i < cluster.num_replicas(); ++i) {
     if (!cluster.replica_up(i)) continue;
     auto* ls = dynamic_cast<harness::LogServer*>(&cluster.server(i));
     if (ls != nullptr) {
       res.revocations +=
           static_cast<uint64_t>(ls->node_iface().revocations_started());
+      res.pipeline_rollbacks +=
+          static_cast<uint64_t>(ls->node_iface().pipeline_rollbacks());
     }
   }
   return res;

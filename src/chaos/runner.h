@@ -40,6 +40,11 @@ struct RunOptions {
   /// bit-identical to the pre-durability harness).
   Duration fsync = msec(2);
   Duration sync_batch = msec(1);
+  /// WAN mode: paper-scale election/heartbeat timing (1.2-2.4 s / 150 ms)
+  /// over the aws5 geo matrix, so fault windows land while many batches are
+  /// in flight per peer — the replication-pipelining stress profile. Off:
+  /// the LAN-ish timing that keeps one run in milliseconds of wall clock.
+  bool wan = false;
   ScheduleLimits limits;
   /// Fault-free tail after the last fault window: clients drain, replicas
   /// re-converge, then invariants are finalized.
@@ -65,6 +70,7 @@ struct RunResult {
   uint64_t restarts = 0;               // crash-restarts performed
   uint64_t leader_changes = 0;         // leadership handoffs observed
   uint64_t revocations = 0;            // Mencius revocations started
+  uint64_t pipeline_rollbacks = 0;     // in-flight window rollbacks
 };
 
 /// The ScheduleLimits a RunOptions actually generates under: `opt.limits`

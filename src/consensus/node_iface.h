@@ -95,6 +95,12 @@ class NodeIface {
   /// signal — schedules that trigger revocations explore the rare paths.
   [[nodiscard]] virtual int64_t revocations_started() const { return 0; }
 
+  /// Replication-pipeline window rollbacks this node performed as leader
+  /// (reject-driven unwinds + loss-detection retransmit probes; see
+  /// consensus::PeerPipeline). A chaos coverage signal — schedules that
+  /// force in-flight windows to unwind explore the pipeline's rare paths.
+  [[nodiscard]] virtual int64_t pipeline_rollbacks() const { return 0; }
+
   [[nodiscard]] virtual bool is_leader() const = 0;
   [[nodiscard]] virtual NodeId leader_hint() const = 0;
   /// True for protocols with no single elected leader (Mencius: every

@@ -47,6 +47,26 @@ struct TimingOptions {
   Duration batch_delay_max = msec(8);
   /// In-flight byte window for the AIMD controller. 0 = 4 * batch_flush_bytes.
   size_t batch_inflight_window = 0;
+  /// Replication pipelining (consensus::PeerPipeline): when on, a leader
+  /// keeps multiple replication batches in flight per peer — up to
+  /// pipeline_max_batches batches and an AIMD-adapted byte window capped at
+  /// pipeline_inflight_bytes — instead of one batch per ack round-trip.
+  /// Off = stop-and-wait (at most one outstanding batch per peer), kept as
+  /// the bench baseline.
+  bool pipeline = true;
+  size_t pipeline_inflight_bytes = 1024 * 1024;
+  /// Bookkeeping bound on outstanding batches per peer, NOT the flow
+  /// control — the byte window above is. Must stay above flush-rate x RTT
+  /// (small adaptive flushes every ~1-10 ms over a 292 ms aws5 RTT put
+  /// ~300 batches legitimately in flight); 16 here measurably throttled
+  /// LAN-tier throughput before the byte window ever engaged.
+  size_t pipeline_max_batches = 512;
+  /// Loss-detection timeout: when a peer's oldest un-acked batch is older
+  /// than this, the leader rolls its send cursor back and retransmits from
+  /// the lowest in-flight position (windowed retransmit probe) instead of
+  /// blanket per-tick resends. Default sits above the worst modeled WAN RTT
+  /// (aws5 tops out at 292 ms) so healthy links never probe spuriously.
+  Duration pipeline_retransmit_timeout = msec(600);
   /// Recovery-burst cap: loss-recovery retransmissions (Paxos re-proposes,
   /// Mencius StatusBeat retransmits) send at most this many entries per
   /// tick — deliberately smaller than the steady-state packetization cap so

@@ -78,6 +78,7 @@ void Cluster::crash_replica(int i) {
   if (auto* ls = dynamic_cast<LogServer*>(server.get())) {
     // The incarnation's coverage counters die with it; bank them first.
     retired_revocations_ += ls->node_iface().revocations_started();
+    retired_pipeline_rollbacks_ += ls->node_iface().pipeline_rollbacks();
   }
   NodeHost& host = *replica_hosts_[static_cast<size_t>(i)];
   // Order matters: first make every pending timer/fsync callback a no-op and

@@ -78,6 +78,12 @@ class Cluster {
   [[nodiscard]] int64_t retired_revocations() const {
     return retired_revocations_;
   }
+  /// Same crash-time banking for replication-pipeline window rollbacks
+  /// (rejects + loss probes) — the chaos coverage signal for schedules that
+  /// force in-flight batches to unwind.
+  [[nodiscard]] int64_t retired_pipeline_rollbacks() const {
+    return retired_pipeline_rollbacks_;
+  }
 
   /// Observes every completed restart: the recovered hard state, what the
   /// recovery replayed, and the applied index right after it.
@@ -189,6 +195,7 @@ class Cluster {
   RestartProbe restart_probe_;
   int64_t restarts_ = 0;
   int64_t retired_revocations_ = 0;
+  int64_t retired_pipeline_rollbacks_ = 0;
 };
 
 }  // namespace praft::harness

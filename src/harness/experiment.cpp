@@ -40,8 +40,9 @@ Cluster::ServerFactory make_server_factory(const ExperimentConfig& cfg,
     // Runtime selection through the protocol registry; TimingOptions
     // defaults are the paper's WAN-scale values.
     const std::string protocol = cfg.protocol;
-    return [costs, protocol](NodeHost& h, const consensus::Group& g) {
-      return std::make_unique<LogServer>(h, g, costs, protocol);
+    const consensus::TimingOptions timing = cfg.timing;
+    return [costs, protocol, timing](NodeHost& h, const consensus::Group& g) {
+      return std::make_unique<LogServer>(h, g, costs, protocol, timing);
     };
   }
   switch (cfg.system) {
@@ -85,6 +86,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   ClusterConfig cc;
   cc.seed = cfg.seed;
   cc.costs.enabled = cfg.model_cpu;
+  if (cfg.flat_rtt >= 0) {
+    cc.latency = sim::LatencyMatrix(5, cfg.flat_rtt);
+  }
   if (cfg.model_bandwidth) {
     // Per-site NIC egress (DESIGN.md §6): Oregon has the paper's 750 Mbps;
     // Seoul the weakest uplink (drives Raft-Oregon ≈ +30% over Raft-Seoul).

@@ -26,6 +26,13 @@ struct ExperimentConfig {
   /// registry protocol ("raft", "raftstar", "multipaxos", "mencius", ...)
   /// behind the generic LogServer adapter, selected at runtime.
   std::string protocol;
+  /// Protocol timing knobs (election/heartbeat cadence, batching, pipeline
+  /// window). Only honoured on the registry path (`protocol` non-empty).
+  consensus::TimingOptions timing;
+  /// When >= 0, replaces the aws5 geo matrix with a uniform all-pairs RTT
+  /// (sim::LatencyMatrix flat constructor) — the pipelining bench sweeps
+  /// this from LAN to intercontinental.
+  Duration flat_rtt = -1;
   kv::WorkloadConfig workload;
   int clients_per_region = 50;
   int leader_replica = 0;  // leader site (ignored by Mencius)

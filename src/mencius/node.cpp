@@ -20,7 +20,8 @@ MenciusNode::MenciusNode(consensus::Group group, consensus::Env& env,
                  [this] { return hard_state(); }),
       status_(env),
       batcher_(env, opt_, [this] { flush(); }),
-      applier_(/*start=*/-1) {
+      applier_(/*start=*/-1),
+      pipe_(opt_) {
   group_.validate();
   rank_ = group_.rank_of(group_.self);
   n_ = group_.n();
@@ -143,19 +144,57 @@ LogIndex MenciusNode::submit(const kv::Command& cmd) {
 }
 
 void MenciusNode::flush() {
-  if (!pending_.empty()) {
+  if (pending_.empty() && pending_skips_.empty()) return;
+  for (NodeId peer : group_.members) {
+    if (peer == group_.self) continue;
+    PeerOut& out = outbox_[peer];
+    for (const OwnItem& item : pending_) out.items.push_back(item);
+    for (const auto& sk : pending_skips_) out.skips.push_back(sk);
+    pump_peer(peer);
+  }
+  pending_.clear();
+  pending_skips_.clear();
+}
+
+void MenciusNode::pump_peer(NodeId peer) {
+  auto oit = outbox_.find(peer);
+  if (oit == outbox_.end()) return;
+  PeerOut& out = oit->second;
+  // Skip announcements ride ahead of the window when it has room: they are
+  // tiny, carry no ack, and unblock the colleague's view of our turns.
+  if (pipe_.can_send(peer)) {
+    for (const auto& [lo, hi] : out.skips) {
+      const SkipRange sr{group_.self, lo, hi};
+      persister_.send(peer, Message{sr}, wire_size(sr));
+    }
+    out.skips.clear();
+  }
+  while (!out.items.empty() && pipe_.can_send(peer)) {
+    // Prune items already executed here: that peer no longer needs our
+    // accept for them (it learns them via watermarks or LearnReq).
+    while (!out.items.empty() && out.items.front().index < afloor()) {
+      out.items.pop_front();
+    }
+    if (out.items.empty()) return;
     AcceptOwn ao;
     ao.owner = group_.self;
-    ao.items = std::move(pending_);
-    pending_.clear();
+    size_t payload = 0;
+    while (!out.items.empty() &&
+           ao.items.size() < opt_.max_entries_per_batch) {
+      payload += wire::entry_bytes(out.items.front().cmd);
+      ao.items.push_back(std::move(out.items.front()));
+      out.items.pop_front();
+      if (opt_.batch_flush_bytes > 0 && payload >= opt_.batch_flush_bytes) {
+        break;
+      }
+    }
     ao.decided_floor = own_decided_floor();
     ao.rev_floor = own_rev_floor_;
-    broadcast(Message{ao});
+    const size_t bytes = wire_size(ao);
+    persister_.send(peer, Message{ao}, bytes);
+    pipe_.on_send(peer, ao.items.front().index, ao.items.back().index, bytes,
+                  env_.now());
   }
-  for (const auto& [lo, hi] : pending_skips_) {
-    broadcast(Message{SkipRange{group_.self, lo, hi}});
-  }
-  pending_skips_.clear();
 }
 
 void MenciusNode::broadcast(Message m) {
@@ -530,6 +569,12 @@ void MenciusNode::on_accept_own(const AcceptOwn& m) {
 }
 
 void MenciusNode::on_accept_own_ok(const AcceptOwnOk& m) {
+  // Cumulative ack for this colleague's stream (indexes arrive in send
+  // order, so the max covers every batch up to it); refill its window after
+  // the tallies below.
+  LogIndex acked = -1;
+  for (LogIndex i : m.indexes) acked = std::max(acked, i);
+  if (acked >= 0) pipe_.on_ack(m.acceptor, acked);
   for (LogIndex i : m.indexes) {
     Slot* s = slots_.find(i);
     if (s == nullptr) continue;
@@ -543,10 +588,17 @@ void MenciusNode::on_accept_own_ok(const AcceptOwnOk& m) {
       decide(i, s->cmd);  // committed on a majority at ballot 0
     }
   }
+  pump_peer(m.acceptor);
   advance_floors();
 }
 
 void MenciusNode::on_accept_own_rej(const AcceptOwnRej& m) {
+  // A rejection still answers the batch (the acceptor processed it): retire
+  // it from the in-flight window — the slots' real decisions arrive via the
+  // revoker/learn paths, not a retransmit.
+  LogIndex answered = -1;
+  for (LogIndex i : m.indexes) answered = std::max(answered, i);
+  if (answered >= 0) pipe_.on_ack(m.acceptor, answered);
   for (LogIndex i : m.indexes) {
     own_rev_floor_ = std::max(own_rev_floor_, i);
     Slot* s = slots_.find(i);
@@ -566,6 +618,7 @@ void MenciusNode::on_accept_own_rej(const AcceptOwnRej& m) {
   }
   while (next_own_ <= m.jump_past) next_own_ += n_;
   persister_.hard_state();  // own_rev_floor_ / next_own_ moved
+  pump_peer(m.acceptor);
   advance_floors();
 }
 
@@ -931,24 +984,53 @@ void MenciusNode::maintenance() {
   broadcast(Message{StatusBeat{group_.self, next_own_, own_decided_floor(),
                                own_rev_floor_}});
 
-  // Retransmit stale undecided own proposals.
-  AcceptOwn retrans;
-  retrans.owner = group_.self;
-  const LogIndex base = afloor();
-  for (LogIndex i = base + ((rank_ - base) % n_ + n_) % n_;
-       i < next_own_ && retrans.items.size() < opt_.max_retransmit_entries;
-       i += n_) {
-    const Slot* s = slot_if(i);
-    if (s != nullptr && s->st == St::kValued &&
-        s->bal == Ballot{0, group_.self} &&
-        now - s->proposed_at >= opt_.retransmit_age) {
+  // Windowed retransmit, per colleague (consensus::PeerPipeline). A peer
+  // whose oldest in-flight batch outlived the loss-detection timeout gets
+  // its window unwound and its stale undecided proposals re-offered from
+  // the lowest lost slot; an idle channel re-offers stale proposals the
+  // peer never acked (e.g. after our crash-restart, or a lost ack). Healthy
+  // in-flight channels send nothing — the old code re-broadcast every stale
+  // proposal to every peer each tick.
+  for (NodeId peer : group_.members) {
+    if (peer == group_.self) continue;
+    pump_peer(peer);  // backlog first: the window may have reopened
+    LogIndex from = 0;
+    if (pipe_.retransmit_due(peer, now)) {
+      from = pipe_.on_loss(peer);
+    } else if (pipe_.outstanding_batches(peer) != 0) {
+      continue;  // in flight and within the timeout: wait for acks
+    }
+    AcceptOwn retrans;
+    retrans.owner = group_.self;
+    const LogIndex base = afloor();
+    for (LogIndex i = base + ((rank_ - base) % n_ + n_) % n_;
+         i < next_own_ && retrans.items.size() < opt_.max_retransmit_entries;
+         i += n_) {
+      if (i < from) continue;
+      const Slot* s = slot_if(i);
+      if (s == nullptr || s->st != St::kValued ||
+          !(s->bal == Ballot{0, group_.self})) {
+        continue;
+      }
+      // proposed_at in the future is the A2 ablation's skip sentinel (a
+      // skip is not a proposal — retransmission must not resurrect it);
+      // fresh proposals are still covered by their in-flight tracking.
+      if (s->proposed_at > now ||
+          now - s->proposed_at < opt_.pipeline_retransmit_timeout) {
+        continue;
+      }
+      bool acked = false;
+      for (NodeId a : s->acks) acked |= (a == peer);
+      if (acked) continue;
       retrans.items.push_back(OwnItem{i, s->cmd});
     }
-  }
-  if (!retrans.items.empty()) {
+    if (retrans.items.empty()) continue;
     retrans.decided_floor = own_decided_floor();
     retrans.rev_floor = own_rev_floor_;
-    broadcast(Message{retrans});
+    const size_t bytes = wire_size(retrans);
+    persister_.send(peer, Message{retrans}, bytes);
+    pipe_.on_send(peer, retrans.items.front().index,
+                  retrans.items.back().index, bytes, now);
   }
 
   // Execution stalled on someone's slot?

@@ -12,6 +12,7 @@
 #include "consensus/group.h"
 #include "consensus/log.h"
 #include "consensus/node_iface.h"
+#include "consensus/pipeline.h"
 #include "consensus/timer.h"
 #include "consensus/timing.h"
 #include "consensus/types.h"
@@ -25,9 +26,9 @@ struct Options : consensus::TimingOptions {
   // The shared heartbeat_interval drives the StatusBeat/maintenance tick
   // (Mencius has no single leader, so the election timeouts are unused).
   /// Stale undecided slots of an unresponsive owner are revoked after this.
+  /// (Own-proposal retransmission is timeout-gated per colleague by the
+  /// shared pipeline — see TimingOptions::pipeline_retransmit_timeout.)
   Duration revoke_timeout = msec(2500);
-  /// Retransmit own unacked proposals after this.
-  Duration retransmit_age = msec(400);
   /// Ask an owner for authoritative slot state when a gap stalls execution
   /// longer than this.
   Duration learn_after = msec(500);
@@ -146,6 +147,9 @@ class MenciusNode : public consensus::NodeIface {
   [[nodiscard]] int64_t revocations_started() const override {
     return revocations_;
   }
+  [[nodiscard]] int64_t pipeline_rollbacks() const override {
+    return pipe_.rollbacks();
+  }
 
  private:
   enum class St : uint8_t {
@@ -195,6 +199,10 @@ class MenciusNode : public consensus::NodeIface {
   [[nodiscard]] bool revocation_done() const;
 
   void flush();
+  /// Drains `peer`'s outbox through its in-flight window: queued skip
+  /// announcements first (tiny, ack-less), then AcceptOwn batches while the
+  /// window has room.
+  void pump_peer(NodeId peer);
   void broadcast(Message m);
   void maintenance();  // retransmit, learn-requests, revocation triggers
   void note_owner_watermark(NodeId owner, LogIndex decided_floor,
@@ -251,6 +259,18 @@ class MenciusNode : public consensus::NodeIface {
   // Pending own proposals not yet flushed.
   std::vector<OwnItem> pending_;
   std::vector<std::pair<LogIndex, LogIndex>> pending_skips_;
+
+  // Per-colleague replication stream: flushed proposals/skips queue here and
+  // drain through the shared in-flight window (consensus::PeerPipeline), so
+  // a slow or partitioned colleague no longer stalls — or gets blanket
+  // re-broadcasts of — everyone else's stream. Executed items are pruned
+  // from the backlog (a peer that far behind learns via watermarks/LearnReq).
+  struct PeerOut {
+    std::deque<OwnItem> items;
+    std::deque<std::pair<LogIndex, LogIndex>> skips;
+  };
+  std::unordered_map<NodeId, PeerOut> outbox_;
+  consensus::PeerPipeline pipe_;
 
   // Own proposals whose clients have not been acknowledged yet.
   std::vector<LogIndex> own_unacked_;

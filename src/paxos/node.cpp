@@ -17,7 +17,8 @@ PaxosNode::PaxosNode(consensus::Group group, consensus::Env& env, Options opt,
       election_(env, opt_.election_timeout_min, opt_.election_timeout_max),
       heartbeat_(env),
       batcher_(env, opt_, [this] { flush_batch(); }),
-      prepare_acks_(group_.majority()) {
+      prepare_acks_(group_.majority()),
+      pipe_(opt_) {
   group_.validate();
   ballot_ = Ballot{0, kNoNode};
   // Write-ahead mirroring: persist_inst() routes each instance's full
@@ -164,43 +165,41 @@ void PaxosNode::finish_prepare() {
     cmds.push_back(it != safe_vals_.end() ? it->second.cmd : kv::noop_command());
   }
   next_propose_ = max_seen + 1;
+  // A fresh reign replicates from scratch: every peer's cursor restarts at
+  // the first unchosen instance, and in-flight windows from any prior reign
+  // are void (their acks carry the old ballot and would be ignored anyway).
+  pipe_.reset_all();
+  peer_next_.clear();
+  for (NodeId peer : group_.members) {
+    if (peer != group_.self) peer_next_[peer] = commit_floor() + 1;
+  }
   if (!cmds.empty()) propose_range(commit_floor() + 1, cmds);
   safe_vals_.clear();
   heartbeat_.start(opt_.heartbeat_interval);
 }
 
 void PaxosNode::heartbeat_tick() {
-  retransmit_unchosen();
+  // Loss recovery is per peer and timeout-gated (consensus::PeerPipeline):
+  // a peer whose oldest in-flight AcceptBatch outlived the retransmit
+  // timeout gets its cursor rolled back to the lowest un-acked instance and
+  // re-pumped from there. A steady-state tick — everything acked — sends
+  // nothing but the Heartbeat itself (the old code rebroadcast every
+  // unchosen instance to every peer each tick).
   Heartbeat hb{ballot_, group_.self, commit_floor()};
   for (NodeId peer : group_.members) {
     if (peer == group_.self) continue;
+    if (pipe_.retransmit_due(peer, env_.now())) {
+      const LogIndex lo = pipe_.on_loss(peer);
+      if (lo >= 1) {
+        auto it = peer_next_.find(peer);
+        if (it != peer_next_.end()) it->second = std::min(it->second, lo);
+      }
+      pump_peer(peer);
+    }
     persister_.send(peer, Message{hb}, wire_size(hb));
   }
   // Interval-leg compaction on an idle leader (apply advances stopped).
   maybe_compact(/*force=*/false);
-}
-
-void PaxosNode::retransmit_unchosen() {
-  // Re-propose stale unchosen instances (lost accepts / lost acks).
-  const auto max_batch = static_cast<LogIndex>(opt_.max_retransmit_entries);
-  const Time cutoff = env_.now() - opt_.retransmit_age;
-  LogIndex first = 0;
-  for (LogIndex i = commit_floor() + 1; i <= log_tail_; ++i) {
-    const Instance* in = inst_if(i);
-    if (in != nullptr && in->has && !in->chosen && in->proposed_at <= cutoff) {
-      first = i;
-      break;
-    }
-  }
-  if (first == 0) return;
-  const LogIndex last = std::min(log_tail_, first + max_batch - 1);
-  std::vector<kv::Command> cmds;
-  for (LogIndex i = first; i <= last; ++i) {
-    const Instance* in = inst_if(i);
-    if (in == nullptr || !in->has) break;
-    cmds.push_back(in->cmd);
-  }
-  if (!cmds.empty()) propose_range(first, cmds);
 }
 
 LogIndex PaxosNode::submit(const kv::Command& cmd) {
@@ -214,6 +213,9 @@ LogIndex PaxosNode::submit(const kv::Command& cmd) {
 void PaxosNode::abandon_leadership() {
   batcher_.cancel();
   pending_.clear();
+  // Stale in-flight windows must not gate a future reign's replication.
+  pipe_.reset_all();
+  peer_next_.clear();
 }
 
 void PaxosNode::flush_batch() {
@@ -254,10 +256,19 @@ void PaxosNode::propose_range(LogIndex start,
     persist_inst(i);
   }
   persister_.hard_state();  // log_tail_ moved
-  AcceptBatch ab{bal, group_.self, start, cmds, commit_floor()};
+  // Ship per peer from each acceptor's own cursor (consensus::PeerPipeline):
+  // a peer with window room gets the new range now — possibly alongside
+  // older not-yet-shipped instances — while a saturated peer picks it up
+  // when its acks reopen the window.
   for (NodeId peer : group_.members) {
     if (peer == group_.self) continue;
-    persister_.send(peer, Message{ab}, wire_size(ab));
+    auto it = peer_next_.find(peer);
+    if (it == peer_next_.end()) {
+      peer_next_[peer] = std::min(start, commit_floor() + 1);
+    } else {
+      it->second = std::min(it->second, start);
+    }
+    pump_peer(peer);
   }
   const LogIndex end = start + static_cast<LogIndex>(cmds.size()) - 1;
   persister_.barrier([this, start, end, bal] {
@@ -274,6 +285,35 @@ void PaxosNode::propose_range(LogIndex start,
       }
     }
   });
+}
+
+void PaxosNode::pump_peer(NodeId peer) {
+  if (!is_leader()) return;
+  LogIndex& next = peer_next_[peer];
+  // Instances at or below our checkpoint floor were pruned; a peer that far
+  // behind repairs via LearnRequest/SnapshotTransfer, not accepts.
+  next = std::max(next, instances_.floor() + 1);
+  while (pipe_.can_send(peer)) {
+    std::vector<kv::Command> cmds;
+    size_t payload = 0;
+    LogIndex i = next;
+    while (i <= log_tail_ && cmds.size() < opt_.max_entries_per_batch) {
+      const Instance* in = inst_if(i);
+      if (in == nullptr || !in->has) break;
+      payload += in->cmd.wire_bytes();
+      cmds.push_back(in->cmd);
+      ++i;
+      if (opt_.batch_flush_bytes > 0 && payload >= opt_.batch_flush_bytes) {
+        break;
+      }
+    }
+    if (cmds.empty()) return;  // caught up to the tail (or a hole)
+    AcceptBatch ab{ballot_, group_.self, next, cmds, commit_floor()};
+    const size_t bytes = wire_size(ab);
+    persister_.send(peer, Message{ab}, bytes);
+    pipe_.on_send(peer, next, i - 1, bytes, env_.now());
+    next = i;
+  }
 }
 
 void PaxosNode::on_accept(const AcceptBatch& m) {
@@ -317,6 +357,9 @@ void PaxosNode::on_accept(const AcceptBatch& m) {
 
 void PaxosNode::on_accept_ok(const AcceptOkBatch& m) {
   if (!is_leader() || m.bal != ballot_) return;
+  // Cumulative ack for the pipeline: the batch covering [start, start+count)
+  // arrived and was durably accepted; reopen the window and refill it.
+  pipe_.on_ack(m.sender, m.start + m.count - 1);
   for (LogIndex k = 0; k < m.count; ++k) {
     const LogIndex i = m.start + k;
     if (i <= instances_.floor()) continue;  // chosen + compacted already
@@ -328,6 +371,7 @@ void PaxosNode::on_accept_ok(const AcceptOkBatch& m) {
       mark_chosen(i);
     }
   }
+  pump_peer(m.sender);
 }
 
 void PaxosNode::mark_chosen(LogIndex i) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "consensus/applier.h"
@@ -9,6 +10,7 @@
 #include "consensus/group.h"
 #include "consensus/log.h"
 #include "consensus/node_iface.h"
+#include "consensus/pipeline.h"
 #include "consensus/timer.h"
 #include "consensus/timing.h"
 #include "consensus/types.h"
@@ -18,11 +20,7 @@
 
 namespace praft::paxos {
 
-struct Options : consensus::TimingOptions {
-  /// Unchosen instances older than this are re-proposed on the heartbeat
-  /// tick (loss recovery; Raft gets the same effect from nextIndex probes).
-  Duration retransmit_age = msec(300);
-};
+struct Options : consensus::TimingOptions {};
 
 /// MultiPaxos per the paper's Fig. 1 / Appendix B.1: a two-phase protocol
 /// where the phase-1 of many instances is batched ("a server becomes leader")
@@ -75,6 +73,9 @@ class PaxosNode : public consensus::NodeIface {
   }
   [[nodiscard]] int64_t snapshots_installed() const override {
     return snapshots_installed_;
+  }
+  [[nodiscard]] int64_t pipeline_rollbacks() const override {
+    return pipe_.rollbacks();
   }
 
   [[nodiscard]] bool is_leader() const override {
@@ -148,7 +149,9 @@ class PaxosNode : public consensus::NodeIface {
   /// under a ballot we no longer own.
   void abandon_leadership();
   void propose_range(LogIndex start, const std::vector<kv::Command>& cmds);
-  void retransmit_unchosen();
+  /// Streams AcceptBatches to `peer` from its send cursor until the peer is
+  /// caught up to log_tail_ or its in-flight window closes.
+  void pump_peer(NodeId peer);
   void heartbeat_tick();
   void mark_chosen(LogIndex i);
   void advance_floor();
@@ -197,6 +200,14 @@ class PaxosNode : public consensus::NodeIface {
 
   // Pending client batch (leader).
   std::vector<kv::Command> pending_;
+
+  // Per-peer replication: a send cursor (next instance to ship to that
+  // acceptor) plus the shared in-flight window. The cursor replaces the old
+  // single broadcast point — peers advance independently, and loss recovery
+  // is a per-peer cursor rollback (windowed retransmit) instead of the old
+  // resend-every-unchosen-instance-per-heartbeat blanket rebroadcast.
+  std::unordered_map<NodeId, LogIndex> peer_next_;
+  consensus::PeerPipeline pipe_;
 
   // Round-robin cursor for sub-floor gap repair when we have no one above
   // us to ask (see request_missing).

@@ -21,7 +21,8 @@ RaftNode::RaftNode(consensus::Group group, consensus::Env& env, Options opt,
                [this] {
                  if (role_ == Role::kLeader) broadcast_append();
                }),
-      votes_(group_.majority()) {
+      votes_(group_.majority()),
+      pipe_(opt_) {
   group_.validate();
   election_.set_gate([this] { return role_ != Role::kLeader; });
   election_.set_handler([this](bool expired) {
@@ -29,6 +30,7 @@ RaftNode::RaftNode(consensus::Group group, consensus::Env& env, Options opt,
   });
   heartbeat_.set_gate([this] { return role_ == Role::kLeader; });
   heartbeat_.set_handler([this] {
+    probe_retransmits();
     broadcast_append();
     // Interval-leg compaction must also fire on an idle leader (followers
     // re-evaluate on the commit_to every heartbeat append triggers).
@@ -75,8 +77,11 @@ void RaftNode::step_down(Term t) {
     next_index_.clear();
     match_index_.clear();
     heartbeat_.stop();
-    // A flush armed while we led must not fire now that we are deposed.
+    // A flush armed while we led must not fire now that we are deposed, and
+    // in-flight windows from this reign must not gate (or be retired by
+    // stale acks during) a future one.
     batcher_.cancel();
+    pipe_.reset_all();
   }
   role_ = Role::kFollower;
 }
@@ -145,6 +150,7 @@ void RaftNode::become_leader() {
   leader_ = group_.self;
   next_index_.clear();
   match_index_.clear();
+  pipe_.reset_all();
   for (NodeId peer : group_.members) {
     if (peer == group_.self) continue;
     next_index_[peer] = last_index() + 1;
@@ -176,33 +182,67 @@ void RaftNode::broadcast_append() {
 }
 
 void RaftNode::replicate_to(NodeId peer) {
-  const LogIndex next = next_index_[peer];
-  PRAFT_CHECK(next >= 1);
-  if (next <= log_.base_index()) {
-    // The entries this follower needs were compacted away: catch it up with
-    // the checkpoint instead of log replay (the ported Checkpoint action's
-    // state-transfer half).
-    send_snapshot(peer);
-    return;
+  // Pump: send batches until the peer is caught up or its in-flight window
+  // closes (consensus::PeerPipeline). nextIndex advances optimistically per
+  // batch, so successive iterations carry disjoint suffixes — multiple
+  // AppendEntries in flight per peer; a reject (or the retransmit probe
+  // after a loss) rolls the window back.
+  bool sent_any = false;
+  for (;;) {
+    const LogIndex next = next_index_[peer];
+    PRAFT_CHECK(next >= 1);
+    if (next <= log_.base_index()) {
+      // The entries this follower needs were compacted away: catch it up
+      // with the checkpoint instead of log replay (the ported Checkpoint
+      // action's state-transfer half).
+      if (!pipe_.can_send(peer)) return;
+      send_snapshot(peer);
+      sent_any = true;
+      continue;  // appends pipeline right behind the snapshot
+    }
+    const bool has_new = last_index() >= next;
+    if (!has_new && sent_any) return;  // caught up; no trailing keep-alive
+    if (has_new && !pipe_.can_send(peer)) return;  // window full
+    const LogIndex prev = next - 1;
+    AppendEntries ae;
+    ae.term = term_;
+    ae.leader = group_.self;
+    ae.prev_index = prev;
+    ae.prev_term = term_at(std::min(prev, last_index()));
+    ae.commit = commit_index();
+    const LogIndex hi =
+        std::min(last_index(),
+                 prev + static_cast<LogIndex>(opt_.max_entries_per_batch));
+    for (LogIndex i = prev + 1; i <= hi; ++i) {
+      ae.entries.push_back(log_.at(i));
+    }
+    const size_t bytes = wire_size(ae);
+    persister_.send(peer, Message{ae}, bytes);
+    // Empty keep-alives stay untracked and ungated: heartbeats must always
+    // flow, and their cumulative ok-replies (match == prev) retire every
+    // outstanding batch they cover.
+    if (!has_new) return;
+    pipe_.on_send(peer, next, hi, bytes, env_.now());
+    next_index_[peer] = hi + 1;
+    sent_any = true;
   }
-  const LogIndex prev = next - 1;
-  AppendEntries ae;
-  ae.term = term_;
-  ae.leader = group_.self;
-  ae.prev_index = prev;
-  ae.prev_term = term_at(std::min(prev, last_index()));
-  ae.commit = commit_index();
-  const LogIndex hi =
-      std::min(last_index(),
-               prev + static_cast<LogIndex>(opt_.max_entries_per_batch));
-  for (LogIndex i = prev + 1; i <= hi; ++i) {
-    ae.entries.push_back(log_.at(i));
+}
+
+void RaftNode::probe_retransmits() {
+  // Loss detection: a peer whose oldest in-flight batch outlived the
+  // retransmit timeout gets its window unwound and its nextIndex rolled
+  // back to the lowest un-acked position; the heartbeat's broadcast_append
+  // then re-sends from there (windowed retransmit probe).
+  for (NodeId peer : group_.members) {
+    if (peer == group_.self || !pipe_.retransmit_due(peer, env_.now())) {
+      continue;
+    }
+    const LogIndex lo = pipe_.on_loss(peer);
+    if (lo >= 1) {
+      next_index_[peer] = std::max<LogIndex>(
+          1, std::min(next_index_[peer], lo));
+    }
   }
-  persister_.send(peer, Message{ae}, wire_size(ae));
-  // Optimistic pipelining: assume delivery and advance nextIndex so the
-  // next flush sends only NEW entries. A reject (or the conflict hint after
-  // a loss) rolls the window back.
-  if (hi >= next) next_index_[peer] = hi + 1;
 }
 
 void RaftNode::on_append_entries(const AppendEntries& m) {
@@ -278,12 +318,19 @@ void RaftNode::on_append_reply(const AppendReply& m) {
   }
   if (role_ != Role::kLeader || m.term != term_) return;
   if (m.ok) {
+    // Cumulative ack: retires every in-flight batch the match index covers,
+    // reopening the peer's window for the refill below.
+    pipe_.on_ack(m.follower, m.match_index);
     match_index_[m.follower] = std::max(match_index_[m.follower], m.match_index);
     next_index_[m.follower] =
         std::max(next_index_[m.follower], m.match_index + 1);
     advance_commit();
     if (next_index_[m.follower] <= last_index()) replicate_to(m.follower);
   } else {
+    // The peer's log diverged below our window: everything pipelined after
+    // the rejected batch is garbage too, so unwind it all before backing
+    // nextIndex off.
+    pipe_.on_reject(m.follower);
     next_index_[m.follower] =
         std::max<LogIndex>(1, std::min(next_index_[m.follower] - 1,
                                        m.conflict_hint));
@@ -345,7 +392,12 @@ void RaftNode::send_snapshot(NodeId peer) {
   PRAFT_CHECK_MSG(snap_.valid() && snap_.last_index == log_.base_index(),
                   "snapshot does not cover the compacted prefix");
   InstallSnapshot is{term_, group_.self, snap_};
-  persister_.send(peer, Message{is}, wire_size(is));
+  const size_t bytes = wire_size(is);
+  persister_.send(peer, Message{is}, bytes);
+  // The snapshot occupies the peer's window like any batch (its reply acks
+  // snap_.last_index); a loss rolls nextIndex back below the base, which
+  // re-enters the snapshot path.
+  pipe_.on_send(peer, next_index_[peer], snap_.last_index, bytes, env_.now());
   // Optimistic pipelining, like replicate_to: resume appends right after
   // the snapshot; the reply (or a reject) corrects the window.
   next_index_[peer] = snap_.last_index + 1;
@@ -407,6 +459,7 @@ void RaftNode::on_install_reply(const InstallSnapshotReply& m) {
     return;
   }
   if (role_ != Role::kLeader || m.term != term_) return;
+  pipe_.on_ack(m.follower, m.last_index);
   match_index_[m.follower] = std::max(match_index_[m.follower], m.last_index);
   next_index_[m.follower] =
       std::max(next_index_[m.follower], m.last_index + 1);

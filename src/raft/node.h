@@ -10,6 +10,7 @@
 #include "consensus/group.h"
 #include "consensus/log.h"
 #include "consensus/node_iface.h"
+#include "consensus/pipeline.h"
 #include "consensus/timer.h"
 #include "consensus/timing.h"
 #include "consensus/types.h"
@@ -82,6 +83,9 @@ class RaftNode : public consensus::NodeIface {
   [[nodiscard]] LogIndex applied_index() const override {
     return applier_.applied();
   }
+  [[nodiscard]] int64_t pipeline_rollbacks() const override {
+    return pipe_.rollbacks();
+  }
 
   /// Raft's hard state: currentTerm + votedFor (§5 "Persistent state").
   [[nodiscard]] consensus::HardState hard_state() const override {
@@ -122,6 +126,7 @@ class RaftNode : public consensus::NodeIface {
   void become_leader();
   void step_down(Term t);
   void replicate_to(NodeId peer);
+  void probe_retransmits();
   void send_snapshot(NodeId peer);
   void broadcast_append();
   void advance_commit();
@@ -174,6 +179,9 @@ class RaftNode : public consensus::NodeIface {
   // Leader state.
   std::unordered_map<NodeId, LogIndex> next_index_;
   std::unordered_map<NodeId, LogIndex> match_index_;
+  // Per-peer in-flight window: replicate_to pumps batches until it closes;
+  // ack/reject/loss events below reopen or roll it back.
+  consensus::PeerPipeline pipe_;
 };
 
 }  // namespace praft::raft

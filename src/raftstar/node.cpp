@@ -21,7 +21,8 @@ RaftStarNode::RaftStarNode(consensus::Group group, consensus::Env& env,
                [this] {
                  if (role_ == Role::kLeader) broadcast_append();
                }),
-      votes_(group_.majority()) {
+      votes_(group_.majority()),
+      pipe_(opt_) {
   group_.validate();
   election_.set_gate([this] { return role_ != Role::kLeader; });
   election_.set_handler([this](bool expired) {
@@ -29,6 +30,7 @@ RaftStarNode::RaftStarNode(consensus::Group group, consensus::Env& env,
   });
   heartbeat_.set_gate([this] { return role_ == Role::kLeader; });
   heartbeat_.set_handler([this] {
+    probe_retransmits();
     broadcast_append();
     // Interval-leg compaction must also fire on an idle leader (followers
     // re-evaluate on the commit_to every heartbeat append triggers).
@@ -84,8 +86,11 @@ void RaftStarNode::step_down(Term t) {
     next_index_.clear();
     match_index_.clear();
     heartbeat_.stop();
-    // A flush armed while we led must not fire now that we are deposed.
+    // A flush armed while we led must not fire now that we are deposed, and
+    // in-flight windows from this reign must not gate (or be retired by
+    // stale acks during) a future one.
     batcher_.cancel();
+    pipe_.reset_all();
   }
   role_ = Role::kFollower;
 }
@@ -234,6 +239,7 @@ void RaftStarNode::become_leader() {
   persister_.hard_state();
   next_index_.clear();
   match_index_.clear();
+  pipe_.reset_all();
   for (NodeId peer : group_.members) {
     if (peer == group_.self) continue;
     // Full-suffix replacement semantics: start from the first retained
@@ -267,32 +273,64 @@ void RaftStarNode::broadcast_append() {
 }
 
 void RaftStarNode::replicate_to(NodeId peer, bool uncapped) {
-  const LogIndex next = next_index_[peer];
-  PRAFT_CHECK(next >= 1);
-  if (next <= log_.base_index()) {
-    // The follower is behind our compacted prefix: state transfer instead
-    // of log replay (same catch-up shape as Raft — see RaftNode).
-    send_snapshot(peer);
-    return;
+  // Pump loop (see RaftNode::replicate_to): batches stream until the peer
+  // catches up or its in-flight window (consensus::PeerPipeline) closes.
+  // An uncapped reject-resend follows an on_reject that just emptied the
+  // window, so the full-suffix replacement is always admitted.
+  bool sent_any = false;
+  for (;;) {
+    const LogIndex next = next_index_[peer];
+    PRAFT_CHECK(next >= 1);
+    if (next <= log_.base_index()) {
+      // The follower is behind our compacted prefix: state transfer instead
+      // of log replay (same catch-up shape as Raft — see RaftNode).
+      if (!pipe_.can_send(peer)) return;
+      send_snapshot(peer);
+      sent_any = true;
+      continue;  // appends pipeline right behind the snapshot
+    }
+    const bool has_new = last_index() >= next;
+    if (!has_new && sent_any) return;  // caught up; no trailing keep-alive
+    if (has_new && !pipe_.can_send(peer)) return;  // window full
+    const LogIndex prev = next - 1;
+    AppendEntries ae;
+    ae.term = term_;
+    ae.leader = group_.self;
+    ae.prev_index = prev;
+    ae.prev_term = term_at(std::min(prev, last_index()));
+    ae.commit = commit_index();
+    const LogIndex hi =
+        uncapped ? last_index()
+                 : std::min(last_index(),
+                            prev + static_cast<LogIndex>(
+                                       opt_.max_entries_per_batch));
+    for (LogIndex i = prev + 1; i <= hi; ++i) {
+      ae.entries.push_back(log_.at(i));
+    }
+    const size_t bytes = wire_size(ae);
+    persister_.send(peer, Message{ae}, bytes);
+    // Empty keep-alives stay untracked and ungated (see RaftNode).
+    if (!has_new) return;
+    pipe_.on_send(peer, next, hi, bytes, env_.now());
+    next_index_[peer] = hi + 1;
+    sent_any = true;
   }
-  const LogIndex prev = next - 1;
-  AppendEntries ae;
-  ae.term = term_;
-  ae.leader = group_.self;
-  ae.prev_index = prev;
-  ae.prev_term = term_at(std::min(prev, last_index()));
-  ae.commit = commit_index();
-  const LogIndex hi =
-      uncapped ? last_index()
-               : std::min(last_index(),
-                          prev + static_cast<LogIndex>(
-                                     opt_.max_entries_per_batch));
-  for (LogIndex i = prev + 1; i <= hi; ++i) {
-    ae.entries.push_back(log_.at(i));
+}
+
+void RaftStarNode::probe_retransmits() {
+  // Loss detection (see RaftNode::probe_retransmits): unwind the window and
+  // roll nextIndex back to the lowest un-acked position; the heartbeat's
+  // broadcast_append re-sends from there.
+  for (NodeId peer : group_.members) {
+    if (peer == group_.self || !pipe_.retransmit_due(peer, env_.now())) {
+      continue;
+    }
+    const LogIndex lo = pipe_.on_loss(peer);
+    if (lo >= 1) {
+      next_index_[peer] = std::max<LogIndex>(
+          1, std::min(next_index_[peer], lo));
+    }
   }
-  persister_.send(peer, Message{ae}, wire_size(ae));
-  // Optimistic pipelining (see RaftNode::replicate_to).
-  if (hi >= next) next_index_[peer] = hi + 1;
 }
 
 void RaftStarNode::on_append_entries(const AppendEntries& m) {
@@ -380,6 +418,8 @@ void RaftStarNode::on_append_reply(const AppendReply& m) {
   }
   if (role_ != Role::kLeader || m.term != term_) return;
   if (m.ok) {
+    // Cumulative ack: retires every in-flight batch the match index covers.
+    pipe_.on_ack(m.follower, m.match_index);
     match_index_[m.follower] = std::max(match_index_[m.follower], m.match_index);
     next_index_[m.follower] =
         std::max(next_index_[m.follower], m.match_index + 1);
@@ -389,6 +429,9 @@ void RaftStarNode::on_append_reply(const AppendReply& m) {
     advance_commit();
     if (next_index_[m.follower] <= last_index()) replicate_to(m.follower);
   } else {
+    // Unwind everything pipelined behind the rejected batch before backing
+    // off — the full-replacement resend below supersedes it all.
+    pipe_.on_reject(m.follower);
     if (m.follower_last > last_index()) {
       // The follower's log is longer than ours. Extend our log with no-ops so
       // our coverage can overwrite its (necessarily uncommitted) suffix; the
@@ -473,7 +516,10 @@ void RaftStarNode::send_snapshot(NodeId peer) {
   PRAFT_CHECK_MSG(snap_.valid() && snap_.last_index == log_.base_index(),
                   "snapshot does not cover the compacted prefix");
   InstallSnapshot is{term_, group_.self, snap_};
-  persister_.send(peer, Message{is}, wire_size(is));
+  const size_t bytes = wire_size(is);
+  persister_.send(peer, Message{is}, bytes);
+  // The snapshot occupies the window like any batch (see RaftNode).
+  pipe_.on_send(peer, next_index_[peer], snap_.last_index, bytes, env_.now());
   next_index_[peer] = snap_.last_index + 1;  // optimistic (see RaftNode)
 }
 
@@ -526,6 +572,7 @@ void RaftStarNode::on_install_reply(const InstallSnapshotReply& m) {
     return;
   }
   if (role_ != Role::kLeader || m.term != term_) return;
+  pipe_.on_ack(m.follower, m.last_index);
   match_index_[m.follower] = std::max(match_index_[m.follower], m.last_index);
   next_index_[m.follower] =
       std::max(next_index_[m.follower], m.last_index + 1);

@@ -10,6 +10,7 @@
 #include "consensus/group.h"
 #include "consensus/log.h"
 #include "consensus/node_iface.h"
+#include "consensus/pipeline.h"
 #include "consensus/timer.h"
 #include "consensus/timing.h"
 #include "consensus/types.h"
@@ -81,6 +82,9 @@ class RaftStarNode : public consensus::NodeIface {
   }
   [[nodiscard]] LogIndex applied_index() const override {
     return applier_.applied();
+  }
+  [[nodiscard]] int64_t pipeline_rollbacks() const override {
+    return pipe_.rollbacks();
   }
 
   /// Raft*'s hard state: currentTerm + votedFor, plus the uniform log
@@ -162,6 +166,7 @@ class RaftStarNode : public consensus::NodeIface {
   void become_leader();
   void step_down(Term t);
   void replicate_to(NodeId peer, bool uncapped = false);
+  void probe_retransmits();
   void send_snapshot(NodeId peer);
   void broadcast_append();
   void advance_commit();
@@ -217,6 +222,8 @@ class RaftStarNode : public consensus::NodeIface {
 
   std::unordered_map<NodeId, LogIndex> next_index_;
   std::unordered_map<NodeId, LogIndex> match_index_;
+  // Per-peer in-flight window (consensus::PeerPipeline; see RaftNode).
+  consensus::PeerPipeline pipe_;
 
   CommitGate commit_gate_;
   AppendReplyObserver append_reply_observer_;

@@ -60,6 +60,7 @@ struct CliOptions {
   bool inject_quorum_bug = false;
   bool restarts = false;
   bool inject_persistence_bug = false;
+  bool wan = false;
   size_t compaction_cap = 0;
   bool verbose = false;
   bool stop_on_failure = false;
@@ -83,6 +84,7 @@ struct PlannedRun {
   bool inject_quorum_bug = false;
   bool restarts = false;
   bool inject_persistence_bug = false;
+  bool wan = false;
 };
 
 /// Serializes a run's flag overrides in the --seed-file per-line format.
@@ -99,6 +101,7 @@ std::string flags_of(const PlannedRun& run) {
   if (run.restarts) flags += " --restarts";
   if (run.inject_quorum_bug) flags += " --inject-quorum-bug";
   if (run.inject_persistence_bug) flags += " --inject-persistence-bug";
+  if (run.wan) flags += " --wan";
   return flags;
 }
 
@@ -156,7 +159,8 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--protocol=NAME|all] [--seed=N] [--seeds=K] [--replicas=N]\n"
       "          [--inject-quorum-bug] [--compaction-cap=N] [--restarts]\n"
-      "          [--inject-persistence-bug] [--verbose] [--stop-on-failure]\n"
+      "          [--inject-persistence-bug] [--wan] [--verbose]\n"
+      "          [--stop-on-failure]\n"
       "          [--failures-out=PATH] [--seed-file=PATH]\n"
       "          [--corpus-out=PATH] [--corpus-size=N]\n"
       "          [--evolve=GENERATIONS] [--population=N] [--elite=N]\n"
@@ -230,6 +234,8 @@ bool load_seed_file(const CliOptions& cli,
       for (auto& r : *runs) r.restarts = true;
     } else if (parse_flag(flag.c_str(), "--inject-persistence-bug", &v)) {
       for (auto& r : *runs) r.inject_persistence_bug = true;
+    } else if (parse_flag(flag.c_str(), "--wan", &v)) {
+      for (auto& r : *runs) r.wan = true;
     } else {
       std::fprintf(stderr, "%s:%d: unknown per-run flag '%s'\n",
                    cli.seed_file.c_str(), lineno, flag.c_str());
@@ -354,6 +360,7 @@ PlannedRun planned_run_of(const CliOptions& cli,
   run.inject_quorum_bug = cli.inject_quorum_bug;
   run.restarts = cli.restarts;
   run.inject_persistence_bug = cli.inject_persistence_bug;
+  run.wan = cli.wan;
   return run;
 }
 
@@ -368,6 +375,7 @@ chaos::RunOptions run_options_of(const CliOptions& cli,
   opt.compaction_log_cap = run.compaction_cap;
   opt.crash_restarts = run.restarts;
   opt.inject_persistence_bug = run.inject_persistence_bug;
+  opt.wan = run.wan;
   return opt;
 }
 
@@ -387,6 +395,7 @@ int run_evolution(const CliOptions& cli,
   eopt.base.compaction_log_cap = cli.compaction_cap;
   eopt.base.crash_restarts = cli.restarts;
   eopt.base.inject_persistence_bug = cli.inject_persistence_bug;
+  eopt.base.wan = cli.wan;
 
   // Seed the population from --seed-file entries: explicit schedule blocks
   // verbatim, seed lines expanded exactly as run_one would expand them.
@@ -488,6 +497,8 @@ int main(int argc, char** argv) {
       cli.restarts = true;
     } else if (parse_flag(argv[i], "--inject-persistence-bug", &v)) {
       cli.inject_persistence_bug = true;
+    } else if (parse_flag(argv[i], "--wan", &v)) {
+      cli.wan = true;
     } else if (parse_flag(argv[i], "--corpus-out", &v) && v != nullptr) {
       cli.corpus_out = v;
     } else if (parse_flag(argv[i], "--corpus-size", &v) && v != nullptr) {
