@@ -19,6 +19,17 @@ uint64_t op_key(const kv::Command& cmd) {
          cmd.seq;
 }
 
+/// harness::Cluster as the one-group GroupView it is.
+GroupView view_of(harness::Cluster& cluster) {
+  GroupView v;
+  v.num_replicas = cluster.num_replicas();
+  v.replica_up = [&cluster](int i) { return cluster.replica_up(i); };
+  v.server = [&cluster](int i) -> harness::ReplicaServer& {
+    return cluster.server(i);
+  };
+  return v;
+}
+
 }  // namespace
 
 std::string InvariantChecker::describe(const kv::Command& cmd) {
@@ -268,10 +279,14 @@ void InvariantChecker::on_restart(NodeId replica,
 }
 
 void InvariantChecker::sample_memory(harness::Cluster& cluster) {
+  sample_memory(view_of(cluster));
+}
+
+void InvariantChecker::sample_memory(const GroupView& view) {
   if (memory_cap_ == 0) return;
-  for (int i = 0; i < cluster.num_replicas(); ++i) {
-    if (!cluster.replica_up(i)) continue;  // crashed, awaiting restart
-    auto* ls = dynamic_cast<harness::LogServer*>(&cluster.server(i));
+  for (int i = 0; i < view.num_replicas; ++i) {
+    if (!view.replica_up(i)) continue;  // crashed, awaiting restart
+    auto* ls = dynamic_cast<harness::LogServer*>(&view.server(i));
     if (ls == nullptr) continue;
     const size_t compactable = ls->node_iface().compactable_entries();
     if (compactable > memory_cap_) {
@@ -286,7 +301,11 @@ void InvariantChecker::sample_memory(harness::Cluster& cluster) {
 }
 
 void InvariantChecker::finalize(harness::Cluster& cluster) {
-  sample_memory(cluster);  // one last bounded-memory check on the quiesced world
+  finalize(view_of(cluster));
+}
+
+void InvariantChecker::finalize(const GroupView& view) {
+  sample_memory(view);  // one last bounded-memory check on the quiesced world
 
   // ---- Replay the agreed log and derive the linearized KV history. -------
   // Reads are logged by every baseline in the repo, so the agreed log IS the
@@ -380,8 +399,8 @@ void InvariantChecker::finalize(harness::Cluster& cluster) {
   // ---- Convergence: after the fault-free tail, everyone caught up. -------
   uint64_t fp0 = 0;
   bool have_fp0 = false;
-  for (int i = 0; i < cluster.num_replicas(); ++i) {
-    if (!cluster.replica_up(i)) {
+  for (int i = 0; i < view.num_replicas; ++i) {
+    if (!view.replica_up(i)) {
       char buf[96];
       std::snprintf(buf, sizeof(buf),
                     "replica %d still down after quiesce (restart never ran)",
@@ -389,7 +408,7 @@ void InvariantChecker::finalize(harness::Cluster& cluster) {
       violation(buf);
       continue;
     }
-    const auto& server = cluster.server(i);
+    const auto& server = view.server(i);
     const auto st = replicas_.find(server.id());
     const consensus::LogIndex applied =
         st == replicas_.end() ? 0 : st->second.last_applied;

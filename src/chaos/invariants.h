@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -14,9 +15,20 @@
 
 namespace praft::harness {
 class Cluster;
+class ReplicaServer;
 }
 
 namespace praft::chaos {
+
+/// A checker's view of ONE replica group, decoupled from what owns the
+/// replicas. harness::Cluster is one group by construction; a sharded
+/// deployment builds one view per group so the same end-of-run invariants
+/// (convergence, linearizability, bounded memory) run per group unchanged.
+struct GroupView {
+  int num_replicas = 0;
+  std::function<bool(int)> replica_up;                    // by member index
+  std::function<harness::ReplicaServer&(int)> server;     // up members only
+};
 
 /// Streaming cross-protocol invariant checker. The paper's structural-
 /// parallelism claim means every protocol in the repo must satisfy the same
@@ -92,10 +104,12 @@ class InvariantChecker {
   /// simulator callback, between events — the compaction trigger runs
   /// synchronously with apply advances, so between events the cap holds).
   void sample_memory(harness::Cluster& cluster);
+  void sample_memory(const GroupView& view);
 
   /// End-of-run checks: replica convergence and client-visible
   /// linearizability of the whole KV history against the agreed log.
   void finalize(harness::Cluster& cluster);
+  void finalize(const GroupView& view);
 
   [[nodiscard]] bool ok() const { return violations_.empty(); }
   [[nodiscard]] const std::vector<std::string>& violations() const {

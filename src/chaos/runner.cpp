@@ -8,6 +8,8 @@
 #include "common/check.h"
 #include "harness/cluster.h"
 #include "harness/log_server.h"
+#include "shard/shard_invariants.h"
+#include "shard/sharded_cluster.h"
 
 namespace praft::chaos {
 
@@ -103,6 +105,314 @@ void arm_event(const FaultEvent& e, harness::Cluster& cluster,
   }
 }
 
+// ---- Sharded chaos: machine-level faults over N groups. -------------------
+
+/// Fault context into every group's trace: a machine fault concerns all of
+/// them.
+void note_all(std::vector<std::unique_ptr<InvariantChecker>>& chks,
+              const std::string& event) {
+  for (auto& chk : chks) chk->note(event);
+}
+
+/// Machine currently hosting the plurality of group leaders, or a
+/// deterministic fallback when nobody leads at this instant.
+int resolve_leader_machine(shard::ShardedCluster& cluster, Time at) {
+  std::vector<int> votes(static_cast<size_t>(cluster.num_machines()), 0);
+  for (int g = 0; g < cluster.num_groups(); ++g) {
+    const int l = cluster.leader_of(g);
+    if (l >= 0) ++votes[static_cast<size_t>(cluster.member_machine(g, l))];
+  }
+  int best = -1;
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    if (votes[static_cast<size_t>(m)] > 0 &&
+        (best < 0 ||
+         votes[static_cast<size_t>(m)] > votes[static_cast<size_t>(best)])) {
+      best = m;
+    }
+  }
+  if (best >= 0) return best;
+  return static_cast<int>(static_cast<uint64_t>(at) %
+                          static_cast<uint64_t>(cluster.num_machines()));
+}
+
+/// Machine-level arm_event: the schedule's replica indices name MACHINES,
+/// and each window applies to every group replica the machine hosts — one
+/// fault stresses several groups at once, which is the sharded failure mode
+/// single-group chaos can't reach.
+void arm_event_sharded(const FaultEvent& e, shard::ShardedCluster& cluster,
+                       std::vector<std::unique_ptr<InvariantChecker>>& chks) {
+  auto& faults = cluster.net().faults();
+  switch (e.kind) {
+    case FaultEvent::Kind::kDropBurst:
+      faults.drop_burst(e.p, e.from, e.to);
+      return;
+    case FaultEvent::Kind::kPartitionPair:
+      // Cut every cross-machine pair: co-located replicas of DIFFERENT
+      // groups never talk anyway, and same-machine traffic is untouched.
+      for (NodeId a : cluster.machine_node_ids(e.a)) {
+        for (NodeId b : cluster.machine_node_ids(e.b)) {
+          faults.partition_pair(a, b, e.from, e.to);
+        }
+      }
+      return;
+    case FaultEvent::Kind::kIsolate:
+      for (NodeId id : cluster.machine_node_ids(e.a)) {
+        faults.isolate(id, e.from, e.to);
+      }
+      return;
+    case FaultEvent::Kind::kCrash:
+      for (NodeId id : cluster.machine_node_ids(e.a)) {
+        faults.crash(id, e.from, e.to);
+      }
+      return;
+    case FaultEvent::Kind::kCrashRestart: {
+      cluster.sim().at(e.from, [&cluster, &chks, e] {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "crash (destroy) -> machine %d (%s)",
+                      e.a, e.describe().c_str());
+        note_all(chks, buf);
+        cluster.crash_machine(e.a);
+      });
+      cluster.sim().at(e.to, [&cluster, e] { cluster.restart_machine(e.a); });
+      return;
+    }
+    case FaultEvent::Kind::kLeaderCrash:
+    case FaultEvent::Kind::kLeaderIsolate: {
+      const bool is_crash = e.kind == FaultEvent::Kind::kLeaderCrash;
+      cluster.sim().at(e.from, [&cluster, &chks, e, is_crash] {
+        const int victim = resolve_leader_machine(cluster, e.from);
+        auto& plan = cluster.net().faults();
+        for (NodeId id : cluster.machine_node_ids(victim)) {
+          if (is_crash) {
+            plan.crash(id, e.from, e.to);
+          } else {
+            plan.isolate(id, e.from, e.to);
+          }
+        }
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "%s -> machine %d (%s)",
+                      is_crash ? "leader_crash" : "leader_isolate", victim,
+                      e.describe().c_str());
+        note_all(chks, buf);
+      });
+      return;
+    }
+    case FaultEvent::Kind::kLeaderMinority: {
+      cluster.sim().at(e.from, [&cluster, &chks, e] {
+        const int victim = resolve_leader_machine(cluster, e.from);
+        const int m = cluster.num_machines();
+        const int kept = (victim + 1) % m;
+        auto& plan = cluster.net().faults();
+        for (int p = 0; p < m; ++p) {
+          if (p == victim || p == kept) continue;
+          for (NodeId a : cluster.machine_node_ids(victim)) {
+            for (NodeId b : cluster.machine_node_ids(p)) {
+              plan.partition_pair(a, b, e.from, e.to);
+            }
+          }
+        }
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "leader_minority -> machine %d penned with %d (%s)",
+                      victim, kept, e.describe().c_str());
+        note_all(chks, buf);
+      });
+      return;
+    }
+  }
+}
+
+[[nodiscard]] GroupView view_of_group(shard::ShardedCluster& cluster, int g) {
+  GroupView v;
+  v.num_replicas = cluster.replicas_per_group();
+  v.replica_up = [&cluster, g](int j) { return cluster.replica_up(g, j); };
+  v.server = [&cluster, g](int j) -> harness::ReplicaServer& {
+    return cluster.server(g, j);
+  };
+  return v;
+}
+
+/// The sharded twin of run_one: same schedule, same timing profiles, but
+/// N independent groups over `num_replicas` machines (every machine hosts a
+/// replica of every group), machine-level faults, per-group invariant
+/// checkers and the cross-group routing invariant on top.
+RunResult run_one_sharded(const RunOptions& opt, const Schedule& sched,
+                          Time faults_end) {
+  RunResult res;
+  res.protocol = opt.protocol;
+  res.seed = sched.seed;
+  res.schedule = sched.describe();
+
+  const bool durability_armed =
+      opt.crash_restarts || opt.inject_persistence_bug;
+
+  shard::ShardedClusterConfig cfg;
+  cfg.num_groups = opt.groups;
+  cfg.num_machines = opt.num_replicas;
+  cfg.replicas_per_group = opt.num_replicas;  // every machine, every group
+  cfg.spread_leaders = true;
+  cfg.protocols = {opt.protocol};
+  cfg.seed = sched.seed;
+
+  consensus::TimingOptions timing;
+  timing.election_timeout_min = msec(300);
+  timing.election_timeout_max = msec(600);
+  timing.heartbeat_interval = msec(60);
+  if (opt.wan) {
+    timing.election_timeout_min = msec(1200);
+    timing.election_timeout_max = msec(2400);
+    timing.heartbeat_interval = msec(150);
+  }
+  if (opt.inject_quorum_bug) {
+    timing.unsafe_commit_quorum = opt.num_replicas / 2;
+  }
+  timing.compaction_log_cap = opt.compaction_log_cap;
+  if (durability_armed) {
+    timing.fsync_duration = opt.fsync;
+    timing.sync_batch_delay = opt.sync_batch;
+  }
+  if (opt.inject_persistence_bug) timing.unsafe_skip_vote_fsync = true;
+  cfg.timing = timing;
+
+  shard::ShardedCluster cluster(std::move(cfg));
+  cluster.build();
+
+  // One full InvariantChecker per group — group logs are independent, so
+  // agreement/watermark/linearizability state must not mix — plus the
+  // cross-group checker watching the seams.
+  std::vector<std::unique_ptr<InvariantChecker>> chks;
+  shard::CrossGroupChecker xchk(cluster.map());
+  for (int g = 0; g < cluster.num_groups(); ++g) {
+    chks.push_back(std::make_unique<InvariantChecker>());
+    InvariantChecker& chk = *chks.back();
+    cluster.install_apply_probe(
+        g, [&chk, &xchk, g](NodeId r, consensus::LogIndex i,
+                            const kv::Command& c) {
+          chk.on_apply(r, i, c);
+          xchk.on_apply(g, r, i, c);
+        });
+    cluster.install_watermark_probe(
+        g, [&chk](NodeId r, consensus::LogIndex commit,
+                  consensus::LogIndex applied) {
+          chk.on_watermark(r, commit, applied);
+        });
+    cluster.install_snapshot_probe(
+        g, [&chk](NodeId r, consensus::LogIndex idx, uint64_t fp) {
+          chk.on_snapshot_install(r, idx, fp);
+        });
+    cluster.install_hard_state_probe(
+        g, [&chk](NodeId r, const consensus::HardState& hs) {
+          chk.on_sent_state(r, hs);
+        });
+    cluster.set_restart_probe(
+        g, [&chk](NodeId r, const consensus::HardState& recovered,
+                  const storage::RecoveryStats& stats,
+                  consensus::LogIndex applied) {
+          chk.on_restart(r, recovered, stats, applied);
+        });
+  }
+  // One reply probe observes every client; replies are checked against the
+  // owning group's agreed log.
+  cluster.install_reply_probe([&chks](int g, const kv::Command& cmd,
+                                      uint64_t value, bool ok, Time, Time) {
+    chks[static_cast<size_t>(g)]->on_reply(cmd, value, ok);
+  });
+
+  if (opt.compaction_log_cap > 0) {
+    const Time end = faults_end + sec(1) + opt.quiesce;
+    for (auto& chk : chks) chk->set_memory_cap(opt.compaction_log_cap);
+    for (Time t = msec(500); t < end; t += msec(500)) {
+      cluster.sim().at(t, [&cluster, &chks] {
+        for (int g = 0; g < cluster.num_groups(); ++g) {
+          chks[static_cast<size_t>(g)]->sample_memory(view_of_group(cluster, g));
+        }
+      });
+    }
+  }
+
+  // Coverage: leadership handoffs summed across groups, sampled between
+  // events.
+  uint64_t leader_changes = 0;
+  if (!cluster.server(0, 0).leaderless()) {
+    auto last = std::make_shared<std::vector<int>>(
+        static_cast<size_t>(cluster.num_groups()), -1);
+    const Time end = faults_end + sec(1) + opt.quiesce;
+    for (Time t = msec(100); t < end; t += msec(100)) {
+      cluster.sim().at(t, [&cluster, &leader_changes, last] {
+        for (int g = 0; g < cluster.num_groups(); ++g) {
+          const int now_leader = cluster.leader_of(g);
+          auto& prev = (*last)[static_cast<size_t>(g)];
+          if (now_leader >= 0 && now_leader != prev) {
+            if (prev >= 0) ++leader_changes;
+            prev = now_leader;
+          }
+        }
+      });
+    }
+  }
+
+  auto& faults = cluster.net().faults();
+  faults.set_drop_rate(sched.drop_rate);
+  faults.set_duplicate_rate(sched.duplicate_rate);
+  faults.set_reorder_rate(sched.reorder_rate);
+  for (const FaultEvent& e : sched.events) arm_event_sharded(e, cluster, chks);
+
+  // Warm-up: every group's preferred leader, in parallel, before the fault
+  // windows open.
+  if (!cluster.server(0, 0).leaderless()) {
+    cluster.establish_leaders(sec(10));
+  } else {
+    cluster.run_for(msec(500));
+  }
+  cluster.add_clients(sched.clients_per_region, sched.workload,
+                      cluster.sim().now());
+
+  cluster.run_until(faults_end + sec(1));
+  note_all(chks, "faults over; draining clients");
+  cluster.stop_clients();
+  cluster.run_for(opt.quiesce);
+
+  res.ok = true;
+  for (int g = 0; g < cluster.num_groups(); ++g) {
+    InvariantChecker& chk = *chks[static_cast<size_t>(g)];
+    chk.finalize(view_of_group(cluster, g));
+    if (!chk.ok()) {
+      res.ok = false;
+      for (const std::string& v : chk.violations()) {
+        res.violations.push_back("[group " + std::to_string(g) + "] " + v);
+      }
+      if (res.trace.empty()) res.trace = chk.trace();
+    }
+    res.log_length = std::max<int64_t>(res.log_length, chk.max_applied());
+    res.client_ops += chk.client_ops();
+    res.snapshot_installs += chk.snapshot_installs();
+    res.restarts += chk.restarts();
+  }
+  if (!xchk.ok()) {
+    res.ok = false;
+    for (const std::string& v : xchk.violations()) {
+      res.violations.push_back("[cross-group] " + v);
+    }
+  }
+  res.leader_changes = leader_changes;
+  res.revocations = static_cast<uint64_t>(cluster.retired_revocations());
+  res.pipeline_rollbacks =
+      static_cast<uint64_t>(cluster.retired_pipeline_rollbacks());
+  for (int g = 0; g < cluster.num_groups(); ++g) {
+    for (int j = 0; j < cluster.replicas_per_group(); ++j) {
+      if (!cluster.replica_up(g, j)) continue;
+      auto* ls = dynamic_cast<harness::LogServer*>(&cluster.server(g, j));
+      if (ls != nullptr) {
+        res.revocations +=
+            static_cast<uint64_t>(ls->node_iface().revocations_started());
+        res.pipeline_rollbacks +=
+            static_cast<uint64_t>(ls->node_iface().pipeline_rollbacks());
+      }
+    }
+  }
+  return res;
+}
+
 }  // namespace
 
 ScheduleLimits effective_limits(const RunOptions& opt) {
@@ -172,6 +482,15 @@ RunResult run_one(const RunOptions& opt) {
     if (opt.crash_restarts) res.repro += " --restarts";
     if (opt.inject_persistence_bug) res.repro += " --inject-persistence-bug";
     if (opt.wan) res.repro += " --wan";
+    if (opt.groups > 1) {
+      std::snprintf(buf, sizeof(buf), " --groups=%d", opt.groups);
+      res.repro += buf;
+    }
+  }
+  if (opt.groups > 1) {
+    RunResult sharded = run_one_sharded(opt, sched, faults_end);
+    sharded.repro = res.repro;
+    return sharded;
   }
   const bool durability_armed =
       opt.crash_restarts || opt.inject_persistence_bug;

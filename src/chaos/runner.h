@@ -15,6 +15,14 @@ struct RunOptions {
   std::string protocol = "raft";   // any consensus::ProtocolRegistry name
   uint64_t seed = 1;
   int num_replicas = 5;
+  /// Consensus groups. 1 runs the classic single-group cluster; > 1 runs a
+  /// sharded deployment of `groups` independent groups over `num_replicas`
+  /// machines (every machine hosts one replica of every group, so each fault
+  /// window hits replicas serving several groups at once). Faults then
+  /// target MACHINES: the schedule's replica indices are machine indices,
+  /// and crash/partition/isolate windows apply to every co-located replica.
+  /// Invariants run per group, plus the cross-group routing invariant.
+  int groups = 1;
   /// Arms TimingOptions::unsafe_commit_quorum = n/2 (commit without a true
   /// majority) to prove the invariant checker catches real violations.
   bool inject_quorum_bug = false;

@@ -83,13 +83,27 @@ class Batcher {
     }
   }
 
+  /// True when the leader may accept another submission: below the
+  /// batch_backpressure_bytes cap on pending + in-flight bytes (or the cap
+  /// is disabled). Protocols consult this before queueing a client command —
+  /// a full pipe turns submit() into a temporary -1 (the same "not now"
+  /// answer a non-leader gives), which the harness already retries, so a
+  /// slow follower stalls clients instead of bloating leader memory.
+  [[nodiscard]] bool can_accept() const {
+    return opt_.batch_backpressure_bytes == 0 ||
+           pending_bytes_ + inflight_bytes_ < opt_.batch_backpressure_bytes;
+  }
+
   /// Invalidates every armed flush (deposed leader / crashed node): already
-  /// scheduled closures become no-ops when they fire.
+  /// scheduled closures become no-ops when they fire. In-flight accounting
+  /// resets too — the reign whose flushes we were tracking is over, and a
+  /// stale in-flight count must not wedge can_accept() for a later reign.
   void cancel() {
     ++epoch_;
     scheduled_ = false;
     expedited_ = false;
     pending_bytes_ = 0;
+    inflight_bytes_ = 0;
   }
 
   /// Progress report from the protocol's commit/chosen/decide path: `bytes`

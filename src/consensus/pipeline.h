@@ -37,11 +37,23 @@ namespace praft::consensus {
 /// (stop-and-wait) — the pre-pipeline behavior, kept as the bench baseline.
 ///
 /// Loss detection: when the oldest outstanding batch has waited longer than
-/// `pipeline_retransmit_timeout`, `retransmit_due` reports the peer; the
-/// protocol calls `on_loss`, which clears the peer's outstanding set, halves
-/// the window, and returns the lowest un-acked position — the retransmit
-/// probe restarts from there. This replaces the blanket
-/// resend-everything-per-tick loss recovery the protocols used before.
+/// the retransmit timeout, `retransmit_due` reports the peer; the protocol
+/// calls `on_loss`, which clears the peer's outstanding set, halves the
+/// window, and returns the lowest un-acked position — the retransmit probe
+/// restarts from there. This replaces the blanket resend-everything-per-tick
+/// loss recovery the protocols used before.
+///
+/// The timeout is RTT-adaptive (Jacobson/Karels, RFC 6298 shape): acks that
+/// retire batches feed a per-peer smoothed RTT + variance, and the effective
+/// timeout is max(pipeline_retransmit_timeout, srtt + 4 * rttvar). The
+/// configured fixed value is a *floor*, never shortened — healthy links keep
+/// today's probe behavior exactly, while a peer whose acks legitimately slow
+/// down (saturated CPU, deep queues) stops tripping spurious probes and the
+/// window-halvings they cause. Karn's ambiguity (an ack arriving after a
+/// retransmission could match either copy) is tolerable here precisely
+/// because samples can only ever *raise* the timeout above the floor: on_loss
+/// clears the outstanding set, so post-retransmit acks for cleared batches
+/// retire nothing and are never sampled.
 ///
 /// Pure bookkeeping: no timers, no I/O, no protocol state. Protocols call
 /// the hooks from their existing send/reply/tick paths.
@@ -52,7 +64,8 @@ class PeerPipeline {
         max_batches_(opt.pipeline_max_batches),
         window_max_(opt.pipeline_inflight_bytes),
         window_min_(std::max<size_t>(1, opt.pipeline_inflight_bytes / 16)),
-        retransmit_timeout_(opt.pipeline_retransmit_timeout) {}
+        retransmit_timeout_(opt.pipeline_retransmit_timeout),
+        rto_adaptive_(opt.pipeline_rto_adaptive) {}
 
   /// True when `peer` has room for one more batch. Always true with nothing
   /// outstanding (progress guarantee).
@@ -76,14 +89,21 @@ class PeerPipeline {
 
   /// Cumulative ack: retires every outstanding batch whose end position is
   /// <= `upto` and grows the window additively. Duplicate and stale acks
-  /// (already-retired coverage) are no-ops.
-  void on_ack(NodeId peer, LogIndex upto) {
+  /// (already-retired coverage) are no-ops. When `now` is supplied (>= 0) the
+  /// youngest retired batch contributes an RTT sample to the peer's smoothed
+  /// estimate — the youngest, not the oldest, because a cumulative ack may
+  /// retire a whole run of batches at once and only the last one's
+  /// send-to-ack span measures the current round-trip rather than queueing
+  /// behind earlier batches.
+  void on_ack(NodeId peer, LogIndex upto, Time now = -1) {
     auto it = peers_.find(peer);
     if (it == peers_.end()) return;
     Peer& p = it->second;
     bool retired = false;
+    Time sent_at = -1;
     while (!p.sent.empty() && p.sent.front().hi <= upto) {
       p.inflight_bytes -= std::min(p.inflight_bytes, p.sent.front().bytes);
+      sent_at = p.sent.front().at;
       p.sent.pop_front();
       retired = true;
     }
@@ -91,6 +111,7 @@ class PeerPipeline {
     if (retired) {
       ++acks_;
       p.window = std::min(window_max_, p.window + window_max_ / 8);
+      if (now >= 0 && now >= sent_at) sample_rtt(p, now - sent_at);
     }
   }
 
@@ -106,11 +127,11 @@ class PeerPipeline {
   }
 
   /// True when `peer`'s oldest outstanding batch has waited past the
-  /// retransmit timeout — the loss-detection probe trigger.
+  /// (RTT-adaptive) retransmit timeout — the loss-detection probe trigger.
   [[nodiscard]] bool retransmit_due(NodeId peer, Time now) const {
     auto it = peers_.find(peer);
     if (it == peers_.end() || it->second.sent.empty()) return false;
-    return now - it->second.sent.front().at >= retransmit_timeout_;
+    return now - it->second.sent.front().at >= rto_of(it->second);
   }
 
   /// Loss handling: clears the outstanding set, halves the window, and
@@ -142,6 +163,17 @@ class PeerPipeline {
     auto it = peers_.find(peer);
     return it == peers_.end() ? window_max_ : it->second.window;
   }
+  /// Effective retransmit timeout for `peer`: the configured floor until the
+  /// first RTT sample, max(floor, srtt + 4 * rttvar) after.
+  [[nodiscard]] Duration rto(NodeId peer) const {
+    auto it = peers_.find(peer);
+    return it == peers_.end() ? retransmit_timeout_ : rto_of(it->second);
+  }
+  /// Smoothed RTT estimate for `peer` (0 before the first sample).
+  [[nodiscard]] Duration srtt(NodeId peer) const {
+    auto it = peers_.find(peer);
+    return it == peers_.end() || !it->second.rtt_seen ? 0 : it->second.srtt;
+  }
 
   /// Window rollbacks (rejects + loss probes) — a chaos coverage signal:
   /// schedules that force the pipeline to unwind explore the rare paths.
@@ -160,6 +192,10 @@ class PeerPipeline {
     std::deque<Sent> sent;  // oldest first; acks retire from the front
     size_t inflight_bytes = 0;
     size_t window = 0;  // initialized to window_max_ by touch()
+    // Jacobson/Karels RTT estimator state (microseconds, like all Time).
+    Duration srtt = 0;
+    Duration rttvar = 0;
+    bool rtt_seen = false;
   };
 
   /// Peer state, created open (window starts at the max; AIMD shrinks it on
@@ -176,11 +212,34 @@ class PeerPipeline {
     p.window = std::max(window_min_, p.window / 2);
   }
 
+  /// RFC 6298 update: first sample seeds srtt = R, rttvar = R/2; after that
+  /// rttvar = 3/4 rttvar + 1/4 |srtt - R| and srtt = 7/8 srtt + 1/8 R.
+  /// The RTT estimate converges even while the timeout stays pinned at the
+  /// configured floor — only samples larger than the floor move the
+  /// effective timeout.
+  static void sample_rtt(Peer& p, Duration r) {
+    if (!p.rtt_seen) {
+      p.srtt = r;
+      p.rttvar = r / 2;
+      p.rtt_seen = true;
+      return;
+    }
+    const Duration err = p.srtt > r ? p.srtt - r : r - p.srtt;
+    p.rttvar = (3 * p.rttvar + err) / 4;
+    p.srtt = (7 * p.srtt + r) / 8;
+  }
+
+  [[nodiscard]] Duration rto_of(const Peer& p) const {
+    if (!rto_adaptive_ || !p.rtt_seen) return retransmit_timeout_;
+    return std::max(retransmit_timeout_, p.srtt + 4 * p.rttvar);
+  }
+
   bool pipeline_;
   size_t max_batches_;
   size_t window_max_;
   size_t window_min_;
   Duration retransmit_timeout_;
+  bool rto_adaptive_;
   std::unordered_map<NodeId, Peer> peers_;
   int64_t rollbacks_ = 0;
   int64_t sends_ = 0;

@@ -47,6 +47,13 @@ struct TimingOptions {
   Duration batch_delay_max = msec(8);
   /// In-flight byte window for the AIMD controller. 0 = 4 * batch_flush_bytes.
   size_t batch_inflight_window = 0;
+  /// Leader-memory backpressure cap: when > 0, the Batcher stops accepting
+  /// new submissions (can_accept() goes false, protocols return -1 from
+  /// submit and the harness retries the client op later) once
+  /// pending + in-flight bytes reach this bound — a slow or partitioned
+  /// follower can stall the pipe, but it cannot bloat the leader's pending
+  /// queue unboundedly. 0 disables the cap.
+  size_t batch_backpressure_bytes = 8 * 1024 * 1024;
   /// Replication pipelining (consensus::PeerPipeline): when on, a leader
   /// keeps multiple replication batches in flight per peer — up to
   /// pipeline_max_batches batches and an AIMD-adapted byte window capped at
@@ -67,6 +74,14 @@ struct TimingOptions {
   /// blanket per-tick resends. Default sits above the worst modeled WAN RTT
   /// (aws5 tops out at 292 ms) so healthy links never probe spuriously.
   Duration pipeline_retransmit_timeout = msec(600);
+  /// RTT-adaptive loss detection (Jacobson/Karels): when on, each peer keeps
+  /// a smoothed RTT + variance from ack round-trips and the effective
+  /// retransmit timeout becomes max(pipeline_retransmit_timeout,
+  /// srtt + 4 * rttvar) — the fixed value above stays as the floor (and the
+  /// fallback before the first sample), so healthy links never probe earlier
+  /// than today; links whose acks legitimately slow down (CPU saturation,
+  /// long queues) stop probing spuriously.
+  bool pipeline_rto_adaptive = true;
   /// Recovery-burst cap: loss-recovery retransmissions (Paxos re-proposes,
   /// Mencius StatusBeat retransmits) send at most this many entries per
   /// tick — deliberately smaller than the steady-state packetization cap so

@@ -5,8 +5,9 @@
 namespace praft::harness {
 
 NodeHost::NodeHost(sim::Simulator& sim, sim::Network& net, SiteId site,
-                   double egress_bytes_per_us)
-    : sim_(sim), net_(net), site_(site), rng_(sim.rng().split()) {
+                   double egress_bytes_per_us, sim::SerialResource* shared_cpu)
+    : sim_(sim), net_(net), site_(site), rng_(sim.rng().split()),
+      cpu_res_(shared_cpu != nullptr ? shared_cpu : &cpu_) {
   id_ = net_.add_node(site, [this](net::Packet&& p) { deliver(std::move(p)); },
                       egress_bytes_per_us);
 }
@@ -18,7 +19,7 @@ void NodeHost::deliver(net::Packet&& p) {
     handler_->handle(p);
     return;
   }
-  const Time done = cpu_.enqueue(sim_.now(), cost);
+  const Time done = cpu_res_->enqueue(sim_.now(), cost);
   // The packet waits in the CPU queue; processing completes at `done`. The
   // closure owns the packet outright (the event queue takes move-only
   // callables), so no extra heap allocation rides the hot path.

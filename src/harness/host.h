@@ -26,10 +26,17 @@ class PacketHandler {
 /// Binds one simulated machine: a network endpoint, a serial CPU and the
 /// sans-io Env a protocol node talks to. Delivery order: network -> CPU
 /// queue (service time from the handler's cost model) -> handle().
+///
+/// A host normally owns its CPU (one endpoint == one machine). When
+/// `shared_cpu` is supplied, service time is billed against that external
+/// resource instead — several endpoints then contend for one serial CPU,
+/// which is how the shard layer models multiple consensus-group replicas
+/// co-located on one physical machine.
 class NodeHost final : public consensus::Env {
  public:
   NodeHost(sim::Simulator& sim, sim::Network& net, SiteId site,
-           double egress_bytes_per_us = 0.0);
+           double egress_bytes_per_us = 0.0,
+           sim::SerialResource* shared_cpu = nullptr);
 
   void attach(PacketHandler* handler) { handler_ = handler; }
   /// Unbinds the handler (packets in flight are dropped, like a crash).
@@ -43,7 +50,7 @@ class NodeHost final : public consensus::Env {
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] SiteId site() const { return site_; }
-  [[nodiscard]] Duration cpu_busy() const { return cpu_.busy_time(); }
+  [[nodiscard]] Duration cpu_busy() const { return cpu_res_->busy_time(); }
 
   // consensus::Env
   [[nodiscard]] Time now() const override { return sim_.now(); }
@@ -65,7 +72,8 @@ class NodeHost final : public consensus::Env {
   SiteId site_;
   NodeId id_;
   Rng rng_;
-  sim::SerialResource cpu_;
+  sim::SerialResource cpu_;            // owned CPU (the default)
+  sim::SerialResource* cpu_res_;       // &cpu_, or the shared machine CPU
   PacketHandler* handler_ = nullptr;
   uint64_t sched_epoch_ = 0;
 };

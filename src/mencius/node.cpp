@@ -96,6 +96,11 @@ LogIndex MenciusNode::own_decided_floor() const {
 // ---------------------------------------------------------------------------
 
 LogIndex MenciusNode::submit(const kv::Command& cmd) {
+  // Backpressure: a full replication pipe refuses new submissions (temporary
+  // -1, retried by the harness). A backpressured re-propose (the
+  // on_accept_own_rej path) drops the command until the client retries —
+  // the same outcome as losing the original Accept.
+  if (!batcher_.can_accept()) return -1;
   // A revocation may have consumed own slots we never proposed on (it
   // sweeps the whole range, unused turns included) — without this skip a
   // fresh proposal would stomp a decided slot and resurrect it at ballot 0.
@@ -574,7 +579,7 @@ void MenciusNode::on_accept_own_ok(const AcceptOwnOk& m) {
   // the tallies below.
   LogIndex acked = -1;
   for (LogIndex i : m.indexes) acked = std::max(acked, i);
-  if (acked >= 0) pipe_.on_ack(m.acceptor, acked);
+  if (acked >= 0) pipe_.on_ack(m.acceptor, acked, env_.now());
   for (LogIndex i : m.indexes) {
     Slot* s = slots_.find(i);
     if (s == nullptr) continue;
@@ -598,7 +603,7 @@ void MenciusNode::on_accept_own_rej(const AcceptOwnRej& m) {
   // revoker/learn paths, not a retransmit.
   LogIndex answered = -1;
   for (LogIndex i : m.indexes) answered = std::max(answered, i);
-  if (answered >= 0) pipe_.on_ack(m.acceptor, answered);
+  if (answered >= 0) pipe_.on_ack(m.acceptor, answered, env_.now());
   for (LogIndex i : m.indexes) {
     own_rev_floor_ = std::max(own_rev_floor_, i);
     Slot* s = slots_.find(i);

@@ -204,6 +204,9 @@ void PaxosNode::heartbeat_tick() {
 
 LogIndex PaxosNode::submit(const kv::Command& cmd) {
   if (!is_leader()) return -1;
+  // Backpressure: a full replication pipe refuses new submissions (temporary
+  // -1, retried by the harness) instead of growing pending_ unboundedly.
+  if (!batcher_.can_accept()) return -1;
   pending_.push_back(cmd);
   const LogIndex idx = next_propose_ + static_cast<LogIndex>(pending_.size()) - 1;
   batcher_.add_pending(cmd.wire_bytes());
@@ -359,7 +362,7 @@ void PaxosNode::on_accept_ok(const AcceptOkBatch& m) {
   if (!is_leader() || m.bal != ballot_) return;
   // Cumulative ack for the pipeline: the batch covering [start, start+count)
   // arrived and was durably accepted; reopen the window and refill it.
-  pipe_.on_ack(m.sender, m.start + m.count - 1);
+  pipe_.on_ack(m.sender, m.start + m.count - 1, env_.now());
   for (LogIndex k = 0; k < m.count; ++k) {
     const LogIndex i = m.start + k;
     if (i <= instances_.floor()) continue;  // chosen + compacted already

@@ -167,6 +167,10 @@ void RaftNode::become_leader() {
 
 LogIndex RaftNode::submit(const kv::Command& cmd) {
   if (role_ != Role::kLeader) return -1;
+  // Backpressure: a full replication pipe (batch_backpressure_bytes of
+  // pending + un-acked flushed data) refuses new submissions — the same
+  // temporary -1 a non-leader gives, which the harness retries later.
+  if (!batcher_.can_accept()) return -1;
   log_.append(Entry{term_, cmd});
   note_appended();
   batcher_.add_pending(wire::entry_bytes(cmd));
@@ -319,8 +323,9 @@ void RaftNode::on_append_reply(const AppendReply& m) {
   if (role_ != Role::kLeader || m.term != term_) return;
   if (m.ok) {
     // Cumulative ack: retires every in-flight batch the match index covers,
-    // reopening the peer's window for the refill below.
-    pipe_.on_ack(m.follower, m.match_index);
+    // reopening the peer's window for the refill below (and feeding the
+    // peer's RTT estimate for adaptive retransmit timeouts).
+    pipe_.on_ack(m.follower, m.match_index, env_.now());
     match_index_[m.follower] = std::max(match_index_[m.follower], m.match_index);
     next_index_[m.follower] =
         std::max(next_index_[m.follower], m.match_index + 1);
@@ -459,7 +464,7 @@ void RaftNode::on_install_reply(const InstallSnapshotReply& m) {
     return;
   }
   if (role_ != Role::kLeader || m.term != term_) return;
-  pipe_.on_ack(m.follower, m.last_index);
+  pipe_.on_ack(m.follower, m.last_index, env_.now());
   match_index_[m.follower] = std::max(match_index_[m.follower], m.last_index);
   next_index_[m.follower] =
       std::max(next_index_[m.follower], m.last_index + 1);

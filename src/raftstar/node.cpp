@@ -258,6 +258,9 @@ void RaftStarNode::become_leader() {
 
 LogIndex RaftStarNode::submit(const kv::Command& cmd) {
   if (role_ != Role::kLeader) return -1;
+  // Backpressure: a full replication pipe refuses new submissions (temporary
+  // -1, retried by the harness) instead of growing leader memory unboundedly.
+  if (!batcher_.can_accept()) return -1;
   store_entry(Entry{term_, cmd});
   note_appended();
   batcher_.add_pending(wire::entry_bytes(cmd));
@@ -418,8 +421,9 @@ void RaftStarNode::on_append_reply(const AppendReply& m) {
   }
   if (role_ != Role::kLeader || m.term != term_) return;
   if (m.ok) {
-    // Cumulative ack: retires every in-flight batch the match index covers.
-    pipe_.on_ack(m.follower, m.match_index);
+    // Cumulative ack: retires every in-flight batch the match index covers
+    // (and feeds the peer's RTT estimate for adaptive retransmit timeouts).
+    pipe_.on_ack(m.follower, m.match_index, env_.now());
     match_index_[m.follower] = std::max(match_index_[m.follower], m.match_index);
     next_index_[m.follower] =
         std::max(next_index_[m.follower], m.match_index + 1);
@@ -572,7 +576,7 @@ void RaftStarNode::on_install_reply(const InstallSnapshotReply& m) {
     return;
   }
   if (role_ != Role::kLeader || m.term != term_) return;
-  pipe_.on_ack(m.follower, m.last_index);
+  pipe_.on_ack(m.follower, m.last_index, env_.now());
   match_index_[m.follower] = std::max(match_index_[m.follower], m.last_index);
   next_index_[m.follower] =
       std::max(next_index_[m.follower], m.last_index + 1);

@@ -1,0 +1,62 @@
+#include "shard/client.h"
+
+namespace praft::shard {
+
+ShardClient::ShardClient(harness::NodeHost& host, const ShardRouter& router,
+                         kv::WorkloadGenerator gen, harness::Metrics& metrics,
+                         Options opt)
+    : host_(host), router_(router), gen_(std::move(gen)), metrics_(metrics),
+      opt_(opt) {
+  host_.attach(this);
+}
+
+void ShardClient::start() {
+  const Duration delay =
+      opt_.start_at > host_.now() ? opt_.start_at - host_.now() : 0;
+  // Same per-client jitter as the single-group client: no synchronized
+  // thundering herd at t=0.
+  host_.schedule(delay + static_cast<Duration>(host_.random() % 1000),
+                 [this] { issue_next(); });
+}
+
+void ShardClient::issue_next() {
+  if (stopped_) return;
+  current_ = gen_.next(host_.id(), next_seq_++);
+  in_flight_ = true;
+  transmit();
+}
+
+void ShardClient::transmit() {
+  sent_at_ = host_.now();
+  harness::ClientRequest req{current_};
+  host_.send(router_.target_of(current_.key), harness::Message{req},
+             harness::wire_size(req));
+  arm_retry(current_.seq);
+}
+
+void ShardClient::arm_retry(uint64_t seq) {
+  host_.schedule(opt_.retry_timeout, [this, seq] {
+    if (!stopped_ && in_flight_ && current_.seq == seq) {
+      ++retries_;
+      transmit();
+    }
+  });
+}
+
+void ShardClient::handle(const net::Packet& p) {
+  const auto* msg = net::payload_as<harness::Message>(p);
+  if (msg == nullptr) return;
+  const auto* reply = std::get_if<harness::ClientReply>(msg);
+  if (reply == nullptr || !in_flight_ || reply->seq != current_.seq) return;
+  in_flight_ = false;
+  ++completed_;
+  metrics_.record(host_.now(), host_.site(), current_.is_read(),
+                  host_.now() - sent_at_);
+  if (reply_probe_) {
+    reply_probe_(router_.group_of(current_.key), current_, reply->value,
+                 reply->ok, sent_at_, host_.now());
+  }
+  issue_next();
+}
+
+}  // namespace praft::shard

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "harness/client.h"
+#include "harness/host.h"
+#include "harness/metrics.h"
+#include "kv/workload.h"
+#include "shard/router.h"
+
+namespace praft::shard {
+
+/// Closed-loop client for a sharded deployment: identical discipline to
+/// harness::ClosedLoopClient (issue, wait, record, repeat, with a retry
+/// timer), except the destination is not one fixed server — every command
+/// is routed through the ShardRouter to the replica contact of the group
+/// that owns its key.
+class ShardClient final : public harness::PacketHandler {
+ public:
+  using Options = harness::ClientOptions;
+
+  ShardClient(harness::NodeHost& host, const ShardRouter& router,
+              kv::WorkloadGenerator gen, harness::Metrics& metrics,
+              Options opt = {});
+
+  void start();
+  void stop() { stopped_ = true; }
+  void handle(const net::Packet& p) override;
+
+  /// Trace hook: observes every accepted reply plus the group the command
+  /// was routed to (cross-group invariants pair this with apply traces).
+  using ReplyProbe = std::function<void(int group, const kv::Command& cmd,
+                                        uint64_t value, bool ok, Time sent_at,
+                                        Time recv_at)>;
+  void set_reply_probe(ReplyProbe probe) { reply_probe_ = std::move(probe); }
+
+  [[nodiscard]] uint64_t completed() const { return completed_; }
+  [[nodiscard]] uint64_t retries() const { return retries_; }
+
+ private:
+  void issue_next();
+  void transmit();
+  void arm_retry(uint64_t seq);
+
+  harness::NodeHost& host_;
+  const ShardRouter& router_;
+  kv::WorkloadGenerator gen_;
+  harness::Metrics& metrics_;
+  Options opt_;
+
+  kv::Command current_;
+  Time sent_at_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t completed_ = 0;
+  uint64_t retries_ = 0;
+  bool in_flight_ = false;
+  bool stopped_ = false;
+  ReplyProbe reply_probe_;
+};
+
+}  // namespace praft::shard

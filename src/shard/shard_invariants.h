@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "consensus/types.h"
+#include "kv/command.h"
+#include "shard/shard_map.h"
+
+namespace praft::shard {
+
+/// The invariant sharding adds ON TOP of per-group consensus: every client
+/// operation is applied in exactly the group that owns its key, and never in
+/// more than one group. Per-group safety (agreement, exactly-once apply,
+/// linearizability) is the existing chaos::InvariantChecker's job, run once
+/// per group; this checker watches the seams BETWEEN groups, where a
+/// routing bug, a mis-owned forward, or a stale shard map would not trip
+/// any single group's checker.
+class CrossGroupChecker {
+ public:
+  explicit CrossGroupChecker(ShardMap map) : map_(map) {}
+
+  /// Feed every (group, replica, index, command) apply across the whole
+  /// deployment. Noops (leader no-ops, Mencius skips) are group-internal
+  /// filler and carry no key.
+  void on_apply(int group, NodeId replica, consensus::LogIndex idx,
+                const kv::Command& cmd) {
+    if (cmd.is_noop()) return;
+    const int owner = map_.owner_of(cmd.key);
+    if (owner != group) {
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "op (c=%d, s=%llu) on key %llu applied in group %d at "
+                    "r=%d idx=%lld, but group %d owns the key",
+                    cmd.client, static_cast<unsigned long long>(cmd.seq),
+                    static_cast<unsigned long long>(cmd.key), group, replica,
+                    static_cast<long long>(idx), owner);
+      violation(buf);
+    }
+    // Exactly one group: replicas WITHIN a group all apply the same op (that
+    // is agreement working); the same (client, seq) surfacing in a second
+    // group means it was routed, forwarded or replayed across a shard
+    // boundary.
+    const uint64_t key = op_key(cmd);
+    auto [it, inserted] = seen_.try_emplace(key, group);
+    if (!inserted && it->second != group) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "op (c=%d, s=%llu) applied in group %d AND group %d "
+                    "(cross-group apply)",
+                    cmd.client, static_cast<unsigned long long>(cmd.seq),
+                    it->second, group);
+      violation(buf);
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+
+ private:
+  static uint64_t op_key(const kv::Command& cmd) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(cmd.client)) << 40) ^
+           cmd.seq;
+  }
+
+  void violation(std::string what) {
+    if (violations_.size() < 8) violations_.push_back(std::move(what));
+  }
+
+  ShardMap map_;
+  std::unordered_map<uint64_t, int> seen_;  // (client, seq) -> first group
+  std::vector<std::string> violations_;
+};
+
+}  // namespace praft::shard

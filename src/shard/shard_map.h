@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace praft::shard {
+
+/// Partitions the KV key space across N independent consensus groups.
+///
+/// This PR ships the hash strategy (a splitmix64 finalizer modulo N — a
+/// fixed, statistically balanced mapping with no coordination state), but
+/// the *interface* is the seam a range-split/rebalance layer plugs into
+/// later: routing and invariant code only ever ask `owner_of(key)`, never
+/// assume the mapping is a hash, and a future range map (with per-range
+/// epochs and movable boundaries) slots in behind the same call.
+class ShardMap {
+ public:
+  explicit ShardMap(int num_groups) : num_groups_(num_groups) {
+    PRAFT_CHECK(num_groups > 0);
+  }
+
+  [[nodiscard]] int num_groups() const { return num_groups_; }
+
+  /// The group that owns `key`. Deterministic, total, and stable for the
+  /// lifetime of the map — every router and every invariant checker sees
+  /// the same owner for the same key.
+  [[nodiscard]] int owner_of(uint64_t key) const {
+    return static_cast<int>(mix(key) % static_cast<uint64_t>(num_groups_));
+  }
+
+ private:
+  /// splitmix64 finalizer: sequential keys (the workload generator draws
+  /// from contiguous per-partition ranges) spread uniformly over groups.
+  static uint64_t mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  int num_groups_;
+};
+
+}  // namespace praft::shard

@@ -1,0 +1,207 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/group.h"
+#include "consensus/timing.h"
+#include "harness/client.h"
+#include "harness/cost_model.h"
+#include "harness/host.h"
+#include "harness/metrics.h"
+#include "harness/server.h"
+#include "kv/workload.h"
+#include "shard/client.h"
+#include "shard/router.h"
+#include "shard/shard_map.h"
+#include "sim/network.h"
+#include "sim/resources.h"
+#include "sim/simulator.h"
+#include "storage/wal.h"
+
+namespace praft::shard {
+
+/// World configuration for a sharded deployment: N independent consensus
+/// groups over M physical machines. Each group is a replicas_per_group-way
+/// replica set; each machine hosts one replica of every group placed on it,
+/// and all replicas co-located on a machine contend for that machine's one
+/// serial CPU (harness::NodeHost's shared-CPU mode) — co-locating leaders
+/// therefore costs real throughput, which is exactly what the placement
+/// ablation measures.
+struct ShardedClusterConfig {
+  int num_groups = 4;
+  int num_machines = 5;
+  int replicas_per_group = 5;
+  /// Leader/member placement. Spread (the default, Mencius-style balancing
+  /// at the group level): group g's members sit on machines
+  /// (g + j*stride) mod M, so its preferred leader machine is g mod M and
+  /// leaders land on distinct machines while N <= M. Co-located (the
+  /// ablation baseline): every group uses the same member machines, so all
+  /// preferred leaders pile onto machine 0.
+  bool spread_leaders = true;
+  /// Per-group consensus protocol, by registry name. One entry applies to
+  /// all groups; otherwise group g runs protocols[g % size].
+  std::vector<std::string> protocols = {"raft"};
+  consensus::TimingOptions timing;
+  sim::LatencyMatrix latency = sim::LatencyMatrix::aws5();
+  harness::CostModel costs;
+  uint64_t seed = 1;
+};
+
+/// Builds and owns a sharded deployment over ONE shared simulated runtime:
+/// a simulator + network, M machine CPUs, N groups of name-built replica
+/// servers (each group its own consensus::Group, DurableStores and
+/// independent leader), the ShardMap/ShardRouter client path, and sharded
+/// closed-loop clients. The per-group surface mirrors harness::Cluster
+/// (probes, crash/restart, leader queries) so chaos invariants run
+/// unchanged per group; machine-level crash/restart and fault targeting
+/// hit every group a machine serves at once.
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(ShardedClusterConfig cfg);
+
+  /// Creates machine CPUs, hosts and servers for every group, and starts
+  /// them. Call exactly once, before anything else.
+  void build();
+
+  // -- Topology ------------------------------------------------------------
+  [[nodiscard]] int num_groups() const { return cfg_.num_groups; }
+  [[nodiscard]] int num_machines() const { return cfg_.num_machines; }
+  [[nodiscard]] int replicas_per_group() const {
+    return cfg_.replicas_per_group;
+  }
+  /// Machine hosting member `j` of group `g` (the placement policy).
+  [[nodiscard]] int member_machine(int g, int j) const;
+  [[nodiscard]] int preferred_leader_machine(int g) const {
+    return member_machine(g, 0);
+  }
+  [[nodiscard]] const ShardMap& map() const { return map_; }
+  [[nodiscard]] const ShardRouter& router() const { return *router_; }
+  [[nodiscard]] const std::string& protocol_of(int g) const;
+
+  // -- Per-group accessors (the chaos GroupView surface) -------------------
+  [[nodiscard]] harness::ReplicaServer& server(int g, int j) {
+    return *groups_[static_cast<size_t>(g)].servers[static_cast<size_t>(j)];
+  }
+  [[nodiscard]] bool replica_up(int g, int j) const {
+    return groups_[static_cast<size_t>(g)].servers[static_cast<size_t>(j)] !=
+           nullptr;
+  }
+  [[nodiscard]] NodeId replica_id(int g, int j) const {
+    return groups_[static_cast<size_t>(g)]
+        .hosts[static_cast<size_t>(j)]
+        ->id();
+  }
+  /// Member index currently leading group `g` (net-visible replicas only),
+  /// or -1.
+  [[nodiscard]] int leader_of(int g) const;
+
+  /// Triggers each group's preferred leader and waits until every group
+  /// with an elected-leader protocol leads. Returns how many groups have a
+  /// leader at return (== num_groups on success; leaderless protocols count
+  /// as led).
+  int establish_leaders(Duration deadline = sec(30));
+
+  // -- Machine-level chaos -------------------------------------------------
+  /// Every replica endpoint on machine `m` (valid while crashed, too) — the
+  /// unit fault plans target: cutting a machine cuts one replica of every
+  /// group placed there.
+  [[nodiscard]] std::vector<NodeId> machine_node_ids(int m) const;
+  /// Power-cuts machine `m`: every group replica it hosts is destroyed
+  /// (counters banked, scheduled callbacks invalidated, unsynced durable
+  /// writes dropped). Group replicas elsewhere keep running.
+  void crash_machine(int m);
+  /// Rebuilds every crashed replica hosted on machine `m` from its durable
+  /// image and starts it.
+  void restart_machine(int m);
+  [[nodiscard]] int64_t restarts() const { return restarts_; }
+  [[nodiscard]] int64_t retired_revocations() const {
+    return retired_revocations_;
+  }
+  [[nodiscard]] int64_t retired_pipeline_rollbacks() const {
+    return retired_pipeline_rollbacks_;
+  }
+
+  // -- Clients -------------------------------------------------------------
+  /// Adds `per_machine` sharded closed-loop clients next to every machine,
+  /// starting at `start_at`. Each client draws keys from its machine's
+  /// partition of the key space and routes every command through the
+  /// ShardRouter to the owning group.
+  void add_clients(int per_machine, const kv::WorkloadConfig& wl,
+                   Time start_at);
+  void stop_clients() {
+    for (auto& c : clients_) c->stop();
+  }
+  [[nodiscard]] uint64_t client_retries() const;
+
+  // -- Per-group trace hooks (chaos/invariant checking) --------------------
+  using ApplyProbe = std::function<void(NodeId, consensus::LogIndex,
+                                        const kv::Command&)>;
+  using WatermarkProbe = std::function<void(NodeId, consensus::LogIndex,
+                                            consensus::LogIndex)>;
+  using SnapshotProbe =
+      std::function<void(NodeId, consensus::LogIndex, uint64_t)>;
+  using HardStateProbe =
+      std::function<void(NodeId, const consensus::HardState&)>;
+  using RestartProbe = std::function<void(
+      NodeId, const consensus::HardState&, const storage::RecoveryStats&,
+      consensus::LogIndex)>;
+  /// Group-tagged client reply probe (one probe observes every client).
+  using ReplyProbe = ShardClient::ReplyProbe;
+
+  void install_apply_probe(int g, ApplyProbe probe);
+  void install_watermark_probe(int g, WatermarkProbe probe);
+  void install_snapshot_probe(int g, SnapshotProbe probe);
+  void install_hard_state_probe(int g, HardStateProbe probe);
+  void set_restart_probe(int g, RestartProbe probe);
+  void install_reply_probe(ReplyProbe probe);
+
+  // -- Run control ---------------------------------------------------------
+  void run_until(Time t) { sim_.run_until(t); }
+  void run_for(Duration d) { sim_.run_for(d); }
+  sim::Simulator& sim() { return sim_; }
+  sim::Network& net() { return net_; }
+  harness::Metrics& metrics() { return metrics_; }
+
+ private:
+  struct Group {
+    std::vector<std::unique_ptr<harness::NodeHost>> hosts;
+    std::vector<std::unique_ptr<harness::ReplicaServer>> servers;
+    std::vector<std::unique_ptr<storage::DurableStore>> stores;
+    consensus::Group group_template;  // self = kNoNode; members = node ids
+    std::string protocol;
+    // Probes, re-applied to every restarted incarnation.
+    ApplyProbe apply_probe;
+    WatermarkProbe watermark_probe;
+    SnapshotProbe snapshot_probe;
+    HardStateProbe hard_state_probe;
+    RestartProbe restart_probe;
+  };
+
+  [[nodiscard]] SiteId machine_site(int m) const {
+    return static_cast<SiteId>(m % net_.latency().num_sites());
+  }
+  std::unique_ptr<harness::ReplicaServer> make_group_server(int g, int j);
+  void install_probes_on(int g, int j);
+  void crash_group_replica(int g, int j);
+  void restart_group_replica(int g, int j);
+
+  ShardedClusterConfig cfg_;
+  sim::Simulator sim_;
+  sim::Network net_;
+  harness::Metrics metrics_;
+  ShardMap map_;
+  std::unique_ptr<ShardRouter> router_;
+  std::vector<std::unique_ptr<sim::SerialResource>> machine_cpus_;
+  std::vector<Group> groups_;
+  std::vector<std::unique_ptr<harness::NodeHost>> client_hosts_;
+  std::vector<std::unique_ptr<ShardClient>> clients_;
+  ReplyProbe reply_probe_;
+  int64_t restarts_ = 0;
+  int64_t retired_revocations_ = 0;
+  int64_t retired_pipeline_rollbacks_ = 0;
+};
+
+}  // namespace praft::shard

@@ -5,6 +5,7 @@
 // step-down regression mirroring wire_test's deposed-leader flush test.
 #include <gtest/gtest.h>
 
+#include "consensus/batcher.h"
 #include "consensus/pipeline.h"
 #include "harness/protocols.h"
 #include "paxos/node.h"
@@ -150,6 +151,144 @@ TEST(PeerPipeline, ResetAllMakesLateAcksInert) {
   EXPECT_EQ(p.outstanding_batches(1), 0u);
   EXPECT_EQ(p.outstanding_batches(2), 0u);
   EXPECT_EQ(p.window(1), 1000u);  // back to the configured start
+}
+
+// ---------------------------------------------------------------------------
+// RTT-adaptive retransmit timeout (Jacobson/Karels per peer).
+// ---------------------------------------------------------------------------
+
+TEST(PeerPipeline, RtoDefaultsToFixedTimeoutBeforeAnySample) {
+  consensus::PeerPipeline p(pipe_opts(10000, 16));
+  EXPECT_EQ(p.rto(1), msec(600));
+  EXPECT_EQ(p.srtt(1), 0);
+}
+
+TEST(PeerPipeline, FirstRttSampleSeedsSrttAndRaisesRtoAboveFloor) {
+  consensus::PeerPipeline p(pipe_opts(10000, 16));
+  p.on_send(1, 1, 10, 100, /*now=*/0);
+  p.on_ack(1, 10, /*now=*/msec(300));
+  // First sample R: srtt = R, rttvar = R/2, RTO = srtt + 4*rttvar = 3R.
+  EXPECT_EQ(p.srtt(1), msec(300));
+  EXPECT_EQ(p.rto(1), msec(900));
+  // Peers learn independently.
+  EXPECT_EQ(p.rto(2), msec(600));
+}
+
+TEST(PeerPipeline, FastNetworkKeepsFixedTimeoutAsFloor) {
+  // LAN-scale samples must NOT shrink the RTO below the configured fixed
+  // timeout: chaos timing (drop-heavy WAN schedules) relies on 600 ms as a
+  // floor, so adaptation can only ever lengthen patience.
+  consensus::PeerPipeline p(pipe_opts(10000, 16));
+  for (int i = 0; i < 20; ++i) {
+    const Time t = msec(10 * i);
+    p.on_send(1, 1 + i, 1 + i, 100, t);
+    p.on_ack(1, 1 + i, t + msec(1));
+  }
+  EXPECT_EQ(p.srtt(1), msec(1));
+  EXPECT_EQ(p.rto(1), msec(600));
+}
+
+TEST(PeerPipeline, RetransmitDueUsesAdaptiveRto) {
+  consensus::PeerPipeline p(pipe_opts(10000, 16));
+  p.on_send(1, 1, 10, 100, /*now=*/0);
+  p.on_ack(1, 10, msec(300));  // srtt 300 ms -> RTO 900 ms
+  p.on_send(1, 11, 20, 100, msec(300));
+  EXPECT_FALSE(p.retransmit_due(1, msec(300) + msec(899)));
+  EXPECT_TRUE(p.retransmit_due(1, msec(300) + msec(900)));
+}
+
+TEST(PeerPipeline, AdaptiveRtoCanBeDisabled) {
+  consensus::TimingOptions o = pipe_opts(10000, 16);
+  o.pipeline_rto_adaptive = false;
+  consensus::PeerPipeline p(o);
+  p.on_send(1, 1, 10, 100, /*now=*/0);
+  p.on_ack(1, 10, msec(300));
+  EXPECT_EQ(p.rto(1), msec(600));  // fixed timeout, as before PR 9
+}
+
+TEST(PeerPipeline, SteadyRttConvergesAndVarianceDecays) {
+  consensus::PeerPipeline p(pipe_opts(1 << 20, 64));
+  // Repeated identical 250 ms samples: srtt pins to 250 ms and rttvar
+  // decays geometrically, so RTO falls from 3R toward the srtt + small-var
+  // regime (still >= the 600 ms floor).
+  Time now = 0;
+  for (int i = 0; i < 40; ++i) {
+    p.on_send(1, 1 + i, 1 + i, 100, now);
+    now += msec(250);
+    p.on_ack(1, 1 + i, now);
+  }
+  EXPECT_EQ(p.srtt(1), msec(250));
+  EXPECT_LT(p.rto(1), msec(750));   // rttvar decayed well below R/2
+  EXPECT_GE(p.rto(1), msec(600));   // never below the fixed floor
+}
+
+TEST(PeerPipeline, PostLossAcksAreNeverSampled) {
+  // Karn's rule falls out of the outstanding-set design: on_loss clears the
+  // peer's channel, so an ack for retransmitted data retires nothing and
+  // must not poison srtt with an ambiguous measurement.
+  consensus::PeerPipeline p(pipe_opts(10000, 16));
+  p.on_send(1, 1, 10, 100, /*now=*/0);
+  EXPECT_EQ(p.on_loss(1), 1);
+  p.on_ack(1, 10, sec(5));  // late ack from the original transmission
+  EXPECT_EQ(p.srtt(1), 0);  // no sample was taken
+  EXPECT_EQ(p.rto(1), msec(600));
+}
+
+// ---------------------------------------------------------------------------
+// Batcher backpressure: pending + in-flight bytes stay bounded.
+// ---------------------------------------------------------------------------
+
+consensus::TimingOptions backpressure_opt(size_t cap) {
+  consensus::TimingOptions o;
+  o.batch_delay = msec(5);
+  o.batch_backpressure_bytes = cap;
+  return o;
+}
+
+TEST(Batcher, BackpressureBoundsPendingPlusInflight) {
+  test::ScriptedEnv env;
+  consensus::Batcher b(env, backpressure_opt(1000), [] {});
+  // The submit discipline every protocol node follows: consult can_accept()
+  // before add_pending. The queued + unacked total then never exceeds the
+  // cap, no matter how fast clients push.
+  size_t accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!b.can_accept()) break;
+    b.add_pending(300);
+    ++accepted;
+    EXPECT_LE(b.pending_bytes() + b.inflight_bytes(), 1000u + 300u);
+  }
+  EXPECT_EQ(accepted, 4u);  // 4 * 300 = 1200 >= 1000 gates the 5th
+  EXPECT_FALSE(b.can_accept());
+
+  env.advance(msec(5));  // flush: pending becomes in-flight, still capped
+  EXPECT_EQ(b.pending_bytes(), 0u);
+  EXPECT_EQ(b.inflight_bytes(), 1200u);
+  EXPECT_FALSE(b.can_accept());
+
+  b.note_acked(300);  // progress frees budget
+  EXPECT_TRUE(b.can_accept());
+}
+
+TEST(Batcher, BackpressureDisabledByZeroCap) {
+  test::ScriptedEnv env;
+  consensus::Batcher b(env, backpressure_opt(0), [] {});
+  b.add_pending(1 << 30);
+  EXPECT_TRUE(b.can_accept());
+}
+
+TEST(Batcher, CancelReleasesBackpressureForNextReign) {
+  test::ScriptedEnv env;
+  consensus::Batcher b(env, backpressure_opt(1000), [] {});
+  b.add_pending(600);
+  env.advance(msec(5));
+  b.add_pending(600);
+  EXPECT_FALSE(b.can_accept());  // 600 in flight + 600 pending
+  // Step-down: the old reign's accounting dies with its flushes. A stale
+  // in-flight count must not wedge the next leadership's submissions.
+  b.cancel();
+  EXPECT_EQ(b.inflight_bytes(), 0u);
+  EXPECT_TRUE(b.can_accept());
 }
 
 // ---------------------------------------------------------------------------

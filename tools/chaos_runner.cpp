@@ -6,6 +6,7 @@
 //   chaos_runner --protocol=all --seeds=50 --compaction-cap=64
 //   chaos_runner --protocol=all --seeds=200 --restarts   # crash-restart faults
 //   chaos_runner --protocol=raft --seeds=50 --inject-persistence-bug
+//   chaos_runner --protocol=all --seeds=50 --groups=3    # sharded: 3 groups
 //   chaos_runner --seed-file=chaos_failures.txt     # replay saved runs
 //   chaos_runner --seeds=200 --restarts --corpus-out=tools/chaos_corpus.txt
 //   chaos_runner --protocol=all --evolve=4 --restarts
@@ -61,6 +62,7 @@ struct CliOptions {
   bool restarts = false;
   bool inject_persistence_bug = false;
   bool wan = false;
+  int groups = 1;
   size_t compaction_cap = 0;
   bool verbose = false;
   bool stop_on_failure = false;
@@ -85,7 +87,25 @@ struct PlannedRun {
   bool restarts = false;
   bool inject_persistence_bug = false;
   bool wan = false;
+  int groups = 1;
 };
+
+/// A (protocol, seed) run under the batch-wide CLI flags — the ONE place the
+/// seed-range and seed-file paths derive a run's configuration, so new flags
+/// cannot silently drop out of one of them.
+PlannedRun planned_seed_run(const CliOptions& cli, const std::string& protocol,
+                            uint64_t seed) {
+  PlannedRun run;
+  run.protocol = protocol;
+  run.seed = seed;
+  run.compaction_cap = cli.compaction_cap;
+  run.inject_quorum_bug = cli.inject_quorum_bug;
+  run.restarts = cli.restarts;
+  run.inject_persistence_bug = cli.inject_persistence_bug;
+  run.wan = cli.wan;
+  run.groups = cli.groups;
+  return run;
+}
 
 /// Serializes a run's flag overrides in the --seed-file per-line format.
 /// The ONE implementation shared by the --failures-out and --corpus-out
@@ -102,6 +122,11 @@ std::string flags_of(const PlannedRun& run) {
   if (run.inject_quorum_bug) flags += " --inject-quorum-bug";
   if (run.inject_persistence_bug) flags += " --inject-persistence-bug";
   if (run.wan) flags += " --wan";
+  if (run.groups > 1) {
+    char gb[32];
+    std::snprintf(gb, sizeof(gb), " --groups=%d", run.groups);
+    flags += gb;
+  }
   return flags;
 }
 
@@ -159,7 +184,7 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--protocol=NAME|all] [--seed=N] [--seeds=K] [--replicas=N]\n"
       "          [--inject-quorum-bug] [--compaction-cap=N] [--restarts]\n"
-      "          [--inject-persistence-bug] [--wan] [--verbose]\n"
+      "          [--inject-persistence-bug] [--wan] [--groups=N] [--verbose]\n"
       "          [--stop-on-failure]\n"
       "          [--failures-out=PATH] [--seed-file=PATH]\n"
       "          [--corpus-out=PATH] [--corpus-size=N]\n"
@@ -236,6 +261,14 @@ bool load_seed_file(const CliOptions& cli,
       for (auto& r : *runs) r.inject_persistence_bug = true;
     } else if (parse_flag(flag.c_str(), "--wan", &v)) {
       for (auto& r : *runs) r.wan = true;
+    } else if (parse_flag(flag.c_str(), "--groups", &v) && v != nullptr) {
+      int groups = 0;
+      if (!parse_int_value(v, &groups) || groups < 1) {
+        std::fprintf(stderr, "%s:%d: bad --groups value '%s'\n",
+                     cli.seed_file.c_str(), lineno, v);
+        return false;
+      }
+      for (auto& r : *runs) r.groups = groups;
     } else {
       std::fprintf(stderr, "%s:%d: unknown per-run flag '%s'\n",
                    cli.seed_file.c_str(), lineno, flag.c_str());
@@ -289,14 +322,8 @@ bool load_seed_file(const CliOptions& cli,
         }
       }
       std::vector<PlannedRun> block_runs;
-      PlannedRun run;
-      run.protocol = protocol;
-      run.seed = sched.seed;
+      PlannedRun run = planned_seed_run(cli, protocol, sched.seed);
       run.schedule = sched;
-      run.compaction_cap = cli.compaction_cap;
-      run.inject_quorum_bug = cli.inject_quorum_bug;
-      run.restarts = cli.restarts;
-      run.inject_persistence_bug = cli.inject_persistence_bug;
       block_runs.push_back(std::move(run));
       std::string flag;
       while (hs >> flag) {
@@ -314,9 +341,7 @@ bool load_seed_file(const CliOptions& cli,
                      cli.seed_file.c_str(), lineno, first.c_str());
         return false;
       }
-      line_runs.push_back(PlannedRun{first, seed, std::nullopt,
-                                     cli.compaction_cap, cli.inject_quorum_bug,
-                                     cli.restarts, cli.inject_persistence_bug});
+      line_runs.push_back(planned_seed_run(cli, first, seed));
     } else {
       uint64_t seed = 0;
       if (!parse_u64_value(first.c_str(), &seed)) {
@@ -328,10 +353,7 @@ bool load_seed_file(const CliOptions& cli,
       }
       // Bare seed: run it under the --protocol selection.
       for (const auto& protocol : protocols) {
-        line_runs.push_back(PlannedRun{protocol, seed, std::nullopt,
-                                       cli.compaction_cap,
-                                       cli.inject_quorum_bug, cli.restarts,
-                                       cli.inject_persistence_bug});
+        line_runs.push_back(planned_seed_run(cli, protocol, seed));
       }
     }
     // Per-line flag overrides (written by --failures-out): the run must
@@ -352,15 +374,8 @@ bool load_seed_file(const CliOptions& cli,
 /// them.
 PlannedRun planned_run_of(const CliOptions& cli,
                           const chaos::EvolveCandidate& c) {
-  PlannedRun run;
-  run.protocol = c.protocol;
-  run.seed = c.schedule.seed;
+  PlannedRun run = planned_seed_run(cli, c.protocol, c.schedule.seed);
   run.schedule = c.schedule;
-  run.compaction_cap = cli.compaction_cap;
-  run.inject_quorum_bug = cli.inject_quorum_bug;
-  run.restarts = cli.restarts;
-  run.inject_persistence_bug = cli.inject_persistence_bug;
-  run.wan = cli.wan;
   return run;
 }
 
@@ -376,6 +391,7 @@ chaos::RunOptions run_options_of(const CliOptions& cli,
   opt.crash_restarts = run.restarts;
   opt.inject_persistence_bug = run.inject_persistence_bug;
   opt.wan = run.wan;
+  opt.groups = run.groups;
   return opt;
 }
 
@@ -396,6 +412,7 @@ int run_evolution(const CliOptions& cli,
   eopt.base.crash_restarts = cli.restarts;
   eopt.base.inject_persistence_bug = cli.inject_persistence_bug;
   eopt.base.wan = cli.wan;
+  eopt.base.groups = cli.groups;
 
   // Seed the population from --seed-file entries: explicit schedule blocks
   // verbatim, seed lines expanded exactly as run_one would expand them.
@@ -499,6 +516,8 @@ int main(int argc, char** argv) {
       cli.inject_persistence_bug = true;
     } else if (parse_flag(argv[i], "--wan", &v)) {
       cli.wan = true;
+    } else if (parse_flag(argv[i], "--groups", &v) && v != nullptr) {
+      ok = parse_int_value(v, &cli.groups) && cli.groups >= 1;
     } else if (parse_flag(argv[i], "--corpus-out", &v) && v != nullptr) {
       cli.corpus_out = v;
     } else if (parse_flag(argv[i], "--corpus-size", &v) && v != nullptr) {
@@ -557,11 +576,8 @@ int main(int argc, char** argv) {
   } else if (cli.evolve == 0) {
     for (const auto& protocol : protocols) {
       for (int k = 0; k < cli.seeds; ++k) {
-        planned.push_back(PlannedRun{protocol,
-                                     cli.seed + static_cast<uint64_t>(k),
-                                     std::nullopt, cli.compaction_cap,
-                                     cli.inject_quorum_bug, cli.restarts,
-                                     cli.inject_persistence_bug});
+        planned.push_back(planned_seed_run(
+            cli, protocol, cli.seed + static_cast<uint64_t>(k)));
       }
     }
   }
