@@ -77,7 +77,24 @@ void InvariantChecker::attach(harness::Cluster& cluster) {
 
 void InvariantChecker::note(std::string event) { record(std::move(event)); }
 
+void InvariantChecker::mix(uint64_t x) {
+  // splitmix64 finalizer over (state ^ input): order-sensitive, so swapped
+  // observations change the fingerprint even when the multiset is identical.
+  uint64_t z = fingerprint_ ^ x;
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  fingerprint_ = z ^ (z >> 31);
+}
+
 void InvariantChecker::record(std::string event) {
+  // Trace annotations (fault activations, phase markers) carry timing and
+  // victim choices; fold them in so even apply-invisible divergence shows.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : event) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+  }
+  mix(h);
   if (trace_.size() >= trace_capacity_) trace_.pop_front();
   trace_.push_back(std::move(event));
 }
@@ -152,10 +169,15 @@ void InvariantChecker::on_watermark(NodeId replica, consensus::LogIndex commit,
   }
   st.wm_seen = true;
   st.last_commit_wm = commit;
+  mix(0x57u ^ (static_cast<uint64_t>(static_cast<uint32_t>(replica)) << 8) ^
+      (static_cast<uint64_t>(commit) << 16) ^
+      (static_cast<uint64_t>(applied) << 40));
 }
 
 void InvariantChecker::on_reply(const kv::Command& cmd, uint64_t value,
                                 bool ok) {
+  mix(0x52u ^ (op_key(cmd) << 8) ^ (value * 0x9e3779b97f4a7c15ull) ^
+      (ok ? 2 : 1));
   replies_.push_back(Reply{cmd, value, ok});
 }
 
@@ -187,6 +209,10 @@ void InvariantChecker::on_snapshot_install(NodeId replica,
 
 void InvariantChecker::on_sent_state(NodeId replica,
                                      const consensus::HardState& hs) {
+  mix(0x53u ^ (static_cast<uint64_t>(static_cast<uint32_t>(replica)) << 8) ^
+      (static_cast<uint64_t>(hs.term) << 16) ^
+      (static_cast<uint64_t>(static_cast<uint32_t>(hs.vote)) << 32) ^
+      (static_cast<uint64_t>(hs.floor + hs.aux + hs.tail) << 40));
   ReplicaState& st = replicas_[replica];
   if (!st.sent_seen) {
     st.sent = hs;

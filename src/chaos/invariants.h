@@ -126,6 +126,14 @@ class InvariantChecker {
   [[nodiscard]] uint64_t snapshot_installs() const { return installs_.size(); }
   /// Crash-restarts observed across the run.
   [[nodiscard]] uint64_t restarts() const { return restarts_; }
+  /// Order-sensitive streaming fingerprint of everything this checker
+  /// observed: every apply, watermark advance, reply, snapshot install,
+  /// sent-state sample, restart, and trace annotation, mixed in arrival
+  /// order. Two runs of the same (protocol, seed, options) must produce the
+  /// SAME fingerprint — chaos_runner --verify-determinism runs each seed
+  /// twice and convicts any divergence (the runtime backstop for what the
+  /// praft_lint D1/D2 rules guard statically).
+  [[nodiscard]] uint64_t fingerprint() const { return fingerprint_; }
 
  private:
   struct ReplicaState {
@@ -152,6 +160,8 @@ class InvariantChecker {
   void violation(std::string what);
   void record(std::string event);
   static std::string describe(const kv::Command& cmd);
+  /// Folds one observation word into the streaming fingerprint.
+  void mix(uint64_t x);
 
   size_t trace_capacity_;
   std::deque<std::string> trace_;
@@ -163,6 +173,7 @@ class InvariantChecker {
   std::vector<Reply> replies_;
   std::vector<Install> installs_;
   uint64_t restarts_ = 0;
+  uint64_t fingerprint_ = 0x9e3779b97f4a7c15ull;
   consensus::LogIndex max_applied_ = 0;
   size_t memory_cap_ = 0;  // 0 = bounded-memory invariant disarmed
 };

@@ -387,6 +387,11 @@ RunResult run_one_sharded(const RunOptions& opt, const Schedule& sched,
     res.client_ops += chk.client_ops();
     res.snapshot_installs += chk.snapshot_installs();
     res.restarts += chk.restarts();
+    // Group-order fold: rotate so "group 0 saw X" differs from "group 1
+    // saw X" even when per-group fingerprints collide pairwise.
+    res.trace_fingerprint =
+        (res.trace_fingerprint << 1 | res.trace_fingerprint >> 63) ^
+        chk.fingerprint();
   }
   if (!xchk.ok()) {
     res.ok = false;
@@ -588,6 +593,7 @@ RunResult run_one(const RunOptions& opt) {
   res.ok = chk.ok();
   res.violations = chk.violations();
   res.trace = chk.trace();
+  res.trace_fingerprint = chk.fingerprint();
   res.log_length = chk.max_applied();
   res.client_ops = chk.client_ops();
   res.snapshot_installs = chk.snapshot_installs();

@@ -79,6 +79,12 @@ struct RunResult {
   uint64_t leader_changes = 0;         // leadership handoffs observed
   uint64_t revocations = 0;            // Mencius revocations started
   uint64_t pipeline_rollbacks = 0;     // in-flight window rollbacks
+  /// Order-sensitive hash of every checker observation (applies, watermarks,
+  /// replies, sent states, installs, restarts, trace notes; per-group
+  /// fingerprints folded in group order for sharded runs). Equal options
+  /// must yield an equal fingerprint — `chaos_runner --verify-determinism`
+  /// runs every seed twice and convicts any divergence.
+  uint64_t trace_fingerprint = 0;
 };
 
 /// The ScheduleLimits a RunOptions actually generates under: `opt.limits`

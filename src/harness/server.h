@@ -1,6 +1,6 @@
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
 #include "harness/cost_model.h"
 #include "harness/host.h"
@@ -55,6 +55,9 @@ struct PendingOp {
   kv::Command cmd;           // for identity verification after leader changes
 };
 
-using PendingMap = std::unordered_map<int64_t, PendingOp>;
+// Ordered: snapshot installation walks this map to drop covered replies, and
+// the walk order must be seed-stable (lint rule D1). Keys are log indexes,
+// so ordered erasure of the covered prefix is also the natural shape.
+using PendingMap = std::map<int64_t, PendingOp>;
 
 }  // namespace praft::harness

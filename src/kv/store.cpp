@@ -32,6 +32,7 @@ uint64_t KvStore::read_local(uint64_t key) const {
 StoreImage KvStore::image() const {
   StoreImage img;
   img.cells.reserve(map_.size());
+  // praft-lint: allow(D1 cells are sorted by key below; order never escapes)
   for (const auto& [k, cell] : map_) {
     img.cells.push_back(StoreImage::Cell{k, cell.value, cell.version});
   }
@@ -55,6 +56,7 @@ void KvStore::restore(const StoreImage& img) {
 uint64_t KvStore::fingerprint() const {
   // XOR of per-entry mixes: order-insensitive, collision-unlikely for tests.
   uint64_t h = 0x9e3779b97f4a7c15ull;
+  // praft-lint: allow(D1 XOR accumulation is commutative; order-insensitive)
   for (const auto& [k, cell] : map_) {
     uint64_t x = k * 0xbf58476d1ce4e5b9ull;
     x ^= cell.value + 0x94d049bb133111ebull + (x << 6) + (x >> 2);

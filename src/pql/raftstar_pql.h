@@ -1,6 +1,7 @@
 #pragma once
 
 #include <list>
+#include <map>
 #include <set>
 #include <unordered_map>
 
@@ -84,7 +85,9 @@ class RaftStarPqlServer : public harness::RaftStarServer {
   PqlOptions popt_;
   lease::LeaseManager leases_;
   std::unordered_map<uint64_t, consensus::LogIndex> last_write_;
-  std::unordered_map<NodeId, FollowerAck> follower_acks_;
+  // Ordered: commit_allowed walks the acks to build the holder set, and the
+  // walk order must be seed-stable (lint rule D1).
+  std::map<NodeId, FollowerAck> follower_acks_;
   std::list<PendingRead> pending_reads_;
   int64_t local_reads_ = 0;
   uint64_t gate_epoch_ = 0;

@@ -1,6 +1,6 @@
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "consensus/applier.h"
@@ -176,9 +176,10 @@ class RaftNode : public consensus::NodeIface {
   // Candidate state.
   consensus::QuorumTracker votes_;
 
-  // Leader state.
-  std::unordered_map<NodeId, LogIndex> next_index_;
-  std::unordered_map<NodeId, LogIndex> match_index_;
+  // Leader state. Ordered maps: advance_commit iterates match_index_, and
+  // quorum counting must visit peers in a seed-stable order (lint rule D1).
+  std::map<NodeId, LogIndex> next_index_;
+  std::map<NodeId, LogIndex> match_index_;
   // Per-peer in-flight window: replicate_to pumps batches until it closes;
   // ack/reject/loss events below reopen or roll it back.
   consensus::PeerPipeline pipe_;

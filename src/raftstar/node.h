@@ -1,6 +1,6 @@
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "consensus/applier.h"
@@ -220,8 +220,10 @@ class RaftStarNode : public consensus::NodeIface {
   // installed in BecomeLeader before safe-value selection.
   consensus::Snapshot election_snap_;
 
-  std::unordered_map<NodeId, LogIndex> next_index_;
-  std::unordered_map<NodeId, LogIndex> match_index_;
+  // Ordered maps: quorum_match_index iterates match_index_, and the visit
+  // order must be seed-stable (lint rule D1).
+  std::map<NodeId, LogIndex> next_index_;
+  std::map<NodeId, LogIndex> match_index_;
   // Per-peer in-flight window (consensus::PeerPipeline; see RaftNode).
   consensus::PeerPipeline pipe_;
 

@@ -7,6 +7,9 @@
 //   chaos_runner --protocol=all --seeds=200 --restarts   # crash-restart faults
 //   chaos_runner --protocol=raft --seeds=50 --inject-persistence-bug
 //   chaos_runner --protocol=all --seeds=50 --groups=3    # sharded: 3 groups
+//   chaos_runner --protocol=all --seeds=50 --verify-determinism
+//       # run every seed twice; coverage counters + trace fingerprints must
+//       # match exactly (runtime backstop for praft_lint's D1/D2 rules)
 //   chaos_runner --seed-file=chaos_failures.txt     # replay saved runs
 //   chaos_runner --seeds=200 --restarts --corpus-out=tools/chaos_corpus.txt
 //   chaos_runner --protocol=all --evolve=4 --restarts
@@ -65,6 +68,7 @@ struct CliOptions {
   int groups = 1;
   size_t compaction_cap = 0;
   bool verbose = false;
+  bool verify_determinism = false;
   bool stop_on_failure = false;
   std::string failures_out;
   std::string seed_file;
@@ -185,7 +189,7 @@ void usage(const char* argv0) {
       "usage: %s [--protocol=NAME|all] [--seed=N] [--seeds=K] [--replicas=N]\n"
       "          [--inject-quorum-bug] [--compaction-cap=N] [--restarts]\n"
       "          [--inject-persistence-bug] [--wan] [--groups=N] [--verbose]\n"
-      "          [--stop-on-failure]\n"
+      "          [--verify-determinism] [--stop-on-failure]\n"
       "          [--failures-out=PATH] [--seed-file=PATH]\n"
       "          [--corpus-out=PATH] [--corpus-size=N]\n"
       "          [--evolve=GENERATIONS] [--population=N] [--elite=N]\n"
@@ -424,6 +428,7 @@ int run_evolution(const CliOptions& cli,
     seeds.push_back(std::move(cand));
   }
 
+  // praft-lint: allow(D2 wall-clock is reporting-only; never in trajectories)
   const auto wall_start = std::chrono::steady_clock::now();
   const chaos::EvolveStats stats = chaos::evolve(eopt, std::move(seeds));
   for (const chaos::RunResult& r : stats.failures) print_failure(r);
@@ -480,6 +485,7 @@ int run_evolution(const CliOptions& cli,
                 stats.population.size(), cli.corpus_out.c_str());
   }
   const double elapsed =
+      // praft-lint: allow(D2 wall-clock is reporting-only; not in trajectories)
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
@@ -536,6 +542,8 @@ int main(int argc, char** argv) {
       ok = parse_int_value(v, &cli.population) && cli.population >= 2;
     } else if (parse_flag(argv[i], "--elite", &v) && v != nullptr) {
       ok = parse_int_value(v, &cli.elite) && cli.elite >= 1;
+    } else if (parse_flag(argv[i], "--verify-determinism", &v)) {
+      cli.verify_determinism = true;
     } else if (parse_flag(argv[i], "--verbose", &v)) {
       cli.verbose = true;
     } else if (parse_flag(argv[i], "--stop-on-failure", &v)) {
@@ -554,6 +562,12 @@ int main(int argc, char** argv) {
   }
   if (cli.elite >= cli.population) {
     std::fprintf(stderr, "--elite must be smaller than --population\n");
+    return 2;
+  }
+  if (cli.verify_determinism && cli.evolve > 0) {
+    std::fprintf(stderr,
+                 "--verify-determinism applies to flat / seed-file batches, "
+                 "not --evolve\n");
     return 2;
   }
 
@@ -599,6 +613,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  // praft-lint: allow(D2 wall-clock is reporting-only; never in trajectories)
   const auto wall_start = std::chrono::steady_clock::now();
   int failures = 0;
   uint64_t runs = 0;
@@ -608,7 +623,7 @@ int main(int argc, char** argv) {
     if (cli.verbose) {
       std::printf(
           "%s protocol=%s seed=%llu log=%lld client_ops=%llu snapshots=%llu "
-          "restarts=%llu leader_changes=%llu revocations=%llu\n",
+          "restarts=%llu leader_changes=%llu revocations=%llu fp=%016llx\n",
           r.ok ? "ok  " : "FAIL", r.protocol.c_str(),
           static_cast<unsigned long long>(r.seed),
           static_cast<long long>(r.log_length),
@@ -616,18 +631,53 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.snapshot_installs),
           static_cast<unsigned long long>(r.restarts),
           static_cast<unsigned long long>(r.leader_changes),
-          static_cast<unsigned long long>(r.revocations));
+          static_cast<unsigned long long>(r.revocations),
+          static_cast<unsigned long long>(r.trace_fingerprint));
     }
-    if (!cli.corpus_out.empty() && r.ok) {
+    bool deterministic = true;
+    if (cli.verify_determinism) {
+      // The cheap runtime backstop for what praft_lint's D1/D2 rules guard
+      // statically: the same (protocol, seed, options) must reproduce the
+      // exact observation stream. Any divergence — unordered-container
+      // iteration leaking into emission, a stray wall-clock read — shows up
+      // as a coverage-counter or trace-fingerprint mismatch on the rerun.
+      const chaos::RunResult r2 = chaos::run_one(run_options_of(cli, pr));
+      ++runs;
+      deterministic = r2.trace_fingerprint == r.trace_fingerprint &&
+                      r2.ok == r.ok && r2.log_length == r.log_length &&
+                      r2.client_ops == r.client_ops &&
+                      r2.snapshot_installs == r.snapshot_installs &&
+                      r2.restarts == r.restarts &&
+                      r2.leader_changes == r.leader_changes &&
+                      r2.revocations == r.revocations &&
+                      r2.pipeline_rollbacks == r.pipeline_rollbacks;
+      if (!deterministic) {
+        std::printf(
+            "NONDETERMINISTIC protocol=%s seed=%llu: fp=%016llx/%016llx "
+            "log=%lld/%lld client_ops=%llu/%llu leader_changes=%llu/%llu\n",
+            r.protocol.c_str(), static_cast<unsigned long long>(r.seed),
+            static_cast<unsigned long long>(r.trace_fingerprint),
+            static_cast<unsigned long long>(r2.trace_fingerprint),
+            static_cast<long long>(r.log_length),
+            static_cast<long long>(r2.log_length),
+            static_cast<unsigned long long>(r.client_ops),
+            static_cast<unsigned long long>(r2.client_ops),
+            static_cast<unsigned long long>(r.leader_changes),
+            static_cast<unsigned long long>(r2.leader_changes));
+      }
+    }
+    if (!cli.corpus_out.empty() && r.ok && deterministic) {
       corpus.push_back(CorpusEntry{chaos::coverage_score(r), pr});
     }
-    if (!r.ok) {
+    if (!r.ok || !deterministic) {
       ++failures;
-      print_failure(r);
+      if (!r.ok) print_failure(r);
       if (failures_file != nullptr) {
         // Flags ride along so --seed-file replays the exact configuration
         // the run failed under.
-        write_entry(failures_file, pr, "repro: " + r.repro);
+        write_entry(failures_file, pr,
+                    !r.ok ? "repro: " + r.repro
+                          : "NONDETERMINISTIC: divergent rerun");
         std::fflush(failures_file);
       }
       if (cli.stop_on_failure) break;
@@ -669,6 +719,7 @@ int main(int argc, char** argv) {
                 cli.corpus_out.c_str());
   }
   const double elapsed =
+      // praft-lint: allow(D2 wall-clock is reporting-only; not in trajectories)
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();

@@ -1,0 +1,163 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace praft::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuation, longest first. `::` matters most: rules
+/// distinguish `obj.member` / `ns::member` chains and a split `:` `:` would
+/// make every qualified name look like a range-for colon.
+const char* kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", ".*",
+};
+
+}  // namespace
+
+LexResult lex(const std::string& source) {
+  LexResult out;
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+
+  const auto advance = [&](size_t k) {
+    for (size_t j = 0; j < k && i < n; ++j, ++i) {
+      if (source[i] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    // Line continuation: splice (keeps line counting exact).
+    if (c == '\\' && i + 1 < n &&
+        (source[i + 1] == '\n' ||
+         (source[i + 1] == '\r' && i + 2 < n && source[i + 2] == '\n'))) {
+      advance(source[i + 1] == '\r' ? 3 : 2);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comments -> out-of-band.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const int start_line = line;
+      advance(2);
+      std::string text;
+      while (i < n && source[i] != '\n') {
+        text += source[i];
+        advance(1);
+      }
+      out.comments.push_back(Comment{std::move(text), start_line});
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int start_line = line;
+      advance(2);
+      std::string text;
+      while (i < n && !(source[i] == '*' && i + 1 < n && source[i + 1] == '/')) {
+        text += source[i];
+        advance(1);
+      }
+      advance(2);  // closing */
+      out.comments.push_back(Comment{std::move(text), start_line});
+      continue;
+    }
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && source[j] != '(' && delim.size() < 16) {
+        delim += source[j];
+        ++j;
+      }
+      if (j < n && source[j] == '(') {
+        const int start_line = line;
+        const std::string close = ")" + delim + "\"";
+        advance(j + 1 - i);
+        std::string text;
+        while (i < n && source.compare(i, close.size(), close) != 0) {
+          text += source[i];
+          advance(1);
+        }
+        advance(close.size());
+        out.tokens.push_back(Token{Tok::kString, std::move(text), start_line});
+        continue;
+      }
+      // 'R' not starting a raw string: fall through as identifier.
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      advance(1);
+      std::string text;
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\\' && i + 1 < n) {
+          text += source[i];
+          advance(1);
+        }
+        text += source[i];
+        advance(1);
+      }
+      advance(1);  // closing quote
+      out.tokens.push_back(Token{quote == '"' ? Tok::kString : Tok::kChar,
+                                 std::move(text), start_line});
+      continue;
+    }
+    if (ident_start(c)) {
+      const int start_line = line;
+      std::string text;
+      while (i < n && ident_char(source[i])) {
+        text += source[i];
+        advance(1);
+      }
+      out.tokens.push_back(Token{Tok::kIdent, std::move(text), start_line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      const int start_line = line;
+      std::string text;
+      // pp-number: digits, idents, dots, and exponent signs.
+      while (i < n &&
+             (ident_char(source[i]) || source[i] == '.' ||
+              ((source[i] == '+' || source[i] == '-') && !text.empty() &&
+               (text.back() == 'e' || text.back() == 'E' ||
+                text.back() == 'p' || text.back() == 'P')))) {
+        text += source[i];
+        advance(1);
+      }
+      out.tokens.push_back(Token{Tok::kNumber, std::move(text), start_line});
+      continue;
+    }
+    // Punctuation: longest known multi-char first, else single char.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const size_t len = std::char_traits<char>::length(p);
+      if (source.compare(i, len, p) == 0) {
+        out.tokens.push_back(Token{Tok::kPunct, p, line});
+        advance(len);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back(Token{Tok::kPunct, std::string(1, c), line});
+      advance(1);
+    }
+  }
+  return out;
+}
+
+}  // namespace praft::lint

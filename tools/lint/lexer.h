@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace praft::lint {
+
+/// Token kinds praft_lint distinguishes. The rules operate on identifier /
+/// punctuation sequences, so keywords stay plain identifiers and all
+/// literals collapse to one token each.
+enum class Tok {
+  kIdent,    // identifiers and keywords (for, const, unordered_map, ...)
+  kNumber,   // integer / float literals, any base, with suffixes
+  kString,   // "..." and R"(...)" (text excludes quotes/delimiters)
+  kChar,     // '...'
+  kPunct,    // operators and punctuation; :: << >> -> lex as ONE token
+};
+
+struct Token {
+  Tok kind = Tok::kPunct;
+  std::string text;
+  int line = 1;
+};
+
+/// A comment, captured out-of-band: rules never see comments in the token
+/// stream, but suppression directives (`// praft-lint: allow(RULE reason)`)
+/// live in them.
+struct Comment {
+  std::string text;  // without the // or /* */ markers
+  int line = 1;      // line the comment STARTS on
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes one C++ source file. Handles // and /* */ comments, raw
+/// strings, character/string escapes, line continuations, and preprocessor
+/// lines (tokenized like ordinary code — rules that care match the leading
+/// '#'). Never fails: malformed input degrades to punctuation tokens.
+[[nodiscard]] LexResult lex(const std::string& source);
+
+}  // namespace praft::lint

@@ -1,0 +1,121 @@
+#include "lint/model.h"
+
+#include <algorithm>
+
+namespace praft::lint {
+
+namespace {
+
+/// Extracts quoted-include targets and suppression directives from a lexed
+/// file. Includes are token triples `#` `include` "target"; suppressions are
+/// comments containing `praft-lint: allow(RULE ...)`.
+void scan_directives(FileModel* f) {
+  const auto& toks = f->lex.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind == Tok::kPunct && toks[i].text == "#" &&
+        toks[i + 1].kind == Tok::kIdent && toks[i + 1].text == "include" &&
+        toks[i + 2].kind == Tok::kString) {
+      f->includes.push_back(toks[i + 2].text);
+    }
+  }
+  for (const Comment& c : f->lex.comments) {
+    size_t pos = 0;
+    while ((pos = c.text.find("praft-lint:", pos)) != std::string::npos) {
+      size_t open = c.text.find("allow(", pos);
+      if (open == std::string::npos) break;
+      open += 6;
+      std::string rule;
+      while (open < c.text.size() && c.text[open] != ')' &&
+             c.text[open] != ' ' && c.text[open] != '\t') {
+        rule += c.text[open++];
+      }
+      if (!rule.empty()) {
+        // Multi-line /* */ comments: the directive covers the comment's
+        // START line and the next — keep directives at the point they guard.
+        f->allows[rule].insert(c.line);
+      }
+      pos = open;
+    }
+  }
+}
+
+/// Resolves one quoted include against the project: the including file's own
+/// directory first (local style), then the repo include roots.
+size_t resolve_include(const Project& p, const std::string& from_dir,
+                       const std::string& inc) {
+  if (!from_dir.empty()) {
+    if (size_t i = p.index_of(from_dir + "/" + inc); i != Project::npos) {
+      return i;
+    }
+  }
+  for (const char* root : {"src/", "tools/", "tests/"}) {
+    if (size_t i = p.index_of(root + inc); i != Project::npos) return i;
+  }
+  return Project::npos;
+}
+
+}  // namespace
+
+Project::Project(std::vector<SourceFile> files) {
+  files_.reserve(files.size());
+  for (SourceFile& sf : files) {
+    FileModel fm;
+    fm.path = std::move(sf.path);
+    fm.lex = lex(sf.content);
+    scan_directives(&fm);
+    files_.push_back(std::move(fm));
+  }
+  // Direct include edges, then transitive closure per file (the graph is
+  // tiny — a few hundred nodes — so a per-file DFS is plenty).
+  std::vector<std::vector<size_t>> edges(files_.size());
+  for (size_t i = 0; i < files_.size(); ++i) {
+    const std::string dir = dir_of(files_[i].path);
+    for (const std::string& inc : files_[i].includes) {
+      const size_t j = resolve_include(*this, dir, inc);
+      if (j != npos && j != i) edges[i].push_back(j);
+    }
+  }
+  closures_.resize(files_.size());
+  for (size_t i = 0; i < files_.size(); ++i) {
+    std::vector<bool> seen(files_.size(), false);
+    std::vector<size_t> stack{i};
+    seen[i] = true;
+    while (!stack.empty()) {
+      const size_t u = stack.back();
+      stack.pop_back();
+      closures_[i].push_back(u);
+      for (const size_t v : edges[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+    std::sort(closures_[i].begin(), closures_[i].end());
+  }
+}
+
+size_t Project::index_of(const std::string& path) const {
+  for (size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].path == path) return i;
+  }
+  return npos;
+}
+
+bool is_suppressed(const FileModel& f, const std::string& rule, int line) {
+  const auto it = f.allows.find(rule);
+  if (it == f.allows.end()) return false;
+  return it->second.count(line) > 0 || it->second.count(line - 1) > 0;
+}
+
+std::string dir_of(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+bool in_dir(const std::string& path, const std::string& dir) {
+  return path.size() > dir.size() + 1 &&
+         path.compare(0, dir.size(), dir) == 0 && path[dir.size()] == '/';
+}
+
+}  // namespace praft::lint

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace praft::lint {
+
+/// One source file handed to the analyzer. `path` is repo-relative with
+/// forward slashes ("src/raft/node.cpp") — every scope decision (which rules
+/// apply, sibling wire.cpp lookup, include resolution) keys off it.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// One rule violation. Rendered as "file:line: [RULE] message".
+struct Finding {
+  std::string file;
+  int line = 1;
+  std::string rule;     // "D1", "D2", "W1", "C1", "P1"
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// A parsed file plus everything rules need: tokens, comments, local
+/// #include "..." targets, and suppression directives.
+struct FileModel {
+  std::string path;
+  LexResult lex;
+  std::vector<std::string> includes;        // as written inside the quotes
+  /// rule -> lines carrying `praft-lint: allow(RULE ...)`. A suppression on
+  /// line L mutes findings of that rule on L and L+1 (same line, or the
+  /// comment-on-its-own-line-above form).
+  std::map<std::string, std::set<int>> allows;
+};
+
+/// The whole analysis input: parsed files plus the include graph over them.
+/// Quoted includes resolve against the repo include roots (src/, tools/) and
+/// the including file's own directory; system/<> includes are ignored.
+class Project {
+ public:
+  explicit Project(std::vector<SourceFile> files);
+
+  [[nodiscard]] const std::vector<FileModel>& files() const { return files_; }
+
+  /// Indices of `files()[i]`'s transitive quoted-include closure, including
+  /// i itself. Only includes that resolve to a file in the project count.
+  [[nodiscard]] const std::vector<size_t>& closure(size_t i) const {
+    return closures_[i];
+  }
+
+  /// Index of the file with exactly this path, or npos.
+  [[nodiscard]] size_t index_of(const std::string& path) const;
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+ private:
+  std::vector<FileModel> files_;
+  std::vector<std::vector<size_t>> closures_;  // computed in ctor
+};
+
+/// True when `f` carries an allow(rule) directive covering `line`.
+[[nodiscard]] bool is_suppressed(const FileModel& f, const std::string& rule,
+                                 int line);
+
+/// Directory part of a repo-relative path ("src/raft/node.cpp" -> "src/raft",
+/// "README.md" -> "").
+[[nodiscard]] std::string dir_of(const std::string& path);
+
+/// True when `path` is under directory `dir` ("src/raft" matches
+/// "src/raft/node.cpp" but not "src/raftstar/node.cpp").
+[[nodiscard]] bool in_dir(const std::string& path, const std::string& dir);
+
+}  // namespace praft::lint
